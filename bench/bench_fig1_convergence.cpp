@@ -1,0 +1,79 @@
+// Figure 1: top-1 error w.r.t. training epochs (a) and virtual wall-clock
+// time (b) for the seven algorithms at 24 workers.
+//
+// Prints the convergence series per algorithm: (epoch, error) and
+// (virtual seconds, error). Paper expectations: epoch-wise BSP/AR-SGD
+// converge fastest; time-wise ASP/AD-PSGD lead because their aggregation
+// overhead per iteration is lower.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/chart.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  auto args = bench::BenchArgs::parse(argc, argv, 30.0, 0);
+  const int workers = std::min(24, args.max_workers);
+
+  common::Table table("Figure 1 — top-1 error vs epoch and vs time (" +
+                      std::to_string(workers) + " workers)");
+  table.set_header({"algorithm", "epoch", "virtual time (s)", "top-1 error",
+                    "train loss"});
+
+  struct Summary {
+    std::string algo;
+    double final_err;
+    double total_time;
+  };
+  std::vector<Summary> summaries;
+  common::LineChart epoch_chart("Figure 1(a) - top-1 error vs epochs", 72, 18);
+  epoch_chart.set_axes("epoch", "top-1 error");
+  common::LineChart time_chart("Figure 1(b) - top-1 error vs virtual time",
+                               72, 18);
+  time_chart.set_axes("seconds", "top-1 error");
+
+  for (core::Algo algo :
+       {core::Algo::bsp, core::Algo::asp, core::Algo::ssp, core::Algo::easgd,
+        core::Algo::arsgd, core::Algo::gosgd, core::Algo::adpsgd}) {
+    core::Workload wl = bench::paper_functional_workload(workers);
+    core::TrainConfig cfg =
+        bench::paper_accuracy_config(algo, workers, args.epochs);
+    cfg.eval_interval_epochs = std::max(1.0, args.epochs / 15.0);
+    auto result = core::run_training(cfg, wl);
+    for (const auto& pt : result.curve) {
+      table.add_row({core::algo_name(algo), common::fmt(pt.epoch, 1),
+                     common::fmt(pt.virtual_time, 1),
+                     common::fmt(pt.test_error, 4),
+                     common::fmt(pt.train_loss, 3)});
+    }
+    std::vector<std::pair<double, double>> by_epoch, by_time;
+    for (const auto& pt : result.curve) {
+      by_epoch.emplace_back(pt.epoch, pt.test_error);
+      by_time.emplace_back(pt.virtual_time, pt.test_error);
+    }
+    epoch_chart.add_series(core::algo_name(algo), std::move(by_epoch));
+    time_chart.add_series(core::algo_name(algo), std::move(by_time));
+    summaries.push_back({core::algo_name(algo),
+                         1.0 - result.final_accuracy,
+                         result.virtual_duration});
+    std::cerr << "done: " << core::algo_name(algo) << "\n";
+  }
+  bench::emit(table, args);
+  epoch_chart.print(std::cout);
+  std::cout << "\n";
+  time_chart.print(std::cout);
+  std::cout << "\n";
+
+  common::Table summary("Figure 1 summary — time to finish " +
+                        common::fmt(args.epochs, 0) + " epochs");
+  summary.set_header({"algorithm", "final error", "virtual time (s)"});
+  for (const auto& s : summaries) {
+    summary.add_row({s.algo, common::fmt(s.final_err, 4),
+                     common::fmt(s.total_time, 1)});
+  }
+  summary.print(std::cout);
+  std::cout << "Expected shape: (a) epoch-wise BSP/AR-SGD lowest error; "
+               "(b) time-wise ASP/AD-PSGD finish the same epochs sooner "
+               "than BSP/AR-SGD.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks for the substrates: GEMM kernels, DGC
+// compression, the virtual-time runtime's context-switch cost, and the
+// network model's send path. These guard the simulator's own performance
+// (a slow simulator would make the paper-scale sweeps impractical).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "compress/dgc.hpp"
+#include "net/network.hpp"
+#include "runtime/sim.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace dt;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  common::Rng rng(1);
+  tensor::Tensor a({n, n}), b({n, n}), c({n, n});
+  tensor::fill_normal(a, rng, 1.0f);
+  tensor::fill_normal(b, rng, 1.0f);
+  for (auto _ : state) {
+    tensor::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_DgcCompress(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  compress::DgcConfig cfg;
+  cfg.final_sparsity = 0.999;
+  cfg.warmup_epochs = 0.0;
+  compress::DgcCompressor dgc(cfg, {n});
+  common::Rng rng(2);
+  std::vector<float> grad(static_cast<std::size_t>(n));
+  for (auto& g : grad) g = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto _ : state) {
+    auto out = dgc.compress(0, grad, 100.0);
+    benchmark::DoNotOptimize(out.indices.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DgcCompress)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RuntimeContextSwitch(benchmark::State& state) {
+  // Measures yields/second of the cooperative scheduler: two processes
+  // ping-ponging via zero-length advances.
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::SimEngine engine;
+    constexpr int kYields = 2000;
+    for (int p = 0; p < 2; ++p) {
+      engine.spawn("p" + std::to_string(p), [](runtime::Process& self) {
+        for (int i = 0; i < kYields; ++i) self.advance(0.001);
+      });
+    }
+    state.ResumeTiming();
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_RuntimeContextSwitch)->Unit(benchmark::kMillisecond);
+
+void BM_NetworkSendRecv(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::SimEngine engine;
+    net::ClusterSpec spec;
+    spec.num_machines = 2;
+    net::Network network(engine, spec);
+    const int a = network.add_endpoint(0);
+    const int b = network.add_endpoint(1);
+    constexpr int kMessages = 1000;
+    engine.spawn("rx", [&](runtime::Process& self) {
+      network.bind(b, self);
+      for (int i = 0; i < kMessages; ++i) (void)network.recv(self, b);
+    });
+    engine.spawn("tx", [&](runtime::Process& self) {
+      network.bind(a, self);
+      for (int i = 0; i < kMessages; ++i) {
+        net::Packet p;
+        p.wire_bytes = 1024;
+        network.send(self, a, b, std::move(p));
+      }
+    });
+    state.ResumeTiming();
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_NetworkSendRecv)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table I: summary of distributed training algorithms — the static traits
+// (convergence rate, communication complexity) plus a *measured* validation
+// of each algorithm's per-round communication volume on the simulated
+// network against the analytic formula.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  auto args = bench::BenchArgs::parse(argc, argv, 0.0, 24);
+
+  common::Table table(
+      "Table I — algorithm summary (traits + measured comm volume)");
+  table.set_header({"algorithm", "centralized", "synchronous",
+                    "convergence rate", "comm complexity",
+                    "bytes/round (formula)", "bytes/round (measured)",
+                    "rel err"});
+
+  cost::ModelProfile profile =
+      cost::uniform_profile("uniform", 8, 250'000, 1e8);
+
+  for (const auto& traits : core::all_algo_traits()) {
+    core::TrainConfig cfg;
+    cfg.algo = traits.algo;
+    cfg.num_workers = 4;
+    cfg.cluster.workers_per_machine = 1;  // match the formulas exactly
+    cfg.opt.ps_shards_per_machine = 1;
+    cfg.opt.local_aggregation = false;
+    cfg.iterations = args.iters;
+    cfg.ssp_staleness = 3;
+    cfg.easgd_tau = 4;
+    cfg.gosgd_p = 1.0;
+
+    core::Workload wl = core::make_cost_workload(profile, 32);
+    auto result = core::run_training(cfg, wl);
+    const double expected =
+        core::expected_bytes_per_round(cfg, profile.total_bytes());
+    const double measured = static_cast<double>(result.wire_bytes) /
+                            static_cast<double>(cfg.iterations);
+    table.add_row({core::algo_name(traits.algo),
+                   traits.centralized ? "yes" : "no",
+                   traits.synchronous ? "yes" : "no",
+                   traits.convergence_rate, traits.comm_complexity,
+                   common::fmt(expected / 1e6, 1) + " MB",
+                   common::fmt(measured / 1e6, 1) + " MB",
+                   common::fmt_pct(std::abs(measured - expected) /
+                                       expected,
+                                   2)});
+  }
+  bench::emit(table, args);
+
+  std::cout << "Formulas evaluated with N=4 workers, M=8 MB, s=3, tau=4, "
+               "p=1, one worker per machine.\n";
+  return 0;
+}

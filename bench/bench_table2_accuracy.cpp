@@ -1,0 +1,62 @@
+// Table II: final top-1 accuracy of the seven algorithms at 24 workers.
+//
+// Paper setting: ResNet-50 / ImageNet-1K, 90 epochs, 24 TITAN V workers on
+// 56 Gbps, s=10, tau=8, p=0.01. Substitution: the functional MLP workload
+// (DESIGN.md) trained for --epochs (default 30, schedule rescaled), with
+// virtual time/wire sizes from the ResNet-50 profile. Absolute accuracies
+// differ from ImageNet numbers; the *ordering and gaps* are the result.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+// Paper reference accuracies at 24 workers (Table III row "24"; Table II's
+// cells are the same experiment; AR-SGD matches BSP per Section IV-A).
+double paper_reference(dt::core::Algo algo) {
+  switch (algo) {
+    case dt::core::Algo::bsp: return 0.7511;
+    case dt::core::Algo::asp: return 0.7459;
+    case dt::core::Algo::ssp: return 0.6448;   // s = 10
+    case dt::core::Algo::easgd: return 0.4528; // tau = 8
+    case dt::core::Algo::arsgd: return 0.7511; // == BSP (synchronous)
+    case dt::core::Algo::gosgd: return 0.3938; // p = 0.01
+    case dt::core::Algo::adpsgd: return 0.7411;
+  }
+  return 0.0;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  auto args = bench::BenchArgs::parse(argc, argv, 30.0, 0);
+  const int workers = std::min(24, args.max_workers);
+
+  common::Table table("Table II — final accuracy, " +
+                      std::to_string(workers) + " workers (paper: ResNet-50 "
+                      "on ImageNet-1K; here: functional substitute)");
+  table.set_header({"algorithm", "paper top-1", "measured acc",
+                    "vs BSP (paper)", "vs BSP (measured)"});
+
+  double bsp_measured = 0.0;
+  const double bsp_paper = paper_reference(core::Algo::bsp);
+  for (core::Algo algo :
+       {core::Algo::bsp, core::Algo::asp, core::Algo::ssp, core::Algo::easgd,
+        core::Algo::arsgd, core::Algo::gosgd, core::Algo::adpsgd}) {
+    core::Workload wl = bench::paper_functional_workload(workers);
+    core::TrainConfig cfg =
+        bench::paper_accuracy_config(algo, workers, args.epochs);
+    auto result = core::run_training(cfg, wl);
+    if (algo == core::Algo::bsp) bsp_measured = result.final_accuracy;
+
+    table.add_row({core::algo_name(algo),
+                   common::fmt(paper_reference(algo), 4),
+                   common::fmt(result.final_accuracy, 4),
+                   common::fmt(paper_reference(algo) - bsp_paper, 4),
+                   common::fmt(result.final_accuracy - bsp_measured, 4)});
+    std::cerr << "done: " << core::algo_name(algo) << "\n";
+  }
+  bench::emit(table, args);
+  std::cout << "Expected shape: BSP ~ AR-SGD best; ASP & AD-PSGD close; "
+               "SSP(s=10), EASGD(tau=8) and GoSGD(p=0.01) far below.\n";
+  return 0;
+}

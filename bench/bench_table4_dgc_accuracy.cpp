@@ -1,0 +1,57 @@
+// Table IV: effect of DGC on model accuracy — BSP, ASP, SSP(s=3) and
+// SSP(s=10) trained with and without deep gradient compression at 24
+// workers.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  auto args = bench::BenchArgs::parse(argc, argv, 30.0, 0);
+  const int workers = std::min(24, args.max_workers);
+
+  struct Case {
+    std::string name;
+    core::Algo algo;
+    int staleness;
+    double paper_without;
+    double paper_with;
+  };
+  const std::vector<Case> cases = {
+      {"BSP", core::Algo::bsp, 0, 0.7511, 0.7505},
+      {"ASP", core::Algo::asp, 0, 0.7459, 0.7440},
+      {"SSP (s=3)", core::Algo::ssp, 3, 0.7282, 0.7295},
+      {"SSP (s=10)", core::Algo::ssp, 10, 0.6448, 0.6542},
+  };
+
+  common::Table table("Table IV — effect of DGC on accuracy (" +
+                      std::to_string(workers) + " workers)");
+  table.set_header({"algorithm", "paper w/o DGC", "measured w/o DGC",
+                    "paper w/ DGC", "measured w/ DGC", "measured delta"});
+
+  for (const Case& c : cases) {
+    auto run = [&](bool dgc) {
+      core::Workload wl = bench::paper_functional_workload(workers);
+      core::TrainConfig cfg =
+          bench::paper_accuracy_config(c.algo, workers, args.epochs);
+      if (c.staleness > 0) cfg.ssp_staleness = c.staleness;
+      cfg.opt.dgc = dgc;
+      // Substitution note: the paper's 99.9% sparsity presumes a 25M-param
+      // model; the functional substitute has ~6k params, so the same
+      // *relative* compression keeps the top 10%.
+      cfg.opt.dgc_config.final_sparsity = 0.90;
+      cfg.opt.dgc_config.warmup_epochs = args.epochs * 4.0 / 90.0;
+      return core::run_training(cfg, wl).final_accuracy;
+    };
+    const double without = run(false);
+    const double with = run(true);
+    table.add_row({c.name, common::fmt(c.paper_without, 4),
+                   common::fmt(without, 4), common::fmt(c.paper_with, 4),
+                   common::fmt(with, 4), common::fmt(with - without, 4)});
+    std::cerr << "done: " << c.name << "\n";
+  }
+  bench::emit(table, args);
+  std::cout << "Expected shape (paper Table IV): accuracies with DGC are "
+               "comparable to (sometimes slightly above) those without.\n";
+  return 0;
+}

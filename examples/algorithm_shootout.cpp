@@ -1,0 +1,52 @@
+// Example: compare all seven distributed training algorithms on one
+// synthetic workload and print an accuracy/throughput table.
+//
+// Usage: algorithm_shootout [workers] [epochs] [lr_per_worker]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dt;
+
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 8;
+  const double epochs = argc > 2 ? std::atof(argv[2]) : 12.0;
+  const double lr = argc > 3 ? std::atof(argv[3]) : 0.004;
+  const float momentum = argc > 4 ? std::atof(argv[4]) : 0.9f;
+
+  common::Table table("Algorithm shootout: " + std::to_string(workers) +
+                      " workers, " + common::fmt(epochs, 0) + " epochs");
+  table.set_header({"algorithm", "final acc", "worker-0 acc",
+                    "virtual time (s)", "throughput (img/s)", "GB on wire"});
+
+  for (core::Algo algo :
+       {core::Algo::bsp, core::Algo::asp, core::Algo::ssp, core::Algo::easgd,
+        core::Algo::arsgd, core::Algo::gosgd, core::Algo::adpsgd}) {
+    core::FunctionalWorkloadSpec spec;
+    spec.num_workers = workers;
+    spec.sgd.momentum = momentum;
+    core::Workload wl = core::make_functional_workload(spec);
+
+    core::TrainConfig cfg;
+    cfg.algo = algo;
+    cfg.num_workers = workers;
+    cfg.epochs = epochs;
+    cfg.sgd.momentum = momentum;
+    cfg.lr = nn::LrSchedule::paper(workers, epochs, lr);
+    cfg.opt.ps_shards_per_machine = 1;
+    auto result = core::run_training(cfg, wl);
+
+    table.add_row({core::algo_name(algo),
+                   common::fmt(result.final_accuracy, 4),
+                   common::fmt(wl.evaluate(0), 4),
+                   common::fmt(result.virtual_duration, 1),
+                   common::fmt(result.throughput(), 0),
+                   common::fmt(static_cast<double>(result.wire_bytes) / 1e9,
+                               2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Cluster planner: given a model (ResNet-50-like or VGG-16-like), a worker
+// count and a network bandwidth, estimate which algorithm + optimization
+// combination gives the best throughput — the "which algorithm should I
+// adopt?" question the paper's introduction motivates.
+//
+// Usage: cluster_planner [workers] [gbps] [resnet|vgg]
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dt;
+
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 16;
+  const double gbps = argc > 2 ? std::atof(argv[2]) : 10.0;
+  const bool vgg = argc > 3 && std::strcmp(argv[3], "vgg") == 0;
+
+  const cost::ModelProfile profile =
+      vgg ? cost::vgg16_profile() : cost::resnet50_profile();
+  const std::int64_t batch = vgg ? 96 : 128;
+
+  struct Plan {
+    std::string name;
+    core::Algo algo;
+    bool sharding;
+    bool wait_free;
+    bool dgc;
+  };
+  const std::vector<Plan> plans = {
+      {"BSP (single PS)", core::Algo::bsp, false, false, false},
+      {"BSP + sharding + wait-free", core::Algo::bsp, true, true, false},
+      {"ASP + sharding", core::Algo::asp, true, false, false},
+      {"ASP + sharding + DGC", core::Algo::asp, true, true, true},
+      {"SSP + sharding", core::Algo::ssp, true, false, false},
+      {"AR-SGD", core::Algo::arsgd, false, true, false},
+      {"AD-PSGD", core::Algo::adpsgd, false, false, false},
+  };
+
+  common::Table table("cluster plan: " + profile.name + ", " +
+                      std::to_string(workers) + " workers, " +
+                      common::fmt(gbps, 0) + " Gbps");
+  table.set_header({"configuration", "images/s", "speedup vs 1 worker",
+                    "GB on wire / iter", "note"});
+
+  // Single-worker baseline (algorithm-independent to first order).
+  double single = 0.0;
+  {
+    core::TrainConfig cfg;
+    cfg.algo = core::Algo::bsp;
+    cfg.num_workers = 1;
+    cfg.iterations = 30;
+    core::Workload wl = core::make_cost_workload(profile, batch);
+    single = core::run_training(cfg, wl).throughput();
+  }
+
+  std::string best;
+  double best_tp = 0.0;
+  for (const Plan& plan : plans) {
+    core::TrainConfig cfg;
+    cfg.algo = plan.algo;
+    cfg.num_workers = workers;
+    cfg.cluster.workers_per_machine = 4;
+    cfg.cluster.nic_gbps = gbps;
+    cfg.opt.ps_shards_per_machine = plan.sharding ? 2 : 0;
+    cfg.opt.wait_free_bp = plan.wait_free;
+    cfg.opt.dgc = plan.dgc;
+    cfg.iterations = 30;
+    core::Workload wl = core::make_cost_workload(profile, batch);
+    auto result = core::run_training(cfg, wl);
+
+    const double tp = result.throughput();
+    if (tp > best_tp) {
+      best_tp = tp;
+      best = plan.name;
+    }
+    const double gb_per_iter =
+        static_cast<double>(result.wire_bytes) / 1e9 /
+        static_cast<double>(cfg.iterations);
+    std::string note;
+    if (plan.dgc) note = "approximate gradients (check accuracy!)";
+    if (plan.algo == core::Algo::ssp) note = "stale reads hurt accuracy";
+    table.add_row({plan.name, common::fmt(tp, 0),
+                   common::fmt(tp / single, 2) + "x",
+                   common::fmt(gb_per_iter, 2), note});
+  }
+  table.print(std::cout);
+  std::cout << "\nRecommendation: " << best << " (" << common::fmt(best_tp, 0)
+            << " img/s). Validate accuracy with the functional workload "
+               "before adopting an asynchronous plan.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// CNN + gossip example: build a *custom* functional workload (a small
+// convolutional network on a synthetic image task) directly through the
+// Workload constructor — the extension point for users who want their own
+// model/dataset instead of the built-in MLP benchmark — and train it with
+// GoSGD at several gossip probabilities against a BSP baseline.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "nn/layers.hpp"
+
+int main() {
+  using namespace dt;
+
+  constexpr int kWorkers = 8;
+  constexpr std::int64_t kImage = 8;
+
+  // Synthetic image dataset: one lit-up quadrant per class.
+  common::Rng rng(7);
+  data::ImageBlobSpec blob;
+  blob.num_samples = 2048 + 512;
+  blob.image_size = kImage;
+  blob.num_classes = 4;
+  blob.noise_stddev = 1.6;  // hard enough that weak mixing costs accuracy
+  data::Dataset full = data::make_image_blobs(blob, rng);
+  auto [train, test] = data::split_train_test(full, 512.0 / 2560.0);
+
+  // A small CNN: conv -> relu -> pool -> fc.
+  auto make_model = [] {
+    nn::Sequential m;
+    m.add<nn::Conv2d>("conv1", 1, 4, 3, 1);
+    m.add<nn::ReLU>("relu1");
+    m.add<nn::MaxPool2d>("pool1");
+    m.add<nn::Flatten>("flatten");
+    m.add<nn::Dense>("fc", 4 * (kImage / 2) * (kImage / 2), 4);
+    return m;
+  };
+
+  common::Table table("CNN on image blobs: BSP vs GoSGD(p)");
+  table.set_header({"configuration", "accuracy", "virtual seconds",
+                    "GB on wire"});
+
+  auto run = [&](core::Algo algo, double p) {
+    core::Workload wl(cost::resnet50_profile(), cost::ComputeModel{},
+                      cost::AggregationModel{}, /*batch=*/16, make_model,
+                      train, test, kWorkers, nn::SgdConfig{}, /*seed=*/11);
+    wl.set_timing_batch(128);
+    core::TrainConfig cfg;
+    cfg.algo = algo;
+    cfg.num_workers = kWorkers;
+    cfg.epochs = 5.0;
+    cfg.lr = nn::LrSchedule::paper(kWorkers, cfg.epochs, 0.004);
+    cfg.gosgd_p = p;
+    auto result = core::run_training(cfg, wl);
+    const std::string name =
+        algo == core::Algo::bsp
+            ? std::string("BSP")
+            : "GoSGD p=" + common::fmt(p, 2);
+    table.add_row({name, common::fmt(result.final_accuracy, 4),
+                   common::fmt(result.virtual_duration, 1),
+                   common::fmt(static_cast<double>(result.wire_bytes) / 1e9,
+                               2)});
+  };
+
+  run(core::Algo::bsp, 0.0);
+  for (double p : {1.0, 0.1, 0.01}) run(core::Algo::gosgd, p);
+
+  table.print(std::cout);
+  std::cout << "\nLower gossip probability = less traffic but weaker "
+               "mixing; accuracy decays as p shrinks (paper Table III).\n";
+  return 0;
+}

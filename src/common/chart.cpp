@@ -1,0 +1,116 @@
+#include "common/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace dt::common {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+constexpr int kNumGlyphs = static_cast<int>(sizeof(kGlyphs));
+}  // namespace
+
+LineChart::LineChart(std::string title, int width, int height)
+    : title_(std::move(title)), width_(width), height_(height) {
+  check(width_ >= 16 && height_ >= 4, "LineChart: grid too small");
+}
+
+void LineChart::add_series(std::string name,
+                           std::vector<std::pair<double, double>> points) {
+  Series s;
+  s.name = std::move(name);
+  s.glyph = kGlyphs[series_.size() % kNumGlyphs];
+  s.points = std::move(points);
+  series_.push_back(std::move(s));
+}
+
+void LineChart::set_axes(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+void LineChart::set_y_range(double lo, double hi) {
+  check(lo < hi, "LineChart: empty y range");
+  fixed_y_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+void LineChart::print(std::ostream& os) const {
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = fixed_y_ ? y_lo_ : std::numeric_limits<double>::infinity();
+  double y_hi = fixed_y_ ? y_hi_ : -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      any = true;
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      if (!fixed_y_) {
+        y_lo = std::min(y_lo, y);
+        y_hi = std::max(y_hi, y);
+      }
+    }
+  }
+  if (!any) {
+    os << "(no data)\n";
+    return;
+  }
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi == y_lo) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_),
+                                            ' '));
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      const int cx = static_cast<int>(std::lround(
+          (x - x_lo) / (x_hi - x_lo) * (width_ - 1)));
+      const int cy = static_cast<int>(std::lround(
+          (y - y_lo) / (y_hi - y_lo) * (height_ - 1)));
+      if (cx < 0 || cx >= width_ || cy < 0 || cy >= height_) continue;
+      // Row 0 is the top of the chart (largest y).
+      grid[static_cast<std::size_t>(height_ - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  const std::string y_top = fmt(y_hi, 3);
+  const std::string y_bot = fmt(y_lo, 3);
+  const std::size_t label_w = std::max(y_top.size(), y_bot.size());
+  for (int row = 0; row < height_; ++row) {
+    std::string label(label_w, ' ');
+    if (row == 0) label = y_top;
+    if (row == height_ - 1) label = y_bot;
+    label.resize(label_w, ' ');
+    os << label << " |" << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  os << std::string(label_w, ' ') << " +"
+     << std::string(static_cast<std::size_t>(width_), '-') << "\n";
+  os << std::string(label_w, ' ') << "  " << fmt(x_lo, 1);
+  const std::string x_hi_s = fmt(x_hi, 1);
+  const std::string x_label =
+      x_label_.empty() ? std::string{} : " (" + x_label_ + ")";
+  const int pad = width_ - static_cast<int>(fmt(x_lo, 1).size()) -
+                  static_cast<int>(x_hi_s.size() + x_label.size());
+  os << std::string(static_cast<std::size_t>(std::max(1, pad)), ' ')
+     << x_hi_s << x_label << "\n";
+
+  os << "legend:";
+  for (const Series& s : series_) {
+    os << "  " << s.glyph << " = " << s.name;
+  }
+  if (!y_label_.empty()) os << "   [y: " << y_label_ << "]";
+  os << "\n";
+}
+
+}  // namespace dt::common

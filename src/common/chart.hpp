@@ -1,0 +1,54 @@
+// Terminal line charts for the figure-reproducing benches.
+//
+// Renders multiple (x, y) series on a character grid with axes and a
+// legend — enough to eyeball convergence curves (Figure 1) and speedup
+// curves (Figure 2) without leaving the terminal. CSV output remains the
+// machine-readable path.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dt::common {
+
+class LineChart {
+ public:
+  explicit LineChart(std::string title, int width = 72, int height = 18);
+
+  /// Adds a named series. Points need not be sorted; they are plotted as
+  /// markers (no interpolation). Series glyphs cycle through a fixed set.
+  void add_series(std::string name,
+                  std::vector<std::pair<double, double>> points);
+
+  /// Optional axis labels.
+  void set_axes(std::string x_label, std::string y_label);
+
+  /// Fixes the y range (default: tight fit over all series).
+  void set_y_range(double lo, double hi);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_series() const noexcept {
+    return series_.size();
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    char glyph;
+    std::vector<std::pair<double, double>> points;
+  };
+
+  std::string title_;
+  int width_;
+  int height_;
+  std::string x_label_;
+  std::string y_label_;
+  bool fixed_y_ = false;
+  double y_lo_ = 0.0, y_hi_ = 1.0;
+  std::vector<Series> series_;
+};
+
+}  // namespace dt::common

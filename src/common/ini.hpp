@@ -1,0 +1,53 @@
+// Minimal INI-style configuration parser for the `dtrain` experiment
+// runner. Syntax:
+//
+//   # comment           ; comment
+//   [section]
+//   key = value         (whitespace around tokens trimmed)
+//
+// Keys are case-sensitive; later duplicates overwrite earlier ones.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dt::common {
+
+class IniConfig {
+ public:
+  static IniConfig parse(std::istream& in);
+  static IniConfig parse_string(const std::string& text);
+  static IniConfig load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& section,
+                         const std::string& key) const;
+
+  /// String lookup with default.
+  [[nodiscard]] std::string get(const std::string& section,
+                                const std::string& key,
+                                const std::string& fallback = {}) const;
+
+  /// Typed lookups; throw common::Error on unparseable values.
+  [[nodiscard]] double get_double(const std::string& section,
+                                  const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& section,
+                                     const std::string& key,
+                                     std::int64_t fallback) const;
+  /// Accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
+  [[nodiscard]] bool get_bool(const std::string& section,
+                              const std::string& key, bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> sections() const;
+  [[nodiscard]] std::vector<std::string> keys(
+      const std::string& section) const;
+
+ private:
+  // section -> key -> value
+  std::map<std::string, std::map<std::string, std::string>> values_;
+};
+
+}  // namespace dt::common

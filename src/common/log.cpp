@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+namespace dt::common {
+
+namespace {
+LogLevel g_level = LogLevel::warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::ostream& os = level >= LogLevel::warn ? std::cerr : std::clog;
+  os << '[' << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace dt::common

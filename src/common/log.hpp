@@ -1,0 +1,47 @@
+// Minimal leveled logger. Defaults to `warn` so tests and benches stay
+// quiet; experiments flip to `info` for progress lines. Not thread-safe by
+// design: the virtual-time runtime runs exactly one process at a time, so
+// log calls are never concurrent.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dt::common {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  emit(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log(LogLevel::debug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log(LogLevel::info, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log(LogLevel::warn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log(LogLevel::error, args...);
+}
+
+}  // namespace dt::common

@@ -1,0 +1,125 @@
+// Deterministic random number generation for dtrainlib.
+//
+// Every stochastic component in the library (data generation, straggler
+// jitter, gossip target selection, ...) draws from an explicitly seeded
+// dt::common::Rng so that whole experiments are reproducible bit-for-bit
+// across runs and host machines. The engine is xoshiro256**, which is fast,
+// has 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace dt::common {
+
+/// Counter-based seeding helper (splitmix64). Used to derive independent
+/// stream seeds from a single experiment seed, e.g. one stream per worker.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be plugged into
+/// <random> distributions, but the member helpers below are preferred
+/// because their output is identical across standard library versions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent generator for stream `stream_id` (e.g. a worker
+  /// rank). Streams produced from distinct ids are statistically independent.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept {
+    std::uint64_t sm = state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Unbiased via rejection sampling.
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_u64(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (no cached value: deterministic stream).
+  double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+  }
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal with parameters of the underlying normal. Used for straggler
+  /// jitter where compute time is multiplied by exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dt::common

@@ -1,0 +1,54 @@
+// Tabular result reporting. The bench harness prints every paper table /
+// figure series in two formats: a human-readable aligned text table and a
+// machine-readable CSV (written next to the binary when requested). Cells
+// are strings; numeric helpers format with fixed precision so paper-vs-
+// measured comparisons line up.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dt::common {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows (excluding header).
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Renders an aligned, boxed text table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to `path`, creating/overwriting the file.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string fmt(double value, int precision = 4);
+
+/// Formats a double as a percentage ("12.3%").
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace dt::common

@@ -1,0 +1,34 @@
+// Unit helpers. All simulator-facing quantities use SI base units:
+// time in seconds (double), data sizes in bytes (std::uint64_t or double),
+// rates in bytes per second. These helpers make call sites self-describing,
+// e.g. `net::LinkProfile{.bandwidth = gbps(10), .latency = micros(25)}`.
+#pragma once
+
+#include <cstdint>
+
+namespace dt::common {
+
+/// Network bandwidth quoted in Gigabits/s -> bytes/s.
+constexpr double gbps(double v) noexcept { return v * 1e9 / 8.0; }
+
+/// Memory/bus bandwidth quoted in Gigabytes/s -> bytes/s.
+constexpr double gibytes_per_s(double v) noexcept {
+  return v * 1024.0 * 1024.0 * 1024.0;
+}
+
+constexpr double kib(double v) noexcept { return v * 1024.0; }
+constexpr double mib(double v) noexcept { return v * 1024.0 * 1024.0; }
+constexpr double gib(double v) noexcept { return v * 1024.0 * 1024.0 * 1024.0; }
+
+constexpr double millis(double v) noexcept { return v * 1e-3; }
+constexpr double micros(double v) noexcept { return v * 1e-6; }
+constexpr double nanos(double v) noexcept { return v * 1e-9; }
+
+/// FLOP rates quoted in TFLOPS -> FLOP/s.
+constexpr double tflops(double v) noexcept { return v * 1e12; }
+constexpr double gflops(double v) noexcept { return v * 1e9; }
+
+/// Number of bytes occupied by `n` float32 values on the wire.
+constexpr std::uint64_t float_bytes(std::uint64_t n) noexcept { return n * 4; }
+
+}  // namespace dt::common

@@ -1,0 +1,110 @@
+#include "compress/dgc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace dt::compress {
+
+DgcCompressor::DgcCompressor(DgcConfig config,
+                             std::vector<std::int64_t> slot_sizes)
+    : config_(config), slot_sizes_(std::move(slot_sizes)) {
+  common::check(config_.final_sparsity > 0.0 && config_.final_sparsity < 1.0,
+                "DgcConfig: final_sparsity must be in (0,1)");
+  common::check(config_.num_workers >= 1, "DgcConfig: num_workers >= 1");
+  velocity_.resize(slot_sizes_.size());
+  residual_.resize(slot_sizes_.size());
+  for (std::size_t i = 0; i < slot_sizes_.size(); ++i) {
+    velocity_[i].assign(static_cast<std::size_t>(slot_sizes_[i]), 0.0f);
+    residual_[i].assign(static_cast<std::size_t>(slot_sizes_[i]), 0.0f);
+  }
+}
+
+double DgcCompressor::sparsity_at(const DgcConfig& config,
+                                  double epoch) noexcept {
+  if (config.warmup_epochs <= 0.0 || epoch >= config.warmup_epochs) {
+    return config.final_sparsity;
+  }
+  // DGC warm-up (Lin et al.): density shrinks 4x per epoch starting from
+  // 25%, i.e. sparsity 0.75 -> 0.9375 -> 0.984375 -> 0.99609375 -> final.
+  const int step = static_cast<int>(epoch);
+  const double density = std::pow(0.25, step + 1);
+  return std::min(1.0 - density, config.final_sparsity);
+}
+
+SparseSlot DgcCompressor::compress(std::size_t slot,
+                                   std::span<const float> grad, double epoch) {
+  common::check(slot < slot_sizes_.size(), "DgcCompressor: bad slot");
+  auto& u = velocity_[slot];
+  auto& v = residual_[slot];
+  common::check(grad.size() == u.size(), "DgcCompressor: grad size mismatch");
+
+  // Local gradient clipping: bound the local L2 norm by clip/sqrt(N).
+  float clip_scale = 1.0f;
+  if (config_.clip_norm > 0.0) {
+    const double limit =
+        config_.clip_norm / std::sqrt(static_cast<double>(config_.num_workers));
+    const double norm = tensor::l2_norm(grad);
+    if (norm > limit) clip_scale = static_cast<float>(limit / norm);
+  }
+
+  // Momentum correction + local accumulation:
+  //   u <- m*u + g ; v <- v + u          (correction on)
+  //   v <- v + g                          (correction off)
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const float g = grad[i] * clip_scale;
+    if (config_.momentum_correction) {
+      u[i] = config_.momentum * u[i] + g;
+      v[i] += u[i];
+    } else {
+      v[i] += g;
+    }
+  }
+
+  const double sparsity = sparsity_at(epoch);
+  const auto k = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround((1.0 - sparsity) * static_cast<double>(v.size())))));
+
+  const float threshold = tensor::topk_abs_threshold(v, k);
+
+  SparseSlot out;
+  out.indices.reserve(k);
+  out.values.reserve(k);
+  for (std::size_t i = 0; i < v.size() && out.indices.size() < k; ++i) {
+    if (std::fabs(v[i]) >= threshold) {
+      out.indices.push_back(static_cast<std::uint32_t>(i));
+      out.values.push_back(v[i]);
+      v[i] = 0.0f;  // residual cleared for communicated entries
+      if (config_.factor_masking) u[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+void DgcCompressor::apply(const SparseSlot& sparse, std::span<float> dense) {
+  common::check(sparse.indices.size() == sparse.values.size(),
+                "SparseSlot: index/value size mismatch");
+  for (std::size_t i = 0; i < sparse.indices.size(); ++i) {
+    const std::uint32_t idx = sparse.indices[i];
+    common::check(idx < dense.size(), "SparseSlot: index out of range");
+    dense[idx] += sparse.values[i];
+  }
+}
+
+std::uint64_t DgcCompressor::wire_bytes(std::uint64_t dense_bytes,
+                                        double epoch) const noexcept {
+  const double density = 1.0 - sparsity_at(epoch);
+  // Each surviving float costs 8 bytes (index + value).
+  const double bytes = static_cast<double>(dense_bytes) * density * 2.0;
+  return std::max<std::uint64_t>(8, static_cast<std::uint64_t>(bytes));
+}
+
+std::span<const float> DgcCompressor::residual(std::size_t slot) const {
+  common::check(slot < residual_.size(), "DgcCompressor: bad slot");
+  return residual_[slot];
+}
+
+}  // namespace dt::compress

@@ -1,0 +1,88 @@
+// Deep Gradient Compression (Lin et al., ICLR'18), as used in the paper's
+// optimization study: communicate only the top ~0.1% of gradient entries by
+// magnitude, with the accuracy-preserving tricks the paper lists —
+// local gradient accumulation, momentum correction, local gradient
+// clipping, momentum factor masking, and warm-up training (sparsity ramps
+// 75% -> 93.75% -> 98.44% -> 99.6% -> 99.9% over the first epochs).
+//
+// One DgcCompressor instance lives on each worker; it holds the residual
+// (accumulated) gradient state per parameter slot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dt::compress {
+
+struct DgcConfig {
+  /// Final fraction of entries NOT communicated (0.999 => top 0.1% sent).
+  double final_sparsity = 0.999;
+  /// Momentum used for momentum correction (matches the optimizer's).
+  float momentum = 0.9f;
+  bool momentum_correction = true;
+  bool factor_masking = true;
+  /// Gradient clipping threshold on the local L2 norm, scaled by
+  /// 1/sqrt(num_workers) as in the DGC paper; <= 0 disables clipping.
+  double clip_norm = 2.0;
+  int num_workers = 1;
+  /// Warm-up duration in epochs over which sparsity ramps up.
+  double warmup_epochs = 4.0;
+};
+
+/// Sparse encoding of one slot's communicated gradient.
+struct SparseSlot {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept {
+    // 4-byte index + 4-byte value per entry.
+    return static_cast<std::uint64_t>(indices.size()) * 8;
+  }
+};
+
+class DgcCompressor {
+ public:
+  /// `slot_sizes[i]` = element count of parameter slot i.
+  DgcCompressor(DgcConfig config, std::vector<std::int64_t> slot_sizes);
+
+  /// Sparsity in effect at training progress `epoch` (warm-up schedule).
+  /// The static overload lets cost-only runs evaluate the schedule without
+  /// allocating residual buffers.
+  [[nodiscard]] static double sparsity_at(const DgcConfig& config,
+                                          double epoch) noexcept;
+  [[nodiscard]] double sparsity_at(double epoch) const noexcept {
+    return sparsity_at(config_, epoch);
+  }
+
+  /// Folds this iteration's gradient of slot `slot` into the residual state
+  /// and extracts the top-(1-sparsity) entries to communicate. The returned
+  /// values already include the accumulated residual; selected entries are
+  /// cleared from the residual (and from the correction velocity when
+  /// factor masking is on).
+  SparseSlot compress(std::size_t slot, std::span<const float> grad,
+                      double epoch);
+
+  /// Scatter-adds a sparse slot into a dense buffer (receiver side).
+  static void apply(const SparseSlot& sparse, std::span<float> dense);
+
+  /// Expected wire bytes for a dense payload of `dense_bytes` at `epoch`
+  /// (cost-only mode). Index+value doubles each surviving entry.
+  [[nodiscard]] std::uint64_t wire_bytes(std::uint64_t dense_bytes,
+                                         double epoch) const noexcept;
+
+  [[nodiscard]] const DgcConfig& config() const noexcept { return config_; }
+
+  /// Residual (accumulated, not yet communicated) state of slot `i`.
+  [[nodiscard]] std::span<const float> residual(std::size_t slot) const;
+
+ private:
+  DgcConfig config_;
+  std::vector<std::int64_t> slot_sizes_;
+  std::vector<std::vector<float>> velocity_;  // momentum-corrected u_t
+  std::vector<std::vector<float>> residual_;  // accumulated v_t
+};
+
+}  // namespace dt::compress

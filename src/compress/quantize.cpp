@@ -1,0 +1,51 @@
+#include "compress/quantize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace dt::compress {
+
+QuantizedSlot quantize(std::span<const float> values, const QsgdConfig& config,
+                       common::Rng& rng) {
+  common::check(config.bits >= 2 && config.bits <= 8,
+                "QsgdConfig: bits must be in [2, 8]");
+  QuantizedSlot out;
+  out.bits = config.bits;
+  out.scale = tensor::max_abs(values);
+  out.levels.resize(values.size());
+  if (out.scale == 0.0f) return out;
+
+  const int max_level = (1 << (config.bits - 1)) - 1;
+  const float levels_f = static_cast<float>(max_level);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float v = values[i];
+    const float x = std::fabs(v) / out.scale * levels_f;  // in [0, L]
+    const auto lo = static_cast<int>(x);                  // floor
+    const float frac = x - static_cast<float>(lo);
+    int level = lo + (rng.uniform() < frac ? 1 : 0);
+    if (level > max_level) level = max_level;
+    out.levels[i] = static_cast<std::int16_t>(v < 0.0f ? -level : level);
+  }
+  return out;
+}
+
+void QuantizedSlot::dequantize(std::span<float> out) const {
+  common::check(out.size() == levels.size(),
+                "QuantizedSlot::dequantize: size mismatch");
+  const int max_level = (1 << (bits - 1)) - 1;
+  const float unit =
+      max_level > 0 ? scale / static_cast<float>(max_level) : 0.0f;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    out[i] = static_cast<float>(levels[i]) * unit;
+  }
+}
+
+std::uint64_t qsgd_wire_bytes(std::uint64_t dense_bytes, int bits) noexcept {
+  // dense_bytes / 4 values, `bits` bits each, + 4-byte scale per slot.
+  const std::uint64_t values = dense_bytes / 4;
+  return 4 + (values * static_cast<std::uint64_t>(bits) + 7) / 8;
+}
+
+}  // namespace dt::compress

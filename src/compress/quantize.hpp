@@ -1,0 +1,53 @@
+// QSGD-style stochastic gradient quantization (Alistarh et al., NIPS'17).
+//
+// Extension beyond the paper's three optimizations: a second, structurally
+// different compressor (dense low-bit vs DGC's sparse top-k) so the two
+// families can be compared under identical cluster conditions.
+//
+// Encoding per slot: one float32 scale (the slot's max magnitude) plus a
+// signed integer level per value, quantized *stochastically* so the
+// encoder is unbiased: E[dequantize(quantize(v))] = v.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dt::compress {
+
+struct QsgdConfig {
+  /// Bits per value (including sign). 2..8; levels = 2^(bits-1) - 1.
+  int bits = 8;
+};
+
+struct QuantizedSlot {
+  float scale = 0.0f;                 // max |v| of the slot
+  int bits = 8;
+  std::vector<std::int16_t> levels;   // signed quantization level per value
+
+  /// Bytes on the wire: 4-byte scale + ceil(numel * bits / 8).
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept {
+    return 4 + (static_cast<std::uint64_t>(levels.size()) *
+                    static_cast<std::uint64_t>(bits) +
+                7) /
+                   8;
+  }
+
+  /// Reconstructs values into `out` (sizes must match).
+  void dequantize(std::span<float> out) const;
+};
+
+/// Stochastic quantization of `values` to `config.bits`. Unbiased:
+/// each v maps to one of the two adjacent levels with probabilities
+/// proportional to proximity.
+[[nodiscard]] QuantizedSlot quantize(std::span<const float> values,
+                                     const QsgdConfig& config,
+                                     common::Rng& rng);
+
+/// Expected wire size for a dense float payload of `dense_bytes`.
+[[nodiscard]] std::uint64_t qsgd_wire_bytes(std::uint64_t dense_bytes,
+                                            int bits) noexcept;
+
+}  // namespace dt::compress

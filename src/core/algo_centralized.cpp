@@ -1,0 +1,650 @@
+// Centralized distributed training algorithms: BSP, ASP, SSP, EASGD
+// (paper Section III), over the PS framework of src/ps.
+//
+// Wire protocol recap (see core/protocol.hpp): gradient pushes and parameter
+// replies are per-slot packets; each slot is owned by one PS shard
+// (layer-wise sharding). Learning-rate convention: packets carry the
+// *global* schedule value lr(epoch) = 0.05*N-style; synchronous algorithms
+// apply it to the averaged gradient, asynchronous ones apply lr/N to each
+// individual gradient so all algorithms target the same effective step.
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/dgc.hpp"
+#include "compress/quantize.hpp"
+#include "core/protocol.hpp"
+#include "core/session.hpp"
+#include "metrics/metrics.hpp"
+
+namespace dt::core {
+
+namespace {
+
+using metrics::Phase;
+using metrics::PhaseTimer;
+using net::Packet;
+
+bool use_dgc(const Session& s) {
+  return s.cfg.opt.dgc && sends_gradients(s.cfg.algo);
+}
+
+bool use_qsgd(const Session& s) {
+  return !use_dgc(s) && s.cfg.opt.qsgd_bits >= 2 &&
+         sends_gradients(s.cfg.algo);
+}
+
+/// DGC density used for wire sizing in cost-only mode (steady state).
+double dgc_steady_density(const Session& s) {
+  return 1.0 -
+         compress::DgcCompressor::sparsity_at(s.cfg.opt.dgc_config, 1e9);
+}
+
+std::unique_ptr<compress::DgcCompressor> make_dgc(Session& s) {
+  if (!use_dgc(s) || !s.wl.functional()) return nullptr;
+  std::vector<std::int64_t> sizes;
+  for (std::size_t i = 0; i < s.wl.num_slots(); ++i) {
+    sizes.push_back(s.wl.slot_numel(i));
+  }
+  compress::DgcConfig cfg = s.cfg.opt.dgc_config;
+  cfg.num_workers = s.cfg.num_workers;
+  cfg.momentum = s.cfg.sgd.momentum;
+  return std::make_unique<compress::DgcCompressor>(cfg, std::move(sizes));
+}
+
+/// Builds one slot's gradient packet (dense, DGC-sparse, or QSGD-quantized
+/// — the latter travels as a dense tensor carrying the quantization error,
+/// with the compressed wire size).
+Packet grad_packet(Session& s, int rank, std::size_t slot, double epoch,
+                   double lr_global, compress::DgcCompressor* dgc,
+                   common::Rng& rng) {
+  Packet pkt;
+  pkt.a = rank;
+  pkt.b = static_cast<std::int64_t>(slot);
+  pkt.x = lr_global;
+  if (use_qsgd(s)) {
+    pkt.tag = kTagGrad;
+    pkt.wire_bytes = compress::qsgd_wire_bytes(s.wl.slot_wire_bytes(slot),
+                                               s.cfg.opt.qsgd_bits);
+    if (s.wl.functional()) {
+      compress::QsgdConfig qcfg{.bits = s.cfg.opt.qsgd_bits};
+      const auto& grad = s.wl.grad_slot(rank, slot);
+      compress::QuantizedSlot q = compress::quantize(grad.data(), qcfg, rng);
+      tensor::Tensor restored(grad.shape());
+      q.dequantize(restored.data());
+      pkt.tensors.push_back(std::move(restored));
+    }
+    return pkt;
+  }
+  if (use_dgc(s)) {
+    pkt.tag = kTagSparseGrad;
+    if (dgc != nullptr) {
+      auto sparse =
+          dgc->compress(slot, s.wl.grad_slot(rank, slot).data(), epoch);
+      pkt.wire_bytes = sparse.wire_bytes();
+      pkt.sparse_indices.push_back(std::move(sparse.indices));
+      pkt.sparse_values.push_back(std::move(sparse.values));
+    } else {
+      const double bytes = static_cast<double>(s.wl.slot_wire_bytes(slot)) *
+                           dgc_steady_density(s) * 2.0;
+      pkt.wire_bytes =
+          std::max<std::uint64_t>(8, static_cast<std::uint64_t>(bytes));
+    }
+  } else {
+    pkt.tag = kTagGrad;
+    pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
+    if (s.wl.functional()) {
+      pkt.tensors.push_back(s.wl.grad_slot(rank, slot));
+    }
+  }
+  return pkt;
+}
+
+/// Runs one iteration's forward+backward in virtual time (and functionally
+/// when the workload is). `on_slot_ready` is invoked per slot in backprop
+/// (reverse) order — interleaved with the backward advances when wait-free
+/// BP is on, otherwise after the full backward.
+double compute_iteration(
+    Session& s, runtime::Process& self, int rank, common::Rng& rng,
+    metrics::WorkerMetrics& wm,
+    const std::function<void(std::size_t)>& on_slot_ready) {
+  PhaseTimer timer(self, wm, Phase::compute);
+  const double cs = s.compute_scale(rank);
+  double loss = 0.0;
+  if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
+  self.advance(s.wl.forward_time(rng) * cs);
+
+  const std::size_t n = s.wl.num_slots();
+  if (!s.cfg.opt.wait_free_bp || !on_slot_ready) {
+    self.advance(s.wl.backward_time(rng) * cs);
+    if (on_slot_ready) {
+      for (std::size_t i = n; i-- > 0;) on_slot_ready(i);
+    }
+  } else {
+    double nominal = 0.0;
+    for (std::size_t i = 0; i < n; ++i) nominal += s.wl.backward_slot_time(i);
+    const double total = s.wl.backward_time(rng) * cs;
+    const double scale = nominal > 0.0 ? total / nominal : 0.0;
+    for (std::size_t i = n; i-- > 0;) {
+      self.advance(s.wl.backward_slot_time(i) * scale);
+      on_slot_ready(i);
+    }
+  }
+  return loss;
+}
+
+/// Receives `count` kTagParams packets on `ep`, loading each into the
+/// worker's replica in functional mode.
+void await_params(Session& s, runtime::Process& self, int rank, int ep,
+                  std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Packet pkt = s.network->recv(self, ep, kTagParams);
+    if (s.wl.functional()) {
+      s.wl.set_param_slot(rank, static_cast<std::size_t>(pkt.b),
+                          pkt.tensors.at(0));
+    }
+  }
+}
+
+/// Splits a measured request-response window into pure-communication time
+/// (up to the uncontended estimate) and aggregation/queueing wait.
+void account_window(runtime::Process& self, metrics::WorkerMetrics& wm,
+                    double window_start, double comm_estimate) {
+  const double elapsed = self.now() - window_start;
+  const double comm = std::min(elapsed, comm_estimate);
+  wm.accumulate(Phase::comm, comm);
+  wm.accumulate(Phase::global_agg, elapsed - comm);
+}
+
+/// Uncontended estimate of a full per-slot push + per-slot reply round
+/// between worker `rank` and all PS shards.
+double ps_roundtrip_estimate(const Session& s, int rank) {
+  double t = 0.0;
+  const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+  const double density = use_dgc(s) ? dgc_steady_density(s) * 2.0 : 1.0;
+  for (std::size_t slot = 0; slot < s.wl.num_slots(); ++slot) {
+    const int pep = s.ps_ep[static_cast<std::size_t>(s.plan.shard_of(slot))];
+    const auto push_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(s.wl.slot_wire_bytes(slot)) * density);
+    t += s.uncontended_time(push_bytes, wep, pep);
+    t += s.uncontended_time(s.wl.slot_wire_bytes(slot), pep, wep);
+  }
+  return t;
+}
+
+/// Functional-mode convergence-curve recorder (worker 0 only).
+struct CurveRecorder {
+  Session& s;
+  int rank;
+  double next_eval;
+
+  CurveRecorder(Session& session, int r)
+      : s(session), rank(r), next_eval(s.cfg.eval_interval_epochs) {}
+
+  void maybe_record(runtime::Process& self, std::int64_t iter_done,
+                    double loss) {
+    if (rank != 0 || !s.wl.functional()) return;
+    const double epoch = s.epoch_of(iter_done);
+    if (epoch + 1e-9 < next_eval) return;
+    const double err = 1.0 - s.wl.evaluate(0);
+    s.record_curve(epoch, self.now(), err, loss);
+    while (next_eval <= epoch + 1e-9) next_eval += s.cfg.eval_interval_epochs;
+  }
+};
+
+void send_param_reply(Session& s, runtime::Process& self, int shard,
+                      std::size_t slot, int dst_ep) {
+  Packet reply;
+  reply.tag = kTagParams;
+  reply.a = shard;
+  reply.b = static_cast<std::int64_t>(slot);
+  reply.wire_bytes = s.wl.slot_wire_bytes(slot);
+  if (s.wl.functional()) {
+    const auto& st = *s.shards[static_cast<std::size_t>(shard)];
+    reply.tensors.push_back(st.param(st.local_index(slot)));
+  }
+  s.network->send(self, s.ps_ep[static_cast<std::size_t>(shard)], dst_ep,
+                  std::move(reply));
+}
+
+// ======================== BSP ==============================================
+
+void launch_bsp(Session& s, bool local_agg_enabled) {
+  const int n_workers = s.cfg.num_workers;
+  const float inv_n = 1.0f / static_cast<float>(n_workers);
+
+  // Determine the set of endpoints that push to the PS (machine leaders
+  // when local aggregation is on, every worker otherwise).
+  std::vector<int> pusher_ranks;
+  for (int r = 0; r < n_workers; ++r) {
+    if (!local_agg_enabled || s.machine_leader(r) == r) {
+      pusher_ranks.push_back(r);
+    }
+  }
+  const auto expected = static_cast<int>(pusher_ranks.size());
+
+  // --- PS shard processes -------------------------------------------------
+  for (int shard = 0; shard < s.num_shards(); ++shard) {
+    s.engine.spawn(
+        "ps" + std::to_string(shard),
+        [&s, shard, expected, pusher_ranks, inv_n](runtime::Process& self) {
+          const int ep = s.ps_ep[static_cast<std::size_t>(shard)];
+          s.network->bind(ep, self);
+          auto& st = *s.shards[static_cast<std::size_t>(shard)];
+          std::vector<int> count(st.num_local(), 0);
+          for (;;) {
+            Packet pkt = s.network->recv(self, ep);
+            common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
+                          "BSP PS: unexpected tag");
+            const auto slot = static_cast<std::size_t>(pkt.b);
+            const std::size_t local = st.local_index(slot);
+            self.advance(s.wl.agg_time(pkt.wire_bytes));
+            if (s.wl.functional()) {
+              if (pkt.tag == kTagGrad) {
+                st.accumulate_dense(local, pkt.tensors.at(0).data());
+              } else {
+                st.accumulate_sparse(local, pkt.sparse_indices.at(0),
+                                     pkt.sparse_values.at(0));
+              }
+            }
+            if (++count[local] < expected) continue;
+            count[local] = 0;
+            if (s.wl.functional()) {
+              const tensor::Tensor sum = st.take_accumulated(local);
+              st.apply_dense(local, sum.data(), static_cast<float>(pkt.x),
+                             inv_n);
+            } else {
+              self.advance(s.wl.agg_time(s.wl.slot_wire_bytes(slot)));
+            }
+            for (int r : pusher_ranks) {
+              send_param_reply(s, self, shard, slot,
+                               s.worker_ep[static_cast<std::size_t>(r)]);
+            }
+          }
+        },
+        /*daemon=*/true);
+  }
+
+  // --- worker processes -----------------------------------------------------
+  for (int rank = 0; rank < n_workers; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank, local_agg_enabled](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          auto dgc = make_dgc(s);
+          CurveRecorder curve(s, rank);
+
+          const std::vector<int> peers = s.machine_peers(rank);
+          const int leader = s.machine_leader(rank);
+          const bool is_leader = leader == rank;
+          const int leader_ep = s.worker_ep[static_cast<std::size_t>(leader)];
+          const std::size_t n_slots = s.wl.num_slots();
+          const std::int64_t iters = s.iterations_per_worker();
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const double lr = s.lr_at(epoch);
+
+            // Non-leaders stream slots to their machine leader; leaders /
+            // direct workers hold gradients until the gather completes.
+            std::function<void(std::size_t)> on_slot;
+            if (local_agg_enabled && !is_leader) {
+              on_slot = [&](std::size_t slot) {
+                Packet pkt;
+                pkt.tag = kTagLocalGrad;
+                pkt.a = rank;
+                pkt.b = static_cast<std::int64_t>(slot);
+                pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
+                if (s.wl.functional()) {
+                  pkt.tensors.push_back(s.wl.grad_slot(rank, slot));
+                }
+                s.network->send(self, wep, leader_ep, std::move(pkt));
+              };
+            }
+            const double loss =
+                compute_iteration(s, self, rank, rng, wm, on_slot);
+
+            if (local_agg_enabled && is_leader) {
+              // Gather the co-located workers' gradients (local_agg phase:
+              // dominated by waiting for the slowest local worker).
+              PhaseTimer t(self, wm, Phase::local_agg);
+              const std::size_t expected_local =
+                  (peers.size() - 1) * n_slots;
+              for (std::size_t i = 0; i < expected_local; ++i) {
+                Packet pkt = s.network->recv(self, wep, kTagLocalGrad);
+                self.advance(s.wl.agg_time(pkt.wire_bytes));
+                if (s.wl.functional()) {
+                  s.wl.accumulate_grad_slot(
+                      rank, static_cast<std::size_t>(pkt.b),
+                      pkt.tensors.at(0));
+                }
+              }
+            }
+
+            if (!local_agg_enabled || is_leader) {
+              // Push (locally aggregated) gradients and await fresh params.
+              const double t0 = self.now();
+              for (std::size_t slot = n_slots; slot-- > 0;) {
+                Packet pkt = grad_packet(s, rank, slot, epoch, lr, dgc.get(), rng);
+                s.network->send(
+                    self, wep,
+                    s.ps_ep[static_cast<std::size_t>(s.plan.shard_of(slot))],
+                    std::move(pkt));
+              }
+              await_params(s, self, rank, wep, n_slots);
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank));
+
+              if (local_agg_enabled && peers.size() > 1) {
+                PhaseTimer t(self, wm, Phase::local_agg);
+                for (int peer : peers) {
+                  if (peer == rank) continue;
+                  for (std::size_t slot = 0; slot < n_slots; ++slot) {
+                    Packet pkt;
+                    pkt.tag = kTagLocalParams;
+                    pkt.a = rank;
+                    pkt.b = static_cast<std::int64_t>(slot);
+                    pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
+                    if (s.wl.functional()) {
+                      pkt.tensors.push_back(s.wl.param_slot(rank, slot));
+                    }
+                    s.network->send(
+                        self, wep,
+                        s.worker_ep[static_cast<std::size_t>(peer)],
+                        std::move(pkt));
+                  }
+                }
+              }
+            } else {
+              // Non-leader: wait for the leader's local broadcast.
+              PhaseTimer t(self, wm, Phase::local_agg);
+              for (std::size_t i = 0; i < n_slots; ++i) {
+                Packet pkt = s.network->recv(self, wep, kTagLocalParams);
+                if (s.wl.functional()) {
+                  s.wl.set_param_slot(rank, static_cast<std::size_t>(pkt.b),
+                                      pkt.tensors.at(0));
+                }
+              }
+            }
+
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+// ======================== ASP ==============================================
+
+void launch_asp_impl(Session& s) {
+  const float inv_n = 1.0f / static_cast<float>(s.cfg.num_workers);
+
+  for (int shard = 0; shard < s.num_shards(); ++shard) {
+    s.engine.spawn(
+        "ps" + std::to_string(shard),
+        [&s, shard, inv_n](runtime::Process& self) {
+          const int ep = s.ps_ep[static_cast<std::size_t>(shard)];
+          s.network->bind(ep, self);
+          auto& st = *s.shards[static_cast<std::size_t>(shard)];
+          for (;;) {
+            Packet pkt = s.network->recv(self, ep);
+            common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
+                          "ASP PS: unexpected tag");
+            const auto slot = static_cast<std::size_t>(pkt.b);
+            const std::size_t local = st.local_index(slot);
+            self.advance(s.wl.agg_time(pkt.wire_bytes));
+            if (s.wl.functional()) {
+              const float lr = static_cast<float>(pkt.x);
+              if (pkt.tag == kTagGrad) {
+                st.apply_dense(local, pkt.tensors.at(0).data(), lr, inv_n);
+              } else {
+                st.apply_sparse(local, pkt.sparse_indices.at(0),
+                                pkt.sparse_values.at(0), lr, inv_n);
+              }
+            }
+            send_param_reply(
+                s, self, shard, slot,
+                s.worker_ep[static_cast<std::size_t>(pkt.a)]);
+          }
+        },
+        /*daemon=*/true);
+  }
+
+  for (int rank = 0; rank < s.cfg.num_workers; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank), [&s, rank](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          auto dgc = make_dgc(s);
+          CurveRecorder curve(s, rank);
+          const std::size_t n_slots = s.wl.num_slots();
+          const std::int64_t iters = s.iterations_per_worker();
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const double lr = s.lr_at(epoch);
+            auto push = [&](std::size_t slot) {
+              Packet pkt = grad_packet(s, rank, slot, epoch, lr, dgc.get(), rng);
+              s.network->send(
+                  self, wep,
+                  s.ps_ep[static_cast<std::size_t>(s.plan.shard_of(slot))],
+                  std::move(pkt));
+            };
+            const double loss = compute_iteration(s, self, rank, rng, wm,
+                                                  push);
+            const double t0 = self.now();
+            await_params(s, self, rank, wep, n_slots);
+            account_window(self, wm, t0, ps_roundtrip_estimate(s, rank));
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+// ======================== SSP ==============================================
+
+void launch_ssp_impl(Session& s) {
+  const float inv_n = 1.0f / static_cast<float>(s.cfg.num_workers);
+
+  for (int shard = 0; shard < s.num_shards(); ++shard) {
+    s.engine.spawn(
+        "ps" + std::to_string(shard),
+        [&s, shard, inv_n](runtime::Process& self) {
+          const int ep = s.ps_ep[static_cast<std::size_t>(shard)];
+          s.network->bind(ep, self);
+          auto& st = *s.shards[static_cast<std::size_t>(shard)];
+          for (;;) {
+            Packet pkt = s.network->recv(self, ep);
+            if (pkt.tag == kTagPull) {
+              for (std::size_t slot : st.slots()) {
+                send_param_reply(
+                    s, self, shard, slot,
+                    s.worker_ep[static_cast<std::size_t>(pkt.a)]);
+              }
+              continue;
+            }
+            common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
+                          "SSP PS: unexpected tag");
+            const auto slot = static_cast<std::size_t>(pkt.b);
+            const std::size_t local = st.local_index(slot);
+            self.advance(s.wl.agg_time(pkt.wire_bytes));
+            if (s.wl.functional()) {
+              const float lr = static_cast<float>(pkt.x);
+              if (pkt.tag == kTagGrad) {
+                st.apply_dense(local, pkt.tensors.at(0).data(), lr, inv_n);
+              } else {
+                st.apply_sparse(local, pkt.sparse_indices.at(0),
+                                pkt.sparse_values.at(0), lr, inv_n);
+              }
+            }
+          }
+        },
+        /*daemon=*/true);
+  }
+
+  for (int rank = 0; rank < s.cfg.num_workers; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank, inv_n](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          auto dgc = make_dgc(s);
+          CurveRecorder curve(s, rank);
+          const std::size_t n_slots = s.wl.num_slots();
+          const std::int64_t iters = s.iterations_per_worker();
+          int staleness = 0;
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const double lr = s.lr_at(epoch);
+            auto push = [&](std::size_t slot) {
+              Packet pkt = grad_packet(s, rank, slot, epoch, lr, dgc.get(), rng);
+              s.network->send(
+                  self, wep,
+                  s.ps_ep[static_cast<std::size_t>(s.plan.shard_of(slot))],
+                  std::move(pkt));
+            };
+            const double loss = compute_iteration(s, self, rank, rng, wm,
+                                                  push);
+
+            if (staleness < s.cfg.ssp_staleness) {
+              // Within the staleness bound: update locally and continue
+              // without waiting for the PS.
+              ++staleness;
+              if (s.wl.functional()) {
+                s.wl.apply_gradients(rank, s.wl.gradients(rank),
+                                     static_cast<float>(lr) * inv_n);
+              }
+            } else {
+              const double t0 = self.now();
+              for (int shard = 0; shard < s.num_shards(); ++shard) {
+                Packet pull;
+                pull.tag = kTagPull;
+                pull.a = rank;
+                pull.wire_bytes = net::kControlBytes;
+                s.network->send(self, wep,
+                                s.ps_ep[static_cast<std::size_t>(shard)],
+                                std::move(pull));
+              }
+              await_params(s, self, rank, wep, n_slots);
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank));
+              staleness = 0;
+            }
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+// ======================== EASGD ============================================
+
+void launch_easgd_impl(Session& s) {
+  const float alpha =
+      s.cfg.easgd_alpha > 0.0
+          ? static_cast<float>(s.cfg.easgd_alpha)
+          : static_cast<float>(0.9 / static_cast<double>(s.cfg.easgd_tau));
+  const float inv_n = 1.0f / static_cast<float>(s.cfg.num_workers);
+
+  for (int shard = 0; shard < s.num_shards(); ++shard) {
+    s.engine.spawn(
+        "ps" + std::to_string(shard),
+        [&s, shard, alpha](runtime::Process& self) {
+          const int ep = s.ps_ep[static_cast<std::size_t>(shard)];
+          s.network->bind(ep, self);
+          auto& st = *s.shards[static_cast<std::size_t>(shard)];
+          for (;;) {
+            Packet pkt = s.network->recv(self, ep, kTagEasgdPush);
+            const auto slot = static_cast<std::size_t>(pkt.b);
+            const std::size_t local = st.local_index(slot);
+            self.advance(s.wl.agg_time(pkt.wire_bytes));
+            Packet reply;
+            reply.tag = kTagParams;
+            reply.a = shard;
+            reply.b = pkt.b;
+            reply.wire_bytes = s.wl.slot_wire_bytes(slot);
+            if (s.wl.functional()) {
+              reply.tensors.push_back(
+                  st.elastic_exchange(local, pkt.tensors.at(0), alpha));
+            }
+            s.network->send(self, ep,
+                            s.worker_ep[static_cast<std::size_t>(pkt.a)],
+                            std::move(reply));
+          }
+        },
+        /*daemon=*/true);
+  }
+
+  for (int rank = 0; rank < s.cfg.num_workers; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank, inv_n](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const std::size_t n_slots = s.wl.num_slots();
+          const std::int64_t iters = s.iterations_per_worker();
+          const int tau = std::max(1, s.cfg.easgd_tau);
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const double lr = s.lr_at(epoch);
+            const double loss = compute_iteration(s, self, rank, rng, wm,
+                                                  nullptr);
+            if (s.wl.functional()) {
+              s.wl.apply_gradients(rank, s.wl.gradients(rank),
+                                   static_cast<float>(lr));
+            }
+
+            if ((it + 1) % tau == 0) {
+              const double t0 = self.now();
+              for (std::size_t slot = 0; slot < n_slots; ++slot) {
+                Packet pkt;
+                pkt.tag = kTagEasgdPush;
+                pkt.a = rank;
+                pkt.b = static_cast<std::int64_t>(slot);
+                pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
+                if (s.wl.functional()) {
+                  pkt.tensors.push_back(s.wl.param_slot(rank, slot));
+                }
+                s.network->send(
+                    self, wep,
+                    s.ps_ep[static_cast<std::size_t>(s.plan.shard_of(slot))],
+                    std::move(pkt));
+              }
+              await_params(s, self, rank, wep, n_slots);
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank));
+            }
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+}  // namespace
+
+void launch_bsp(Session& s) {
+  const bool local_agg = s.cfg.opt.local_aggregation && !use_dgc(s) &&
+                         s.cfg.cluster.workers_per_machine > 1 &&
+                         s.cfg.num_workers > 1;
+  launch_bsp(s, local_agg);
+}
+
+void launch_asp(Session& s) { launch_asp_impl(s); }
+void launch_ssp(Session& s) { launch_ssp_impl(s); }
+void launch_easgd(Session& s) { launch_easgd_impl(s); }
+
+}  // namespace dt::core

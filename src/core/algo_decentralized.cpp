@@ -1,0 +1,524 @@
+// Decentralized distributed training algorithms: AR-SGD, GoSGD, AD-PSGD
+// (paper Section IV). No parameter server; workers exchange gradients
+// (AR-SGD, via ring AllReduce) or whole parameter vectors (GoSGD/AD-PSGD,
+// peer-to-peer, with background receiver processes standing in for the
+// papers' communication threads).
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/dgc.hpp"
+#include "core/protocol.hpp"
+#include "core/session.hpp"
+#include "metrics/metrics.hpp"
+#include "net/collectives.hpp"
+
+namespace dt::core {
+
+namespace {
+
+using metrics::Phase;
+using metrics::PhaseTimer;
+using net::Packet;
+
+std::uint64_t model_wire_bytes(const Session& s) {
+  return s.wl.total_wire_bytes();
+}
+
+/// Whole-model parameter packet (decentralized exchanges).
+Packet param_packet(Session& s, int rank, int tag) {
+  Packet pkt;
+  pkt.tag = tag;
+  pkt.a = rank;
+  pkt.wire_bytes = model_wire_bytes(s);
+  if (s.wl.functional()) pkt.tensors = s.wl.params(rank);
+  return pkt;
+}
+
+/// Functional-mode convergence-curve recorder (worker 0 only); mirrors the
+/// one in algo_centralized.cpp.
+struct CurveRecorder {
+  Session& s;
+  int rank;
+  double next_eval;
+
+  CurveRecorder(Session& session, int r)
+      : s(session), rank(r), next_eval(s.cfg.eval_interval_epochs) {}
+
+  void maybe_record(runtime::Process& self, std::int64_t iter_done,
+                    double loss) {
+    if (rank != 0 || !s.wl.functional()) return;
+    const double epoch = s.epoch_of(iter_done);
+    if (epoch + 1e-9 < next_eval) return;
+    const double err = 1.0 - s.wl.evaluate(0);
+    s.record_curve(epoch, self.now(), err, loss);
+    while (next_eval <= epoch + 1e-9) next_eval += s.cfg.eval_interval_epochs;
+  }
+};
+
+void account_window(runtime::Process& self, metrics::WorkerMetrics& wm,
+                    double window_start, double comm_estimate) {
+  const double elapsed = self.now() - window_start;
+  const double comm = std::min(elapsed, comm_estimate);
+  wm.accumulate(Phase::comm, comm);
+  wm.accumulate(Phase::global_agg, elapsed - comm);
+}
+
+// ======================== AR-SGD ===========================================
+//
+// Synchronous ring AllReduce of gradients every iteration (Reduce-Scatter +
+// All-Gather, as implemented in MPICH). With wait-free BP the parameter
+// slots are grouped into a few buckets, and each bucket's AllReduce starts
+// as soon as its share of the backward pass finishes — communication of
+// bucket b overlaps computation of bucket b-1.
+
+struct Bucket {
+  std::size_t first_slot = 0;  // slots [first, last) in forward order
+  std::size_t last_slot = 0;
+  std::int64_t numel = 0;          // functional elements
+  std::uint64_t wire_bytes = 0;
+  double bwd_time = 0.0;           // nominal backward share
+};
+
+std::vector<Bucket> make_buckets(const Session& s, int desired) {
+  const std::size_t n = s.wl.num_slots();
+  const int count =
+      std::clamp<int>(desired, 1, static_cast<int>(n));
+  std::vector<Bucket> buckets(static_cast<std::size_t>(count));
+  // Contiguous slot ranges, near-equal in slot count.
+  for (int b = 0; b < count; ++b) {
+    const std::size_t first = n * static_cast<std::size_t>(b) /
+                              static_cast<std::size_t>(count);
+    const std::size_t last = n * static_cast<std::size_t>(b + 1) /
+                             static_cast<std::size_t>(count);
+    Bucket& bk = buckets[static_cast<std::size_t>(b)];
+    bk.first_slot = first;
+    bk.last_slot = last;
+    for (std::size_t slot = first; slot < last; ++slot) {
+      bk.numel += s.wl.slot_numel(slot);
+      bk.wire_bytes += s.wl.slot_wire_bytes(slot);
+      bk.bwd_time += s.wl.backward_slot_time(slot);
+    }
+  }
+  return buckets;
+}
+
+void launch_arsgd_impl(Session& s) {
+  const int n = s.cfg.num_workers;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const bool dgc_on = s.cfg.opt.dgc;
+  const double dgc_density =
+      1.0 - compress::DgcCompressor::sparsity_at(s.cfg.opt.dgc_config, 1e9);
+
+  for (int rank = 0; rank < n; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank, n, inv_n, dgc_on, dgc_density](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+
+          net::Communicator comm{.net = s.network.get(),
+                                 .endpoints = s.worker_ep,
+                                 .my_rank = rank};
+          const int right_ep =
+              s.worker_ep[static_cast<std::size_t>((rank + 1) % n)];
+
+          std::unique_ptr<compress::DgcCompressor> dgc;
+          if (dgc_on && s.wl.functional()) {
+            std::vector<std::int64_t> sizes;
+            for (std::size_t i = 0; i < s.wl.num_slots(); ++i) {
+              sizes.push_back(s.wl.slot_numel(i));
+            }
+            compress::DgcConfig dcfg = s.cfg.opt.dgc_config;
+            dcfg.num_workers = n;
+            dcfg.momentum = s.cfg.sgd.momentum;
+            dgc = std::make_unique<compress::DgcCompressor>(dcfg,
+                                                            std::move(sizes));
+          }
+
+          const auto buckets =
+              make_buckets(s, s.cfg.opt.wait_free_bp ? 4 : 1);
+          const std::int64_t iters = s.iterations_per_worker();
+          const bool fn = s.wl.functional();
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const float lr = s.lr_at(epoch);
+
+            const double cs = s.compute_scale(rank);
+            double loss = 0.0;
+            {
+              PhaseTimer t(self, wm, Phase::compute);
+              if (fn) loss = s.wl.compute_gradients(rank);
+              self.advance(s.wl.forward_time(rng) * cs);
+              if (!s.cfg.opt.wait_free_bp) {
+                self.advance(s.wl.backward_time(rng) * cs);
+              }
+            }
+
+            // AllReduce per bucket, last bucket (output layers) first —
+            // with wait-free BP its backward share is advanced right
+            // before its collective, so buckets pipeline.
+            double nominal_bwd = 0.0;
+            for (const auto& b : buckets) nominal_bwd += b.bwd_time;
+            const double total_bwd =
+                s.cfg.opt.wait_free_bp ? s.wl.backward_time(rng) * cs : 0.0;
+            const double bwd_scale =
+                nominal_bwd > 0.0 ? total_bwd / nominal_bwd : 0.0;
+
+            std::vector<float> flat;  // gradient buffer for current bucket
+            for (std::size_t bi = buckets.size(); bi-- > 0;) {
+              const Bucket& bucket = buckets[bi];
+              if (s.cfg.opt.wait_free_bp) {
+                PhaseTimer t(self, wm, Phase::compute);
+                self.advance(bucket.bwd_time * bwd_scale);
+              }
+
+              flat.clear();
+              std::uint64_t wire = bucket.wire_bytes;
+              if (fn) {
+                flat.assign(static_cast<std::size_t>(bucket.numel), 0.0f);
+                std::size_t off = 0;
+                std::uint64_t sparse_wire = 0;
+                for (std::size_t slot = bucket.first_slot;
+                     slot < bucket.last_slot; ++slot) {
+                  const auto& g = s.wl.grad_slot(rank, slot);
+                  if (dgc) {
+                    // DGC mask: only the selected entries enter the
+                    // AllReduce; the wire cost is the sparse encoding.
+                    auto sp = dgc->compress(slot, g.data(), epoch);
+                    for (std::size_t j = 0; j < sp.indices.size(); ++j) {
+                      flat[off + sp.indices[j]] = sp.values[j];
+                    }
+                    sparse_wire += sp.wire_bytes();
+                  } else {
+                    std::copy(g.data().begin(), g.data().end(),
+                              flat.begin() + static_cast<std::ptrdiff_t>(off));
+                  }
+                  off += static_cast<std::size_t>(s.wl.slot_numel(slot));
+                }
+                if (dgc) wire = std::max<std::uint64_t>(8, sparse_wire);
+              } else if (dgc_on) {
+                wire = std::max<std::uint64_t>(
+                    8, static_cast<std::uint64_t>(
+                           static_cast<double>(wire) * dgc_density * 2.0));
+              }
+
+              const double t0 = self.now();
+              net::ring_allreduce(self, comm, flat, wire,
+                                  kTagAllreduce + 2 * static_cast<int>(bi));
+              const std::uint64_t chunk =
+                  std::max<std::uint64_t>(1, wire / static_cast<std::uint64_t>(n));
+              const double est =
+                  2.0 * static_cast<double>(n - 1) *
+                  s.uncontended_time(chunk, wep, right_ep);
+              account_window(self, wm, t0, est);
+
+              if (fn) {
+                // Average and apply this bucket's slots locally. Every
+                // worker applies the identical averaged gradient, so
+                // replicas stay synchronized like BSP.
+                std::size_t off = 0;
+                for (std::size_t slot = bucket.first_slot;
+                     slot < bucket.last_slot; ++slot) {
+                  const auto numel =
+                      static_cast<std::size_t>(s.wl.slot_numel(slot));
+                  tensor::Tensor g(s.wl.grad_slot(rank, slot).shape());
+                  for (std::size_t j = 0; j < numel; ++j) {
+                    g[j] = flat[off + j] * inv_n;
+                  }
+                  off += numel;
+                  s.wl.apply_slot_gradient(rank, slot, g, lr);
+                }
+              }
+            }
+
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+// ======================== GoSGD ============================================
+//
+// Asymmetric gossip: with probability p per iteration a worker halves its
+// mixing weight and pushes (params, weight) to a uniformly random peer,
+// continuing immediately. A background receiver process per worker merges
+// incoming pushes by weighted averaging (Blot et al.).
+
+void launch_gosgd_impl(Session& s) {
+  const int n = s.cfg.num_workers;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  auto weights = std::make_shared<std::vector<double>>(
+      static_cast<std::size_t>(n), 1.0 / static_cast<double>(n));
+
+  // Receiver daemons (the paper's background communication threads).
+  for (int rank = 0; rank < n; ++rank) {
+    s.engine.spawn(
+        "gossip-rx" + std::to_string(rank),
+        [&s, rank, weights](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          for (;;) {
+            Packet pkt = s.network->recv(self, wep, kTagGossip);
+            self.advance(s.wl.agg_time(pkt.wire_bytes));
+            auto& w = *weights;
+            const double w_self = w[static_cast<std::size_t>(rank)];
+            const double w_in = pkt.x;
+            const double w_new = w_self + w_in;
+            if (s.wl.functional()) {
+              s.wl.blend_params(rank, pkt.tensors,
+                                static_cast<float>(w_in / w_new));
+            }
+            w[static_cast<std::size_t>(rank)] = w_new;
+          }
+        },
+        /*daemon=*/true);
+  }
+
+  for (int rank = 0; rank < n; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank, n, inv_n, weights](runtime::Process& self) {
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          const std::int64_t iters = s.iterations_per_worker();
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const float lr = s.lr_at(epoch);
+
+            double loss = 0.0;
+            {
+              PhaseTimer t(self, wm, Phase::compute);
+              const double cs = s.compute_scale(rank);
+              if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
+              self.advance(s.wl.forward_time(rng) * cs);
+              self.advance(s.wl.backward_time(rng) * cs);
+            }
+            if (s.wl.functional()) {
+              s.wl.apply_gradients(rank, s.wl.gradients(rank), lr);
+            }
+
+            if (n > 1 && rng.bernoulli(s.cfg.gosgd_p)) {
+              PhaseTimer t(self, wm, Phase::comm);
+              int target = static_cast<int>(
+                  rng.uniform_u64(static_cast<std::uint64_t>(n - 1)));
+              if (target >= rank) ++target;
+              auto& w = *weights;
+              w[static_cast<std::size_t>(rank)] /= 2.0;
+              Packet pkt = param_packet(s, rank, kTagGossip);
+              pkt.x = w[static_cast<std::size_t>(rank)];
+              // Fire-and-forget: only the send overhead blocks the sender.
+              s.network->send(
+                  self, wep, s.worker_ep[static_cast<std::size_t>(target)],
+                  std::move(pkt));
+            }
+
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+// ======================== AD-PSGD ==========================================
+//
+// Symmetric pairwise averaging on a bipartite graph (actives = even ranks,
+// passives = odd ranks) to guarantee deadlock freedom (Lian et al.). The
+// active sends its params, overlaps gradient computation with the wait,
+// then both sides hold the average. A passive responder daemon models the
+// paper's background communication thread.
+
+void launch_adpsgd_impl(Session& s) {
+  const int n = s.cfg.num_workers;
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  std::vector<int> passives;
+  for (int r = 1; r < n; r += 2) passives.push_back(r);
+
+  // Passive responder daemons.
+  for (int rank : passives) {
+    s.engine.spawn(
+        "adpsgd-rx" + std::to_string(rank),
+        [&s, rank](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          for (;;) {
+            Packet pkt = s.network->recv(self, wep, kTagAdpsgdReq);
+            self.advance(s.wl.agg_time(pkt.wire_bytes));
+            // Reply with the pre-blend parameters so both sides end at the
+            // same average, then blend locally.
+            Packet reply = param_packet(s, rank, kTagAdpsgdReply);
+            s.network->send(self, wep, pkt.src_endpoint, std::move(reply));
+            if (s.wl.functional()) {
+              s.wl.blend_params(rank, pkt.tensors, 0.5f);
+            }
+          }
+        },
+        /*daemon=*/true);
+  }
+
+  for (int rank = 0; rank < n; ++rank) {
+    const bool active = rank % 2 == 0 && !passives.empty();
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank, active, passives, inv_n](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          if (active) s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const std::int64_t iters = s.iterations_per_worker();
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const float lr = s.lr_at(epoch);
+
+            int peer_ep = -1;
+            if (active) {
+              // Start the exchange, then compute while it is in flight.
+              PhaseTimer t(self, wm, Phase::comm);
+              const int peer = passives[static_cast<std::size_t>(
+                  rng.uniform_u64(passives.size()))];
+              peer_ep = s.worker_ep[static_cast<std::size_t>(peer)];
+              Packet pkt = param_packet(s, rank, kTagAdpsgdReq);
+              s.network->send(self, wep, peer_ep, std::move(pkt));
+            }
+
+            double loss = 0.0;
+            {
+              PhaseTimer t(self, wm, Phase::compute);
+              const double cs = s.compute_scale(rank);
+              if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
+              self.advance(s.wl.forward_time(rng) * cs);
+              self.advance(s.wl.backward_time(rng) * cs);
+            }
+
+            if (active) {
+              const double t0 = self.now();
+              Packet reply = s.network->recv(self, wep, kTagAdpsgdReply);
+              const double est =
+                  2.0 * s.uncontended_time(reply.wire_bytes, wep, peer_ep);
+              account_window(self, wm, t0, est);
+              if (s.wl.functional()) {
+                s.wl.blend_params(rank, reply.tensors, 0.5f);
+              }
+            }
+
+            if (s.wl.functional()) {
+              s.wl.apply_gradients(rank, s.wl.gradients(rank), lr);
+            }
+
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+// ======================== D-PSGD ===========================================
+//
+// Synchronous decentralized SGD on a ring (Lian et al. 2017): each
+// iteration every worker exchanges parameters with both ring neighbors,
+// replaces its parameters by the uniform average of {self, neighbors} and
+// then applies its own gradient (computed at the pre-averaging point).
+// Extension beyond the paper's selected seven. Iteration parity is encoded
+// in the tag so a worker one step ahead cannot feed next-iteration
+// parameters into a neighbor still collecting the current ones.
+
+void launch_dpsgd_impl(Session& s) {
+  const int n = s.cfg.num_workers;
+
+  for (int rank = 0; rank < n; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank, n](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const std::int64_t iters = s.iterations_per_worker();
+
+          // Unique ring neighbors (one when n == 2, none when n == 1).
+          std::vector<int> neighbors;
+          if (n > 1) neighbors.push_back((rank + 1) % n);
+          if (n > 2) neighbors.push_back((rank + n - 1) % n);
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const float lr = s.lr_at(epoch);
+            const int tag = kTagDpsgd + static_cast<int>(it % 2);
+
+            {
+              PhaseTimer t(self, wm, Phase::comm);
+              for (int nb : neighbors) {
+                Packet pkt = param_packet(s, rank, tag);
+                s.network->send(self, wep,
+                                s.worker_ep[static_cast<std::size_t>(nb)],
+                                std::move(pkt));
+              }
+            }
+
+            double loss = 0.0;
+            {
+              PhaseTimer t(self, wm, Phase::compute);
+              const double cs = s.compute_scale(rank);
+              if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
+              self.advance(s.wl.forward_time(rng) * cs);
+              self.advance(s.wl.backward_time(rng) * cs);
+            }
+
+            if (!neighbors.empty()) {
+              const double t0 = self.now();
+              std::vector<Packet> received;
+              received.reserve(neighbors.size());
+              for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                received.push_back(s.network->recv(self, wep, tag));
+              }
+              const double est =
+                  2.0 * s.uncontended_time(
+                            received.front().wire_bytes, wep,
+                            s.worker_ep[static_cast<std::size_t>(
+                                neighbors.front())]);
+              account_window(self, wm, t0, est);
+
+              if (s.wl.functional()) {
+                // Uniform average over {self} u neighbors via sequential
+                // convex blends: blending packet k (0-based) with weight
+                // 1/(k+2) keeps a running mean.
+                for (std::size_t k = 0; k < received.size(); ++k) {
+                  s.wl.blend_params(rank, received[k].tensors,
+                                    1.0f / static_cast<float>(k + 2));
+                }
+              }
+            }
+
+            if (s.wl.functional()) {
+              s.wl.apply_gradients(rank, s.wl.gradients(rank), lr);
+            }
+
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+}  // namespace
+
+void launch_arsgd(Session& s) { launch_arsgd_impl(s); }
+void launch_gosgd(Session& s) { launch_gosgd_impl(s); }
+void launch_adpsgd(Session& s) { launch_adpsgd_impl(s); }
+void launch_dpsgd(Session& s) { launch_dpsgd_impl(s); }
+
+}  // namespace dt::core

@@ -1,0 +1,45 @@
+#include "core/config.hpp"
+
+#include "common/units.hpp"
+
+namespace dt::core {
+
+const char* algo_name(Algo a) noexcept {
+  switch (a) {
+    case Algo::bsp: return "BSP";
+    case Algo::asp: return "ASP";
+    case Algo::ssp: return "SSP";
+    case Algo::easgd: return "EASGD";
+    case Algo::arsgd: return "AR-SGD";
+    case Algo::gosgd: return "GoSGD";
+    case Algo::adpsgd: return "AD-PSGD";
+    case Algo::dpsgd: return "D-PSGD";
+  }
+  return "?";
+}
+
+bool is_centralized(Algo a) noexcept {
+  return a == Algo::bsp || a == Algo::asp || a == Algo::ssp ||
+         a == Algo::easgd;
+}
+
+bool is_synchronous(Algo a) noexcept {
+  return a == Algo::bsp || a == Algo::arsgd || a == Algo::dpsgd;
+}
+
+bool sends_gradients(Algo a) noexcept {
+  return a == Algo::bsp || a == Algo::asp || a == Algo::ssp ||
+         a == Algo::arsgd;
+}
+
+net::ClusterSpec ClusterConfig::to_spec(int num_machines) const {
+  net::ClusterSpec spec;
+  spec.num_machines = num_machines;
+  spec.nic_bandwidth = common::gbps(nic_gbps);
+  spec.latency = latency_s;
+  spec.local_bus_bandwidth = local_bus_gbytes * 1e9;
+  spec.local_latency = 5e-6;
+  return spec;
+}
+
+}  // namespace dt::core

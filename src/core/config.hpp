@@ -1,0 +1,112 @@
+// Experiment configuration: which algorithm, which cluster, which workload,
+// which optimizations. One TrainConfig fully determines a run (together with
+// the Workload object), and the same config structs drive both functional
+// (accuracy) and cost-only (throughput) experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/dgc.hpp"
+#include "net/network.hpp"
+#include "nn/optimizer.hpp"
+#include "ps/sharding.hpp"
+
+namespace dt::core {
+
+enum class Algo {
+  bsp,      // centralized, synchronous
+  asp,      // centralized, asynchronous
+  ssp,      // centralized, stale-synchronous
+  easgd,    // centralized, asynchronous, periodic elastic averaging
+  arsgd,    // decentralized, synchronous AllReduce
+  gosgd,    // decentralized, asynchronous asymmetric gossip
+  adpsgd,   // decentralized, asynchronous symmetric pairwise averaging
+  dpsgd,    // decentralized, synchronous ring neighbor averaging
+            // (Lian et al. 2017 — reviewed by the paper, not selected;
+            // provided as an extension)
+};
+
+[[nodiscard]] const char* algo_name(Algo a) noexcept;
+[[nodiscard]] bool is_centralized(Algo a) noexcept;
+[[nodiscard]] bool is_synchronous(Algo a) noexcept;
+/// True when the algorithm communicates gradients (not parameters) — the
+/// precondition for wait-free BP and DGC per the paper (BSP/ASP/SSP/AR-SGD).
+[[nodiscard]] bool sends_gradients(Algo a) noexcept;
+
+/// Cluster shape. The paper's testbed is 6 VMs x 4 GPUs; the number of
+/// simulated machines is derived as ceil(workers / workers_per_machine).
+struct ClusterConfig {
+  int workers_per_machine = 4;
+  double nic_gbps = 56.0;
+  double latency_s = 50e-6;
+  double local_bus_gbytes = 11.0;  // GB/s intra-machine
+  double agg_gbytes = 8.0;         // GB/s host aggregation bandwidth
+
+  [[nodiscard]] net::ClusterSpec to_spec(int num_machines) const;
+};
+
+/// The three optimization techniques of Section V.
+struct OptimizationConfig {
+  /// Parameter sharding: number of PS shards per machine (0 = single global
+  /// PS on machine 0, i.e. sharding disabled). Layer-wise assignment.
+  int ps_shards_per_machine = 0;
+  /// How layers are assigned to shards: TF-like round-robin (the paper's
+  /// setup) or greedy size balancing (the "fine-grained sharding" ablation
+  /// the paper's VGG-16 analysis motivates).
+  ps::ShardPolicy shard_policy = ps::ShardPolicy::round_robin;
+  /// Overlap communication of layer L's gradients with computation of layer
+  /// L-1's gradients during backprop (BSP/ASP/SSP/AR-SGD only).
+  bool wait_free_bp = false;
+  /// Deep gradient compression (BSP/ASP/SSP/AR-SGD only).
+  bool dgc = false;
+  compress::DgcConfig dgc_config;
+  /// QSGD stochastic quantization of gradient pushes, `qsgd_bits` bits per
+  /// value (0 = off; 2..8 = on). Extension beyond the paper; mutually
+  /// exclusive with DGC and applicable to the gradient-sending algorithms.
+  int qsgd_bits = 0;
+  /// BSP local aggregation: gradients of co-located workers are combined on
+  /// one machine-leader before touching the network (paper Section III-A).
+  bool local_aggregation = true;
+};
+
+struct TrainConfig {
+  Algo algo = Algo::bsp;
+  int num_workers = 4;
+  ClusterConfig cluster;
+  OptimizationConfig opt;
+
+  // --- algorithm hyperparameters (paper defaults) ---
+  int ssp_staleness = 10;     // s
+  int easgd_tau = 8;          // communication period
+  double easgd_alpha = -1.0;  // moving rate; <0 => 0.9 / tau
+  double gosgd_p = 0.01;      // gossip probability
+
+  // --- functional training ---
+  double epochs = 30.0;
+  nn::SgdConfig sgd;
+  nn::LrSchedule lr;          // built via LrSchedule::paper by the caller
+  double eval_interval_epochs = 1.0;
+
+  // --- cost-only training ---
+  /// When the workload is not functional, each worker runs exactly this
+  /// many iterations instead of `epochs` worth of data.
+  std::int64_t iterations = 60;
+
+  // --- failure / heterogeneity injection ---
+  /// When >= 0, that worker computes `straggler_slowdown` times slower
+  /// than the rest (a persistent straggler: thermal throttling, noisy
+  /// neighbor, degraded GPU). Synchronous algorithms pay for it every
+  /// round; asynchronous ones only lose that worker's contribution rate.
+  int straggler_rank = -1;
+  double straggler_slowdown = 1.0;
+
+  std::uint64_t seed = 42;
+
+  /// When non-empty, a Chrome-tracing JSON of every worker's phase
+  /// intervals (virtual time) is written here after the run.
+  std::string trace_path;
+};
+
+}  // namespace dt::core

@@ -1,0 +1,125 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+#include "core/trainer.hpp"
+
+namespace dt::core {
+
+Algo algo_from_name(const std::string& name) {
+  std::string n;
+  for (char c : name) {
+    if (c == '-' || c == '_' || std::isspace(static_cast<unsigned char>(c))) {
+      continue;
+    }
+    n += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (n == "bsp") return Algo::bsp;
+  if (n == "asp") return Algo::asp;
+  if (n == "ssp") return Algo::ssp;
+  if (n == "easgd") return Algo::easgd;
+  if (n == "arsgd" || n == "allreduce") return Algo::arsgd;
+  if (n == "gosgd" || n == "gossip") return Algo::gosgd;
+  if (n == "adpsgd") return Algo::adpsgd;
+  if (n == "dpsgd") return Algo::dpsgd;
+  common::fail("unknown algorithm: " + name);
+}
+
+ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
+  ExperimentSpec spec;
+  TrainConfig& cfg = spec.config;
+
+  // [experiment]
+  cfg.algo = algo_from_name(ini.get("experiment", "algorithm", "bsp"));
+  cfg.num_workers =
+      static_cast<int>(ini.get_int("experiment", "workers", 4));
+  common::check(cfg.num_workers >= 1, "experiment: workers must be >= 1");
+  const std::string mode = ini.get("experiment", "mode", "functional");
+  common::check(mode == "functional" || mode == "throughput",
+                "experiment: mode must be functional or throughput");
+  spec.functional = mode == "functional";
+  cfg.epochs = ini.get_double("experiment", "epochs", 30.0);
+  cfg.iterations = ini.get_int("experiment", "iterations", 30);
+  cfg.seed = static_cast<std::uint64_t>(
+      ini.get_int("experiment", "seed", 42));
+
+  // [cluster]
+  cfg.cluster.workers_per_machine =
+      static_cast<int>(ini.get_int("cluster", "workers_per_machine", 4));
+  cfg.cluster.nic_gbps = ini.get_double("cluster", "nic_gbps", 56.0);
+  cfg.cluster.latency_s = ini.get_double("cluster", "latency_us", 50.0) * 1e-6;
+
+  // [optimizations]
+  cfg.opt.ps_shards_per_machine = static_cast<int>(
+      ini.get_int("optimizations", "ps_shards_per_machine", 2));
+  cfg.opt.wait_free_bp = ini.get_bool("optimizations", "wait_free_bp", false);
+  cfg.opt.dgc = ini.get_bool("optimizations", "dgc", false);
+  cfg.opt.qsgd_bits =
+      static_cast<int>(ini.get_int("optimizations", "qsgd_bits", 0));
+  cfg.opt.local_aggregation =
+      ini.get_bool("optimizations", "local_aggregation", true);
+  const std::string policy =
+      ini.get("optimizations", "shard_policy", "round_robin");
+  common::check(policy == "round_robin" || policy == "greedy",
+                "optimizations: shard_policy must be round_robin or greedy");
+  cfg.opt.shard_policy = policy == "greedy" ? ps::ShardPolicy::greedy_balance
+                                            : ps::ShardPolicy::round_robin;
+
+  // [hyperparameters]
+  cfg.ssp_staleness =
+      static_cast<int>(ini.get_int("hyperparameters", "ssp_staleness", 10));
+  cfg.easgd_tau =
+      static_cast<int>(ini.get_int("hyperparameters", "easgd_tau", 8));
+  cfg.easgd_alpha = ini.get_double("hyperparameters", "easgd_alpha", -1.0);
+  cfg.gosgd_p = ini.get_double("hyperparameters", "gosgd_p", 0.01);
+  const double lr_w =
+      ini.get_double("hyperparameters", "lr_per_worker", 0.004);
+  cfg.lr = nn::LrSchedule::paper(cfg.num_workers, cfg.epochs, lr_w);
+  cfg.sgd.momentum = static_cast<float>(
+      ini.get_double("hyperparameters", "momentum", 0.9));
+  cfg.sgd.weight_decay = static_cast<float>(
+      ini.get_double("hyperparameters", "weight_decay", 1e-4));
+
+  // [workload]
+  spec.model = ini.get("workload", "model", "resnet50");
+  common::check(spec.model == "resnet50" || spec.model == "vgg16",
+                "workload: model must be resnet50 or vgg16");
+  spec.batch = ini.get_int("workload", "batch", 128);
+  spec.workload.num_workers = cfg.num_workers;
+  spec.workload.seed = cfg.seed;
+  spec.workload.sgd = cfg.sgd;
+  spec.workload.train_samples =
+      ini.get_int("workload", "train_samples", spec.workload.train_samples);
+  spec.workload.test_samples =
+      ini.get_int("workload", "test_samples", spec.workload.test_samples);
+  spec.workload.batch =
+      ini.get_int("workload", "functional_batch", spec.workload.batch);
+  spec.workload.non_iid = ini.get_bool("workload", "non_iid", false);
+
+  // [failures]
+  cfg.straggler_rank =
+      static_cast<int>(ini.get_int("failures", "straggler_rank", -1));
+  cfg.straggler_slowdown =
+      ini.get_double("failures", "straggler_slowdown", 1.0);
+
+  // [output]
+  cfg.trace_path = ini.get("output", "trace", "");
+
+  return spec;
+}
+
+Workload ExperimentSpec::make_workload() const {
+  const cost::ModelProfile profile =
+      model == "vgg16" ? cost::vgg16_profile() : cost::resnet50_profile();
+  if (!functional) {
+    return make_cost_workload(profile, batch);
+  }
+  FunctionalWorkloadSpec fs = workload;
+  fs.timing_profile = profile;
+  fs.timing_batch = batch;
+  return make_functional_workload(fs);
+}
+
+}  // namespace dt::core

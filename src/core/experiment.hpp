@@ -1,0 +1,69 @@
+// Declarative experiment specification, loadable from an INI file — the
+// substrate of the `dtrain` command-line runner (examples/dtrain.cpp).
+//
+// Example configuration:
+//
+//   [experiment]
+//   algorithm = adpsgd        ; bsp asp ssp easgd arsgd gosgd adpsgd dpsgd
+//   mode      = functional    ; functional (accuracy) | throughput
+//   workers   = 8
+//   epochs    = 15            ; functional mode
+//   iterations = 30           ; throughput mode
+//   seed      = 42
+//
+//   [cluster]
+//   workers_per_machine = 4
+//   nic_gbps = 56
+//
+//   [optimizations]
+//   ps_shards_per_machine = 2
+//   wait_free_bp = true
+//   dgc = false
+//   qsgd_bits = 0
+//
+//   [hyperparameters]
+//   ssp_staleness = 10
+//   easgd_tau = 8
+//   gosgd_p = 0.01
+//   lr_per_worker = 0.004
+//   momentum = 0.9
+//
+//   [workload]
+//   model = resnet50          ; resnet50 | vgg16 (timing / cost profile)
+//   batch = 128               ; throughput batch
+//   train_samples = 6144      ; functional-mode dataset knobs
+//   non_iid = false
+//
+//   [failures]
+//   straggler_rank = -1
+//   straggler_slowdown = 1.0
+//
+//   [output]
+//   trace = /tmp/run.trace.json
+#pragma once
+
+#include <string>
+
+#include "common/ini.hpp"
+#include "core/config.hpp"
+#include "core/workload.hpp"
+
+namespace dt::core {
+
+/// Parses "bsp", "adpsgd", "AD-PSGD", ... (case-insensitive, '-' ignored).
+[[nodiscard]] Algo algo_from_name(const std::string& name);
+
+struct ExperimentSpec {
+  TrainConfig config;
+  bool functional = true;
+  std::string model = "resnet50";  // cost profile for either mode
+  std::int64_t batch = 128;        // throughput-mode batch
+  FunctionalWorkloadSpec workload;
+
+  static ExperimentSpec from_ini(const common::IniConfig& ini);
+
+  /// Builds the workload this spec describes.
+  [[nodiscard]] Workload make_workload() const;
+};
+
+}  // namespace dt::core

@@ -1,0 +1,52 @@
+// Wire protocol constants and small helpers shared by the algorithm
+// implementations.
+//
+// Centralized algorithms exchange *per-slot* packets (slot = one layer's
+// parameters): a gradient push is num_slots packets routed to the PS shards
+// that own each slot, and parameter replies come back per slot. This is
+// what makes layer-wise sharding, wait-free backpropagation (per-layer
+// pipelining) and DGC (per-layer sparsification) compose naturally.
+// Decentralized algorithms exchange whole-model packets peer-to-peer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dt::core {
+
+enum Tag : int {
+  kTagGrad = 1,         // worker/leader -> PS: dense gradient for one slot
+  kTagSparseGrad = 2,   // worker -> PS: DGC sparse gradient for one slot
+  kTagParams = 3,       // PS -> worker: parameters of one slot
+  kTagPull = 4,         // SSP worker -> PS: request global parameters
+  kTagEasgdPush = 5,    // EASGD worker -> PS: local params of one slot
+  kTagLocalGrad = 6,    // worker -> machine leader (BSP local aggregation)
+  kTagLocalParams = 7,  // machine leader -> worker (local broadcast)
+  kTagGossip = 8,       // GoSGD push (whole model + weight)
+  kTagAdpsgdReq = 9,    // AD-PSGD active -> passive (whole model)
+  kTagAdpsgdReply = 10, // AD-PSGD passive -> active (whole model)
+  kTagDpsgd = 11,       // D-PSGD ring exchange; +0/+1 by iteration parity
+  kTagBarrier = 100,    // +0/+1 reserved
+  kTagAllreduce = 200,  // +0/+1 per bucket pair; buckets use +2*b
+};
+
+/// Packet field conventions (Packet.a/b/c/x):
+///   a = sender worker rank (or shard id in replies)
+///   b = slot index (per-slot packets) or bucket index
+///   c = iteration / staleness clock of the sender
+///   x = learning rate in effect at the sender (centralized pushes) or
+///       gossip weight (GoSGD)
+
+/// Gathers `slots[i]`-indexed tensors from a full slot-ordered vector.
+inline std::vector<tensor::Tensor> select_slots(
+    const std::vector<tensor::Tensor>& all,
+    const std::vector<std::size_t>& slots) {
+  std::vector<tensor::Tensor> out;
+  out.reserve(slots.size());
+  for (std::size_t s : slots) out.push_back(all.at(s));
+  return out;
+}
+
+}  // namespace dt::core

@@ -1,0 +1,168 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace dt::core {
+
+Session::Session(TrainConfig config, Workload& workload)
+    : cfg(std::move(config)), wl(workload) {
+  common::check(cfg.num_workers >= 1, "Session: need at least one worker");
+  common::check(!wl.functional() || wl.num_workers() == cfg.num_workers,
+                "Session: workload built for a different worker count");
+  build_cluster();
+}
+
+void Session::build_cluster() {
+  const int wpm = std::max(1, cfg.cluster.workers_per_machine);
+  num_machines = (cfg.num_workers + wpm - 1) / wpm;
+  network = std::make_unique<net::Network>(
+      engine, cfg.cluster.to_spec(num_machines));
+
+  worker_machine.resize(static_cast<std::size_t>(cfg.num_workers));
+  worker_ep.resize(static_cast<std::size_t>(cfg.num_workers));
+  for (int r = 0; r < cfg.num_workers; ++r) {
+    worker_machine[static_cast<std::size_t>(r)] = r / wpm;
+    worker_ep[static_cast<std::size_t>(r)] = network->add_endpoint(
+        r / wpm, "worker" + std::to_string(r));
+  }
+
+  // Sharding plan: slot wire sizes from the workload.
+  std::vector<std::uint64_t> slot_bytes;
+  for (std::size_t i = 0; i < wl.num_slots(); ++i) {
+    slot_bytes.push_back(wl.slot_wire_bytes(i));
+  }
+  int total_shards = 1;
+  if (is_centralized(cfg.algo) && cfg.opt.ps_shards_per_machine > 0) {
+    total_shards = cfg.opt.ps_shards_per_machine * num_machines;
+  }
+  plan = ps::ShardingPlan::build(slot_bytes, total_shards,
+                                 cfg.opt.shard_policy);
+
+  if (is_centralized(cfg.algo)) {
+    for (int shard = 0; shard < plan.num_shards; ++shard) {
+      const int machine = shard % num_machines;  // round-robin placement
+      ps_machine.push_back(machine);
+      ps_ep.push_back(
+          network->add_endpoint(machine, "ps" + std::to_string(shard)));
+      shards.push_back(std::make_unique<ps::ShardState>(plan, shard, wl,
+                                                        cfg.sgd));
+    }
+  }
+
+  wmetrics.resize(static_cast<std::size_t>(cfg.num_workers));
+}
+
+std::int64_t Session::iterations_per_worker() const {
+  if (!wl.functional()) return cfg.iterations;
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(cfg.epochs *
+                          static_cast<double>(wl.iterations_per_epoch()))));
+}
+
+double Session::epoch_of(std::int64_t iter) const {
+  if (!wl.functional()) return 0.0;
+  return static_cast<double>(iter) /
+         static_cast<double>(wl.iterations_per_epoch());
+}
+
+std::vector<int> Session::machine_peers(int rank) const {
+  std::vector<int> peers;
+  const int m = worker_machine.at(static_cast<std::size_t>(rank));
+  for (int r = 0; r < cfg.num_workers; ++r) {
+    if (worker_machine[static_cast<std::size_t>(r)] == m) peers.push_back(r);
+  }
+  return peers;
+}
+
+int Session::machine_leader(int rank) const {
+  return machine_peers(rank).front();
+}
+
+double Session::uncontended_time(std::uint64_t bytes, int ep_a,
+                                 int ep_b) const {
+  const auto& spec = network->spec();
+  if (network->machine_of(ep_a) == network->machine_of(ep_b)) {
+    return spec.send_overhead +
+           static_cast<double>(bytes) / spec.local_bus_bandwidth +
+           spec.local_latency;
+  }
+  return spec.send_overhead +
+         static_cast<double>(bytes) / spec.nic_bandwidth + spec.latency;
+}
+
+void Session::record_curve(double epoch, double vtime, double test_error,
+                           double train_loss) {
+  result.curve.push_back(metrics::CurvePoint{.epoch = epoch,
+                                             .virtual_time = vtime,
+                                             .test_error = test_error,
+                                             .train_loss = train_loss});
+}
+
+common::Rng Session::worker_rng(int rank) const {
+  return common::Rng(cfg.seed).fork(0x5000 + static_cast<std::uint64_t>(rank));
+}
+
+void Session::launch() {
+  switch (cfg.algo) {
+    case Algo::bsp: launch_bsp(*this); return;
+    case Algo::asp: launch_asp(*this); return;
+    case Algo::ssp: launch_ssp(*this); return;
+    case Algo::easgd: launch_easgd(*this); return;
+    case Algo::arsgd: launch_arsgd(*this); return;
+    case Algo::gosgd: launch_gosgd(*this); return;
+    case Algo::adpsgd: launch_adpsgd(*this); return;
+    case Algo::dpsgd: launch_dpsgd(*this); return;
+  }
+  common::fail("Session: unknown algorithm");
+}
+
+metrics::RunResult Session::run() {
+  common::check(!ran_, "Session::run called twice");
+  ran_ = true;
+
+  std::unique_ptr<metrics::TraceLog> trace;
+  if (!cfg.trace_path.empty()) {
+    trace = std::make_unique<metrics::TraceLog>();
+    for (int r = 0; r < cfg.num_workers; ++r) {
+      wmetrics[static_cast<std::size_t>(r)].set_trace(
+          trace.get(), "worker" + std::to_string(r));
+    }
+  }
+
+  launch();
+  engine.run();
+
+  result.algorithm = algo_name(cfg.algo);
+  result.num_workers = cfg.num_workers;
+  result.virtual_duration = engine.now();
+  result.workers = wmetrics;
+  for (const auto& w : wmetrics) {
+    result.total_iterations += w.iterations();
+    result.total_samples += w.samples();
+  }
+  result.wire_bytes = network->stats().bytes;
+  result.wire_messages = network->stats().messages;
+  result.inter_machine_bytes = network->stats().inter_machine_bytes;
+
+  if (wl.functional()) {
+    result.final_accuracy = wl.evaluate_params(wl.average_worker_params());
+  }
+  if (trace) trace->save(cfg.trace_path);
+  std::sort(result.curve.begin(), result.curve.end(),
+            [](const metrics::CurvePoint& a, const metrics::CurvePoint& b) {
+              return a.epoch < b.epoch;
+            });
+  return result;
+}
+
+metrics::RunResult run_training(const TrainConfig& cfg, Workload& workload) {
+  Session session(cfg, workload);
+  return session.run();
+}
+
+}  // namespace dt::core

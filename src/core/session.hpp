@@ -1,0 +1,106 @@
+// Session: builds the virtual cluster for one training run, spawns the
+// algorithm's processes, runs the simulation, and assembles the RunResult.
+//
+// A Session owns the SimEngine/Network and the shared bookkeeping that the
+// per-algorithm launchers (launch_bsp & friends) attach their processes to.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/workload.hpp"
+#include "metrics/metrics.hpp"
+#include "net/collectives.hpp"
+#include "net/network.hpp"
+#include "ps/shard_state.hpp"
+#include "ps/sharding.hpp"
+#include "runtime/sim.hpp"
+
+namespace dt::core {
+
+class Session {
+ public:
+  Session(TrainConfig config, Workload& workload);
+
+  /// Runs the configured algorithm to completion and returns the result.
+  /// A Session is single-use.
+  metrics::RunResult run();
+
+  // ---- shared state for algorithm launchers -----------------------------
+  TrainConfig cfg;
+  Workload& wl;
+  runtime::SimEngine engine;
+  std::unique_ptr<net::Network> network;
+
+  int num_machines = 0;
+  std::vector<int> worker_machine;  // rank -> machine
+  std::vector<int> worker_ep;       // rank -> endpoint
+  std::vector<int> ps_machine;      // shard -> machine
+  std::vector<int> ps_ep;           // shard -> endpoint
+  ps::ShardingPlan plan;
+  std::vector<std::unique_ptr<ps::ShardState>> shards;
+
+  std::vector<metrics::WorkerMetrics> wmetrics;
+  metrics::RunResult result;
+
+  // ---- helpers -----------------------------------------------------------
+  [[nodiscard]] int num_workers() const noexcept { return cfg.num_workers; }
+  [[nodiscard]] int num_shards() const noexcept { return plan.num_shards; }
+
+  /// Iterations each worker executes in this run.
+  [[nodiscard]] std::int64_t iterations_per_worker() const;
+
+  /// Training progress of a worker after `iter` local iterations, in epochs.
+  [[nodiscard]] double epoch_of(std::int64_t iter) const;
+
+  [[nodiscard]] float lr_at(double epoch) const {
+    return static_cast<float>(cfg.lr.lr_at(epoch));
+  }
+
+  /// Workers co-located with `rank` (same machine), including `rank`.
+  [[nodiscard]] std::vector<int> machine_peers(int rank) const;
+  /// Lowest rank on the machine of `rank` (the local-aggregation leader).
+  [[nodiscard]] int machine_leader(int rank) const;
+
+  /// Uncontended one-way transfer estimate between two endpoints — used to
+  /// split measured wait time into "communication" vs. "aggregation wait".
+  [[nodiscard]] double uncontended_time(std::uint64_t bytes, int ep_a,
+                                        int ep_b) const;
+
+  /// Records a convergence-curve point (functional mode; called by the
+  /// designated evaluation worker at epoch boundaries).
+  void record_curve(double epoch, double vtime, double test_error,
+                    double train_loss);
+
+  /// Per-worker RNG stream (deterministic in cfg.seed and rank).
+  [[nodiscard]] common::Rng worker_rng(int rank) const;
+
+  /// Compute-time multiplier for `rank` (straggler injection; 1.0 normally).
+  [[nodiscard]] double compute_scale(int rank) const noexcept {
+    return rank == cfg.straggler_rank && cfg.straggler_slowdown > 0.0
+               ? cfg.straggler_slowdown
+               : 1.0;
+  }
+
+ private:
+  void build_cluster();
+  void launch();  // dispatch to per-algorithm launcher
+  bool ran_ = false;
+};
+
+// Per-algorithm launchers (defined in algo_centralized.cpp /
+// algo_decentralized.cpp). Each spawns all processes for its protocol.
+void launch_bsp(Session& s);
+void launch_asp(Session& s);
+void launch_ssp(Session& s);
+void launch_easgd(Session& s);
+void launch_arsgd(Session& s);
+void launch_gosgd(Session& s);
+void launch_adpsgd(Session& s);
+void launch_dpsgd(Session& s);
+
+/// One-call entry point: build a session, run it, return the result.
+metrics::RunResult run_training(const TrainConfig& cfg, Workload& workload);
+
+}  // namespace dt::core

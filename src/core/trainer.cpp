@@ -1,0 +1,14 @@
+#include "core/trainer.hpp"
+
+namespace dt::core {
+
+Workload make_cost_workload(const cost::ModelProfile& profile,
+                            std::int64_t batch, cost::DeviceProfile device,
+                            double jitter_sigma) {
+  cost::ComputeModel compute;
+  compute.device = device;
+  compute.jitter_sigma = jitter_sigma;
+  return Workload(profile, compute, cost::AggregationModel{}, batch);
+}
+
+}  // namespace dt::core

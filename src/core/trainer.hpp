@@ -1,0 +1,38 @@
+// dtrainlib public API.
+//
+// Quickstart:
+//
+//   #include "core/trainer.hpp"
+//
+//   dt::core::FunctionalWorkloadSpec spec;
+//   spec.num_workers = 8;
+//   dt::core::Workload wl = dt::core::make_functional_workload(spec);
+//
+//   dt::core::TrainConfig cfg;
+//   cfg.algo = dt::core::Algo::adpsgd;
+//   cfg.num_workers = 8;
+//   cfg.epochs = 30;
+//   cfg.lr = dt::nn::LrSchedule::paper(8, cfg.epochs);
+//   auto result = dt::core::run_training(cfg, wl);
+//   // result.final_accuracy, result.curve, result.throughput(), ...
+//
+// For cost-only throughput studies build the Workload with a ModelProfile
+// only (no dataset/model) and set cfg.iterations instead of cfg.epochs.
+#pragma once
+
+#include "core/config.hpp"     // IWYU pragma: export
+#include "core/session.hpp"    // IWYU pragma: export
+#include "core/traits.hpp"     // IWYU pragma: export
+#include "core/workload.hpp"   // IWYU pragma: export
+#include "metrics/metrics.hpp" // IWYU pragma: export
+
+namespace dt::core {
+
+/// Builds a cost-only workload for throughput experiments: `profile` is the
+/// paper model (resnet50_profile() / vgg16_profile()), batch per worker.
+Workload make_cost_workload(const cost::ModelProfile& profile,
+                            std::int64_t batch,
+                            cost::DeviceProfile device = cost::titan_v(),
+                            double jitter_sigma = 0.02);
+
+}  // namespace dt::core

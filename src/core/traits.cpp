@@ -1,0 +1,71 @@
+#include "core/traits.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::core {
+
+const std::vector<AlgoTraits>& all_algo_traits() {
+  static const std::vector<AlgoTraits> traits = {
+      {Algo::bsp, true, true, "O(1/sqrt(NK))", "O(2MN * 1/l)"},
+      {Algo::asp, true, false, "O(1/sqrt(NK))", "O(2MN)"},
+      {Algo::ssp, true, false, "O(sqrt(2(s+1)N/K))", "O((1+1/(s+1)) * MN)"},
+      {Algo::easgd, true, false, "-", "O(2MN * 1/tau)"},
+      {Algo::arsgd, false, true, "O(1/sqrt(NK))", "O(2MN)"},
+      {Algo::gosgd, false, false, "-", "O(MN * p)"},
+      {Algo::adpsgd, false, false, "O(1/sqrt(K))", "O(MN)"},
+      {Algo::dpsgd, false, true, "O(1/sqrt(NK))", "O(2MN)"},
+  };
+  return traits;
+}
+
+const AlgoTraits& traits_of(Algo a) {
+  for (const auto& t : all_algo_traits()) {
+    if (t.algo == a) return t;
+  }
+  common::fail("traits_of: unknown algorithm");
+}
+
+double expected_bytes_per_round(const TrainConfig& cfg,
+                                std::uint64_t model_bytes) {
+  const double m = static_cast<double>(model_bytes);
+  const double n = cfg.num_workers;
+  switch (cfg.algo) {
+    case Algo::bsp: {
+      const double l =
+          cfg.opt.local_aggregation && cfg.cluster.workers_per_machine > 1
+              ? std::min<double>(cfg.cluster.workers_per_machine, n)
+              : 1.0;
+      return 2.0 * m * n / l;
+    }
+    case Algo::asp:
+      return 2.0 * m * n;
+    case Algo::ssp: {
+      const double s = cfg.ssp_staleness;
+      return (1.0 + 1.0 / (s + 1.0)) * m * n;
+    }
+    case Algo::easgd:
+      return 2.0 * m * n / static_cast<double>(cfg.easgd_tau);
+    case Algo::arsgd:
+      // Ring AllReduce: each worker transmits 2*(N-1)/N * M per iteration.
+      return 2.0 * m * (n - 1.0);
+    case Algo::gosgd:
+      return m * n * cfg.gosgd_p;
+    case Algo::adpsgd: {
+      // Active workers (even ranks) initiate one symmetric exchange each
+      // per iteration, moving 2*M per exchange: ~M*N in total.
+      const double actives = n > 1 ? std::ceil(n / 2.0) : 0.0;
+      return 2.0 * m * actives;
+    }
+    case Algo::dpsgd: {
+      // Each worker sends its parameters to both ring neighbors.
+      const double neighbors = std::min(2.0, n - 1.0);
+      return m * n * neighbors;
+    }
+  }
+  common::fail("expected_bytes_per_round: unknown algorithm");
+}
+
+}  // namespace dt::core

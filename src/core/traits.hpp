@@ -1,0 +1,37 @@
+// Static algorithm traits: the contents of the paper's Table I, plus the
+// analytic per-iteration communication volume each algorithm should incur
+// (used by tests to validate the simulator's measured traffic).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace dt::core {
+
+struct AlgoTraits {
+  Algo algo;
+  bool centralized = false;
+  bool synchronous = false;
+  /// Convergence rate as printed in Table I ("-" if unknown).
+  std::string convergence_rate;
+  /// Communication complexity as printed in Table I.
+  std::string comm_complexity;
+};
+
+[[nodiscard]] const std::vector<AlgoTraits>& all_algo_traits();
+[[nodiscard]] const AlgoTraits& traits_of(Algo a);
+
+/// Expected *inter-worker/PS* bytes sent per global iteration round (all
+/// workers performing one iteration), for a model of `model_bytes` and the
+/// given config. Mirrors Table I's complexity column:
+///   BSP  : 2*M*N/l   ASP/AR-SGD: 2*M*N    SSP: (1+1/(s+1))*M*N
+///   EASGD: 2*M*N/tau GoSGD: M*N*p         AD-PSGD: M*N
+/// (AR-SGD's ring moves 2*(N-1)/N * M per worker ~= 2*M*N/N*... counted as
+/// 2*M*(N-1) total, reported by the helper exactly.)
+[[nodiscard]] double expected_bytes_per_round(const TrainConfig& cfg,
+                                              std::uint64_t model_bytes);
+
+}  // namespace dt::core

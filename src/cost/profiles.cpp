@@ -1,0 +1,160 @@
+#include "cost/profiles.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace dt::cost {
+
+DeviceProfile titan_v() {
+  // Efficiency calibrated so ResNet-50 fwd+bwd at batch 128 lands at
+  // ~0.4 s — the fp32 cuDNN throughput class of a TITAN V (~320 img/s).
+  return DeviceProfile{.name = "TITAN V",
+                       .peak_flops = common::tflops(14.90),
+                       .efficiency = 0.50};
+}
+
+std::int64_t ModelProfile::total_params() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.params;
+  return n;
+}
+
+double ModelProfile::total_flops_fwd() const noexcept {
+  double f = 0.0;
+  for (const auto& l : layers) f += l.flops_fwd_per_sample;
+  return f;
+}
+
+namespace {
+
+/// Conv layer: params = k*k*cin*cout (+cout bias folded in), FLOPs =
+/// 2 * params * out_h * out_w per sample.
+LayerCost conv(std::string name, std::int64_t k, std::int64_t cin,
+               std::int64_t cout, std::int64_t out_hw) {
+  LayerCost l;
+  l.name = std::move(name);
+  l.params = k * k * cin * cout + cout;
+  l.flops_fwd_per_sample =
+      2.0 * static_cast<double>(k * k * cin * cout) *
+      static_cast<double>(out_hw * out_hw);
+  return l;
+}
+
+LayerCost fc(std::string name, std::int64_t in, std::int64_t out) {
+  LayerCost l;
+  l.name = std::move(name);
+  l.params = in * out + out;
+  l.flops_fwd_per_sample = 2.0 * static_cast<double>(in * out);
+  return l;
+}
+
+}  // namespace
+
+ModelProfile resnet50_profile() {
+  ModelProfile m;
+  m.name = "ResNet-50";
+  // Stem: 7x7/2 conv to 64 channels, output 112x112.
+  m.layers.push_back(conv("conv1", 7, 3, 64, 112));
+
+  struct Stage {
+    int blocks;
+    std::int64_t mid;      // bottleneck width
+    std::int64_t out;      // block output channels (4 * mid)
+    std::int64_t hw;       // spatial size inside the stage
+  };
+  const Stage stages[] = {
+      {3, 64, 256, 56}, {4, 128, 512, 28}, {6, 256, 1024, 14},
+      {3, 512, 2048, 7}};
+
+  std::int64_t in_ch = 64;
+  int stage_idx = 0;
+  for (const Stage& s : stages) {
+    ++stage_idx;
+    for (int b = 0; b < s.blocks; ++b) {
+      const std::string base =
+          "stage" + std::to_string(stage_idx) + ".block" + std::to_string(b);
+      m.layers.push_back(conv(base + ".conv1", 1, in_ch, s.mid, s.hw));
+      m.layers.push_back(conv(base + ".conv2", 3, s.mid, s.mid, s.hw));
+      m.layers.push_back(conv(base + ".conv3", 1, s.mid, s.out, s.hw));
+      if (b == 0) {
+        // Projection shortcut on the first block of each stage.
+        m.layers.push_back(conv(base + ".downsample", 1, in_ch, s.out, s.hw));
+      }
+      in_ch = s.out;
+    }
+  }
+  m.layers.push_back(fc("fc", 2048, 1000));
+  return m;
+}
+
+ModelProfile vgg16_profile() {
+  ModelProfile m;
+  m.name = "VGG-16";
+  struct C {
+    std::int64_t cin, cout, hw;
+  };
+  const C convs[] = {
+      {3, 64, 224},    {64, 64, 224},    // block1
+      {64, 128, 112},  {128, 128, 112},  // block2
+      {128, 256, 56},  {256, 256, 56},  {256, 256, 56},   // block3
+      {256, 512, 28},  {512, 512, 28},  {512, 512, 28},   // block4
+      {512, 512, 14},  {512, 512, 14},  {512, 512, 14}};  // block5
+  int i = 0;
+  for (const C& c : convs) {
+    m.layers.push_back(
+        conv("conv" + std::to_string(++i), 3, c.cin, c.cout, c.hw));
+  }
+  m.layers.push_back(fc("fc1", 512 * 7 * 7, 4096));
+  m.layers.push_back(fc("fc2", 4096, 4096));
+  m.layers.push_back(fc("fc3", 4096, 1000));
+  return m;
+}
+
+ModelProfile uniform_profile(std::string name, int layers,
+                             std::int64_t params_per_layer,
+                             double flops_per_layer) {
+  common::check(layers > 0, "uniform_profile: need at least one layer");
+  ModelProfile m;
+  m.name = std::move(name);
+  for (int i = 0; i < layers; ++i) {
+    m.layers.push_back(LayerCost{.name = "layer" + std::to_string(i),
+                                 .params = params_per_layer,
+                                 .flops_fwd_per_sample = flops_per_layer});
+  }
+  return m;
+}
+
+double ComputeModel::jitter(common::Rng& rng) const {
+  if (jitter_sigma <= 0.0) return 1.0;
+  return rng.lognormal(0.0, jitter_sigma);
+}
+
+double ComputeModel::forward_time(const ModelProfile& model,
+                                  std::int64_t batch,
+                                  common::Rng& rng) const {
+  const double flops =
+      model.total_flops_fwd() * static_cast<double>(batch);
+  return flops / device.effective_flops() * jitter(rng);
+}
+
+double ComputeModel::backward_time(const ModelProfile& model,
+                                   std::int64_t batch,
+                                   common::Rng& rng) const {
+  return backward_ratio *
+         model.total_flops_fwd() * static_cast<double>(batch) /
+         device.effective_flops() * jitter(rng);
+}
+
+double ComputeModel::backward_layer_time(const ModelProfile& model,
+                                         std::size_t layer,
+                                         std::int64_t batch) const {
+  common::check(layer < model.layers.size(),
+                "backward_layer_time: layer out of range");
+  const double flops = model.layers[layer].flops_fwd_per_sample *
+                       static_cast<double>(batch) * backward_ratio;
+  return flops / device.effective_flops();
+}
+
+}  // namespace dt::cost

@@ -1,0 +1,108 @@
+// Analytical cost profiles of the paper's hardware and models.
+//
+// The paper's testbed: 3 hosts x 8 NVIDIA TITAN V (14.90 TFLOPS, 12 GB),
+// Docker-split into 6 VMs x 4 GPUs, 10 Gbps Ethernet / 56 Gbps InfiniBand.
+// The two workloads: ResNet-50 (computation-intensive, ~23-25 M params,
+// ~4 GFLOP fwd/img) and VGG-16 (communication-intensive, ~138 M params,
+// ~15.5 GFLOP fwd/img, ~75 % of parameters in the first FC layer).
+//
+// The per-layer tables below are generated from the architectures so the
+// parameter-size skew — which drives the paper's VGG-16 layer-wise-sharding
+// bottleneck (Fig. 3) — is the real skew, not a synthetic stand-in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dt::cost {
+
+struct DeviceProfile {
+  std::string name = "generic";
+  double peak_flops = 1e12;
+  /// Achieved fraction of peak on CNN training kernels.
+  double efficiency = 0.30;
+
+  [[nodiscard]] double effective_flops() const noexcept {
+    return peak_flops * efficiency;
+  }
+};
+
+/// NVIDIA TITAN V as used in the paper.
+DeviceProfile titan_v();
+
+struct LayerCost {
+  std::string name;
+  std::int64_t params = 0;
+  double flops_fwd_per_sample = 0.0;
+
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return static_cast<std::uint64_t>(params) * 4;
+  }
+};
+
+struct ModelProfile {
+  std::string name;
+  std::vector<LayerCost> layers;
+
+  [[nodiscard]] std::int64_t total_params() const noexcept;
+  [[nodiscard]] double total_flops_fwd() const noexcept;
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return static_cast<std::uint64_t>(total_params()) * 4;
+  }
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return layers.size();
+  }
+};
+
+/// ResNet-50 (bottleneck blocks [3,4,6,3], 224x224 input, 1000 classes).
+ModelProfile resnet50_profile();
+
+/// VGG-16 (13 convs + 3 FCs, 224x224 input, 1000 classes).
+ModelProfile vgg16_profile();
+
+/// Synthetic profile with `layers` equal-sized layers (tests/ablations).
+ModelProfile uniform_profile(std::string name, int layers,
+                             std::int64_t params_per_layer,
+                             double flops_per_layer);
+
+/// Iteration timing: forward + backward durations from the device profile
+/// with multiplicative lognormal jitter (the paper observed ~5 % spread
+/// between the fastest and slowest worker in a homogeneous cluster).
+struct ComputeModel {
+  DeviceProfile device = titan_v();
+  /// Backward pass costs ~2x forward (two GEMMs per layer vs. one).
+  double backward_ratio = 2.0;
+  /// Sigma of the lognormal jitter multiplier; 0 disables jitter.
+  double jitter_sigma = 0.02;
+
+  [[nodiscard]] double forward_time(const ModelProfile& model,
+                                    std::int64_t batch,
+                                    common::Rng& rng) const;
+  [[nodiscard]] double backward_time(const ModelProfile& model,
+                                     std::int64_t batch,
+                                     common::Rng& rng) const;
+  /// Deterministic (jitter-free) share of backward time spent on layer `i`,
+  /// used to schedule per-layer gradient availability for wait-free BP.
+  [[nodiscard]] double backward_layer_time(const ModelProfile& model,
+                                           std::size_t layer,
+                                           std::int64_t batch) const;
+
+ private:
+  [[nodiscard]] double jitter(common::Rng& rng) const;
+};
+
+/// Host-side aggregation cost: summing / applying `bytes` of gradients at
+/// memory bandwidth `agg_bandwidth` (bytes/s). Applies to PS shards and to
+/// local (intra-machine) aggregation.
+struct AggregationModel {
+  double agg_bandwidth = 8e9;
+
+  [[nodiscard]] double time(std::uint64_t bytes) const noexcept {
+    return static_cast<double>(bytes) / agg_bandwidth;
+  }
+};
+
+}  // namespace dt::cost

@@ -1,0 +1,22 @@
+#include "metrics/metrics.hpp"
+
+namespace dt::metrics {
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::compute: return "compute";
+    case Phase::local_agg: return "local_agg";
+    case Phase::global_agg: return "global_agg";
+    case Phase::comm: return "comm";
+  }
+  return "?";
+}
+
+double RunResult::mean_phase_time(Phase p) const noexcept {
+  if (workers.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& w : workers) sum += w.phase_time(p);
+  return sum / static_cast<double>(workers.size());
+}
+
+}  // namespace dt::metrics

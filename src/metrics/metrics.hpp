@@ -1,0 +1,131 @@
+// Measurement plumbing for experiments.
+//
+// Phases follow the paper's Figure 3 breakdown: computation, local
+// aggregation (intra-machine), global aggregation (PS/collective work,
+// including the time spent waiting for other workers' contributions), and
+// communication (wire + protocol wait). Accounting is in *virtual* time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/trace.hpp"
+#include "runtime/sim.hpp"
+
+namespace dt::metrics {
+
+enum class Phase : int {
+  compute = 0,
+  local_agg = 1,
+  global_agg = 2,
+  comm = 3,
+};
+inline constexpr int kNumPhases = 4;
+
+[[nodiscard]] const char* phase_name(Phase p) noexcept;
+
+/// Per-worker accumulators, filled by the algorithm worker loops.
+class WorkerMetrics {
+ public:
+  void accumulate(Phase phase, double seconds) noexcept {
+    phase_time_[static_cast<int>(phase)] += seconds;
+  }
+
+  /// Attaches a trace sink: every PhaseTimer interval is also recorded as
+  /// a trace event on `track`.
+  void set_trace(TraceLog* trace, std::string track) {
+    trace_ = trace;
+    track_ = std::move(track);
+  }
+  [[nodiscard]] TraceLog* trace() const noexcept { return trace_; }
+  [[nodiscard]] const std::string& track() const noexcept { return track_; }
+  void count_iteration(std::int64_t samples) noexcept {
+    ++iterations_;
+    samples_ += samples;
+  }
+
+  [[nodiscard]] double phase_time(Phase p) const noexcept {
+    return phase_time_[static_cast<int>(p)];
+  }
+  [[nodiscard]] double total_time() const noexcept {
+    double t = 0.0;
+    for (double v : phase_time_) t += v;
+    return t;
+  }
+  [[nodiscard]] std::int64_t iterations() const noexcept { return iterations_; }
+  [[nodiscard]] std::int64_t samples() const noexcept { return samples_; }
+
+ private:
+  std::array<double, kNumPhases> phase_time_{};
+  std::int64_t iterations_ = 0;
+  std::int64_t samples_ = 0;
+  TraceLog* trace_ = nullptr;
+  std::string track_;
+};
+
+/// RAII phase timer over the virtual clock. Create it around the code that
+/// belongs to a phase; it adds the elapsed virtual time on destruction.
+class PhaseTimer {
+ public:
+  PhaseTimer(runtime::Process& proc, WorkerMetrics& metrics, Phase phase)
+      : proc_(proc), metrics_(metrics), phase_(phase), start_(proc.now()) {}
+  ~PhaseTimer() {
+    const double end = proc_.now();
+    metrics_.accumulate(phase_, end - start_);
+    if (metrics_.trace() != nullptr && end > start_) {
+      metrics_.trace()->record(metrics_.track(), phase_name(phase_), start_,
+                               end);
+    }
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  runtime::Process& proc_;
+  WorkerMetrics& metrics_;
+  Phase phase_;
+  double start_;
+};
+
+/// One point of a convergence curve.
+struct CurvePoint {
+  double epoch = 0.0;
+  double virtual_time = 0.0;
+  double test_error = 0.0;
+  double train_loss = 0.0;
+};
+
+/// Aggregated result of one training run.
+struct RunResult {
+  std::string algorithm;
+  int num_workers = 0;
+
+  double final_accuracy = 0.0;
+  std::vector<CurvePoint> curve;
+
+  double virtual_duration = 0.0;      // end-of-run virtual clock
+  std::int64_t total_samples = 0;     // across all workers
+  std::int64_t total_iterations = 0;  // across all workers
+
+  std::vector<WorkerMetrics> workers;
+
+  std::uint64_t wire_bytes = 0;     // total network traffic
+  std::uint64_t wire_messages = 0;
+  std::uint64_t inter_machine_bytes = 0;  // traffic that crossed a NIC
+
+  /// Samples per second of virtual time (paper: "images/sec").
+  [[nodiscard]] double throughput() const noexcept {
+    return virtual_duration > 0.0
+               ? static_cast<double>(total_samples) / virtual_duration
+               : 0.0;
+  }
+
+  /// Mean per-phase time across workers (seconds).
+  [[nodiscard]] double mean_phase_time(Phase p) const noexcept;
+};
+
+}  // namespace dt::metrics

@@ -1,0 +1,62 @@
+#include "metrics/trace.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace dt::metrics {
+
+void TraceLog::record(const std::string& track, const std::string& name,
+                      double start, double end) {
+  common::check(end >= start, "TraceLog: negative-duration event");
+  events_.push_back(Event{track, name, start, end});
+}
+
+namespace {
+// Minimal JSON string escaping (quotes and backslashes; our names are
+// plain ASCII identifiers).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+void TraceLog::write_chrome_json(std::ostream& os) const {
+  std::map<std::string, int> tids;
+  for (const Event& e : events_) {
+    tids.emplace(e.track, static_cast<int>(tids.size()));
+  }
+  os << "[\n";
+  bool first = true;
+  // Thread-name metadata so the viewer shows worker names.
+  for (const auto& [track, tid] : tids) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"ph":"M","pid":0,"tid":)" << tid
+       << R"(,"name":"thread_name","args":{"name":")" << escape(track)
+       << R"("}})";
+  }
+  for (const Event& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"ph":"X","pid":0,"tid":)" << tids[e.track] << R"(,"name":")"
+       << escape(e.name) << R"(","ts":)" << e.start * 1e6 << R"(,"dur":)"
+       << (e.end - e.start) * 1e6 << "}";
+  }
+  os << "\n]\n";
+}
+
+void TraceLog::save(const std::string& path) const {
+  std::ofstream out(path);
+  common::check(out.good(), "TraceLog: cannot open " + path);
+  write_chrome_json(out);
+}
+
+}  // namespace dt::metrics

@@ -1,0 +1,47 @@
+// Virtual-time execution traces.
+//
+// When a TrainConfig sets `trace_path`, every worker phase interval
+// (compute / local agg / global agg / comm, per iteration) is recorded and
+// written as a Chrome-tracing ("catapult") JSON file, loadable in
+// chrome://tracing or Perfetto: one track per worker, virtual microseconds
+// on the time axis. Invaluable for understanding *why* an algorithm's
+// breakdown looks the way it does (e.g. watching BSP's barrier convoy).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dt::metrics {
+
+class TraceLog {
+ public:
+  /// Records a complete interval [start, end) (virtual seconds) on `track`.
+  void record(const std::string& track, const std::string& name,
+              double start, double end);
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Chrome-tracing JSON array of complete ("X") events; pid 0, one tid
+  /// per distinct track (in first-appearance order), timestamps in µs.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Convenience: writes the JSON to `path` (overwrites).
+  void save(const std::string& path) const;
+
+  struct Event {
+    std::string track;
+    std::string name;
+    double start;
+    double end;
+  };
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace dt::metrics

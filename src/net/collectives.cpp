@@ -1,0 +1,132 @@
+#include "net/collectives.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dt::net {
+
+namespace {
+
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Near-equal contiguous split of `n` elements into `parts`.
+ChunkRange chunk_range(std::size_t n, int parts, int index) {
+  const std::size_t base = n / static_cast<std::size_t>(parts);
+  const std::size_t extra = n % static_cast<std::size_t>(parts);
+  const auto idx = static_cast<std::size_t>(index);
+  const std::size_t begin = idx * base + std::min(idx, extra);
+  const std::size_t len = base + (idx < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace
+
+void ring_allreduce(runtime::Process& self, const Communicator& comm,
+                    std::span<float> data, std::uint64_t total_wire_bytes,
+                    int tag_base) {
+  common::check(comm.net != nullptr && comm.size() > 0,
+                "ring_allreduce: bad communicator");
+  const int n = comm.size();
+  if (n == 1) return;
+  Network& net = *comm.net;
+  const int me = comm.my_rank;
+  const int right = (me + 1) % n;
+  const std::uint64_t chunk_bytes =
+      std::max<std::uint64_t>(1, total_wire_bytes / static_cast<std::uint64_t>(n));
+
+  const int rs_tag = tag_base;      // reduce-scatter phase
+  const int ag_tag = tag_base + 1;  // all-gather phase
+
+  // Reduce-Scatter: after step s, rank r holds the partial sum of chunk
+  // (r - s - 1 mod n) over s+2 ranks; after n-1 steps rank r owns the fully
+  // reduced chunk (r + 1 mod n).
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = (me - step + n) % n;
+    const int recv_chunk = (me - step - 1 + n) % n;
+
+    Packet out;
+    out.tag = rs_tag;
+    out.wire_bytes = chunk_bytes;
+    out.a = send_chunk;
+    if (!data.empty()) {
+      const ChunkRange r = chunk_range(data.size(), n, send_chunk);
+      out.sparse_values.emplace_back(data.begin() + r.begin,
+                                     data.begin() + r.end);
+    }
+    net.send(self, comm.my_endpoint(),
+             comm.endpoints[static_cast<std::size_t>(right)], std::move(out));
+
+    Packet in = net.recv(self, comm.my_endpoint(), rs_tag);
+    common::check(in.a == recv_chunk, "ring_allreduce: chunk order violated");
+    if (!data.empty()) {
+      const ChunkRange r = chunk_range(data.size(), n, recv_chunk);
+      const auto& vals = in.sparse_values.at(0);
+      common::check(vals.size() == r.size(), "ring_allreduce: chunk size");
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        data[r.begin + i] += vals[i];
+      }
+    }
+  }
+
+  // All-Gather: circulate the reduced chunks.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = (me + 1 - step + n) % n;
+    const int recv_chunk = (me - step + n) % n;
+
+    Packet out;
+    out.tag = ag_tag;
+    out.wire_bytes = chunk_bytes;
+    out.a = send_chunk;
+    if (!data.empty()) {
+      const ChunkRange r = chunk_range(data.size(), n, send_chunk);
+      out.sparse_values.emplace_back(data.begin() + r.begin,
+                                     data.begin() + r.end);
+    }
+    net.send(self, comm.my_endpoint(),
+             comm.endpoints[static_cast<std::size_t>(right)], std::move(out));
+
+    Packet in = net.recv(self, comm.my_endpoint(), ag_tag);
+    common::check(in.a == recv_chunk, "ring_allreduce: gather order violated");
+    if (!data.empty()) {
+      const ChunkRange r = chunk_range(data.size(), n, recv_chunk);
+      const auto& vals = in.sparse_values.at(0);
+      common::check(vals.size() == r.size(), "ring_allreduce: chunk size");
+      std::copy(vals.begin(), vals.end(), data.begin() + r.begin);
+    }
+  }
+}
+
+void barrier(runtime::Process& self, const Communicator& comm, int tag_base) {
+  common::check(comm.net != nullptr && comm.size() > 0, "barrier: bad comm");
+  const int n = comm.size();
+  if (n == 1) return;
+  Network& net = *comm.net;
+  const int enter_tag = tag_base;
+  const int leave_tag = tag_base + 1;
+
+  if (comm.my_rank == 0) {
+    for (int i = 0; i < n - 1; ++i) {
+      (void)net.recv(self, comm.my_endpoint(), enter_tag);
+    }
+    for (int r = 1; r < n; ++r) {
+      Packet p;
+      p.tag = leave_tag;
+      p.wire_bytes = kControlBytes;
+      net.send(self, comm.my_endpoint(),
+               comm.endpoints[static_cast<std::size_t>(r)], std::move(p));
+    }
+  } else {
+    Packet p;
+    p.tag = enter_tag;
+    p.wire_bytes = kControlBytes;
+    net.send(self, comm.my_endpoint(), comm.endpoints[0], std::move(p));
+    (void)net.recv(self, comm.my_endpoint(), leave_tag);
+  }
+}
+
+}  // namespace dt::net

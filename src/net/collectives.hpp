@@ -1,0 +1,47 @@
+// Collective operations over a set of endpoints (the decentralized
+// substrate). AllReduce uses the two-step scheme the paper describes for
+// AR-SGD: a ring Reduce-Scatter followed by a ring All-Gather, each moving
+// (N-1)/N of the buffer per rank. Works in functional mode (real float
+// buffers are summed) and in cost-only mode (empty buffer, only wire bytes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace dt::net {
+
+/// A static group of endpoints participating in collectives. Every rank
+/// must execute the same collective calls in the same order.
+struct Communicator {
+  Network* net = nullptr;
+  std::vector<int> endpoints;  // rank -> endpoint id
+  int my_rank = 0;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(endpoints.size());
+  }
+  [[nodiscard]] int my_endpoint() const {
+    return endpoints[static_cast<std::size_t>(my_rank)];
+  }
+};
+
+/// In-place sum-AllReduce of `data` across all ranks of `comm`.
+/// `total_wire_bytes` is the modeled size of the full buffer (what a rank
+/// would send if it pushed everything at once); each ring step transfers
+/// total_wire_bytes / N. `data` may be empty (cost-only mode).
+/// `tag_base` must not collide with other traffic on these endpoints; the
+/// collective uses tags [tag_base, tag_base + 2).
+void ring_allreduce(runtime::Process& self, const Communicator& comm,
+                    std::span<float> data, std::uint64_t total_wire_bytes,
+                    int tag_base);
+
+/// Rendezvous of all ranks (centralized gather-release on rank 0).
+void barrier(runtime::Process& self, const Communicator& comm, int tag_base);
+
+/// Small control-message size used by barriers/acks.
+inline constexpr std::uint64_t kControlBytes = 64;
+
+}  // namespace dt::net

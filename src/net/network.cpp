@@ -1,0 +1,150 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dt::net {
+
+Network::Network(runtime::SimEngine& engine, ClusterSpec spec)
+    : engine_(engine), spec_(spec) {
+  common::check(spec_.num_machines > 0, "Network: need at least one machine");
+  common::check(spec_.nic_bandwidth > 0 && spec_.local_bus_bandwidth > 0,
+                "Network: bandwidths must be positive");
+  tx_busy_.assign(static_cast<std::size_t>(spec_.num_machines), 0.0);
+  rx_busy_.assign(static_cast<std::size_t>(spec_.num_machines), 0.0);
+  bus_busy_.assign(static_cast<std::size_t>(spec_.num_machines), 0.0);
+}
+
+int Network::add_endpoint(int machine, std::string name) {
+  common::check(machine >= 0 && machine < spec_.num_machines,
+                "Network::add_endpoint: bad machine index");
+  Endpoint ep;
+  ep.machine = machine;
+  ep.name = std::move(name);
+  endpoints_.push_back(std::move(ep));
+  return static_cast<int>(endpoints_.size()) - 1;
+}
+
+void Network::bind(int endpoint_id, runtime::Process& proc) {
+  endpoint(endpoint_id).owner = &proc;
+}
+
+Network::Endpoint& Network::endpoint(int id) {
+  common::check(id >= 0 && id < num_endpoints(), "Network: bad endpoint id");
+  return endpoints_[static_cast<std::size_t>(id)];
+}
+
+const Network::Endpoint& Network::endpoint(int id) const {
+  common::check(id >= 0 && id < num_endpoints(), "Network: bad endpoint id");
+  return endpoints_[static_cast<std::size_t>(id)];
+}
+
+int Network::machine_of(int endpoint_id) const {
+  return endpoint(endpoint_id).machine;
+}
+
+void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
+                   Packet pkt) {
+  Endpoint& dst = endpoint(dst_endpoint);
+  const int src_machine = endpoint(src_endpoint).machine;
+  const int dst_machine = dst.machine;
+
+  if (spec_.send_overhead > 0.0) self.advance(spec_.send_overhead);
+  const double now = engine_.now();
+
+  double arrival;
+  if (src_machine == dst_machine) {
+    double& bus = bus_busy_[static_cast<std::size_t>(src_machine)];
+    const double start = std::max(now, bus);
+    const double finish =
+        start + static_cast<double>(pkt.wire_bytes) / spec_.local_bus_bandwidth;
+    bus = finish;
+    arrival = finish + spec_.local_latency;
+  } else {
+    // Cut-through model: the message occupies the sender's TX queue and
+    // the receiver's RX queue for its serialization time each, and the RX
+    // occupancy may overlap the TX occupancy (it just cannot start before
+    // the sender starts). Unloaded transfer: T + latency; contended queues
+    // serialize independently at full utilization (no head-of-line idling
+    // between unrelated flows, unlike a circuit reservation).
+    double& tx = tx_busy_[static_cast<std::size_t>(src_machine)];
+    double& rx = rx_busy_[static_cast<std::size_t>(dst_machine)];
+    const double serialization =
+        static_cast<double>(pkt.wire_bytes) / spec_.nic_bandwidth;
+    const double tx_start = std::max(now, tx);
+    tx = tx_start + serialization;
+    const double rx_start = std::max(tx_start, rx);
+    rx = rx_start + serialization;
+    arrival = rx_start + serialization + spec_.latency;
+    ++stats_.inter_machine_messages;
+    stats_.inter_machine_bytes += pkt.wire_bytes;
+  }
+  ++stats_.messages;
+  stats_.bytes += pkt.wire_bytes;
+
+  pkt.src_endpoint = src_endpoint;
+  pkt.sent_at = now;
+  pkt.arrival = arrival;
+
+  // Insert keeping the queue sorted by arrival (stable for equal times).
+  auto it = std::upper_bound(
+      dst.queue.begin(), dst.queue.end(), arrival,
+      [](double a, const Packet& p) { return a < p.arrival; });
+  dst.queue.insert(it, std::move(pkt));
+
+  if (dst.owner != nullptr && dst.owner != &self) {
+    engine_.wake(*dst.owner, arrival);
+  }
+}
+
+bool Network::poll(const runtime::Process& self, int endpoint_id,
+                   int tag) const {
+  const Endpoint& ep = endpoint(endpoint_id);
+  const double now = self.now();
+  for (const Packet& p : ep.queue) {
+    if (p.arrival > now) break;
+    if (tag == kAnyTag || p.tag == tag) return true;
+  }
+  return false;
+}
+
+std::optional<Packet> Network::try_recv(runtime::Process& self,
+                                        int endpoint_id, int tag) {
+  Endpoint& ep = endpoint(endpoint_id);
+  common::check(ep.owner == &self, "Network::try_recv by non-owner process");
+  const double now = self.now();
+  for (auto it = ep.queue.begin(); it != ep.queue.end(); ++it) {
+    if (it->arrival > now) break;
+    if (tag == kAnyTag || it->tag == tag) {
+      Packet out = std::move(*it);
+      ep.queue.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+Packet Network::recv(runtime::Process& self, int endpoint_id, int tag) {
+  Endpoint& ep = endpoint(endpoint_id);
+  common::check(ep.owner == &self, "Network::recv by non-owner process");
+  for (;;) {
+    if (auto pkt = try_recv(self, endpoint_id, tag)) return std::move(*pkt);
+    // Earliest matching in-flight packet, if any: sleep until it lands but
+    // stay wakeable in case an earlier one is sent meanwhile.
+    double earliest = -1.0;
+    for (const Packet& p : ep.queue) {
+      if (tag == kAnyTag || p.tag == tag) {
+        earliest = p.arrival;
+        break;
+      }
+    }
+    if (earliest >= 0.0) {
+      self.wait_event_until(earliest);
+    } else {
+      self.wait_event();
+    }
+  }
+}
+
+}  // namespace dt::net

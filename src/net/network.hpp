@@ -1,0 +1,113 @@
+// Simulated cluster network.
+//
+// Topology model (mirrors the paper's testbed): `num_machines` hosts, each
+// with one full-duplex NIC of `nic_bandwidth` (10 or 56 Gbps in the paper's
+// settings). Workers and PS shards are *endpoints* pinned to a machine; all
+// endpoints of one machine share its NIC, which is what creates both the
+// PS-bottleneck effect (many senders target the PS machine's RX queue) and
+// the gain from BSP's local aggregation (fewer flows leave each machine).
+//
+// Transfer model (cut-through, one serialization per queue):
+//   inter-machine: tx_start = max(now, tx_busy[src])
+//                  rx_start = max(tx_start, rx_busy[dst])
+//                  tx_busy[src] = tx_start + bytes / nic_bandwidth
+//                  rx_busy[dst] = rx_start + bytes / nic_bandwidth
+//                  arrival  = rx_start + bytes / nic_bandwidth + latency
+//   intra-machine: a per-machine local bus (PCIe-like) with its own queue
+//                  and much higher bandwidth.
+// An unloaded transfer costs bytes/bw + latency; concurrent flows through a
+// shared NIC serialize at full utilization, and — unlike a circuit
+// reservation of both NICs at once — unrelated flows never idle a free
+// queue (no head-of-line blocking across machines).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "runtime/sim.hpp"
+
+namespace dt::net {
+
+struct ClusterSpec {
+  int num_machines = 6;
+  double nic_bandwidth = 1.25e9;        // bytes/s (10 Gbps default)
+  double latency = 50e-6;               // per inter-machine message
+  double local_bus_bandwidth = 11e9;    // bytes/s (PCIe 3.0 x16-ish)
+  double local_latency = 5e-6;          // per intra-machine message
+
+  /// Per-message fixed software overhead at the sender (syscall, marshal).
+  double send_overhead = 3e-6;
+};
+
+/// Counters for validating communication complexity (Table I) and for the
+/// breakdown figures.
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t inter_machine_messages = 0;
+  std::uint64_t inter_machine_bytes = 0;
+};
+
+class Network {
+ public:
+  Network(runtime::SimEngine& engine, ClusterSpec spec);
+
+  /// Creates a mailbox pinned to `machine`. Endpoints must be created before
+  /// the simulation starts exchanging traffic through them.
+  int add_endpoint(int machine, std::string name = {});
+
+  /// Declares `proc` the owner (receiver) of `endpoint`; recv/try_recv may
+  /// only be called by the owner. Must be called before the first recv and
+  /// before any sender targets a blocked owner.
+  void bind(int endpoint, runtime::Process& proc);
+
+  /// Transfers `pkt` from `src_endpoint` to `dst_endpoint`, consuming the
+  /// sender's virtual time for the fixed send overhead only (the wire time
+  /// is modeled on the NIC queues; the sender does not busy-wait on it).
+  void send(runtime::Process& self, int src_endpoint, int dst_endpoint,
+            Packet pkt);
+
+  /// Blocking receive of the earliest-arriving packet with matching tag.
+  Packet recv(runtime::Process& self, int endpoint, int tag = kAnyTag);
+
+  /// Non-blocking receive: earliest already-delivered matching packet.
+  std::optional<Packet> try_recv(runtime::Process& self, int endpoint,
+                                 int tag = kAnyTag);
+
+  /// True when a matching packet has already arrived (arrival <= now).
+  [[nodiscard]] bool poll(const runtime::Process& self, int endpoint,
+                          int tag = kAnyTag) const;
+
+  [[nodiscard]] int machine_of(int endpoint) const;
+  [[nodiscard]] int num_endpoints() const noexcept {
+    return static_cast<int>(endpoints_.size());
+  }
+  [[nodiscard]] const ClusterSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct Endpoint {
+    int machine = 0;
+    std::string name;
+    runtime::Process* owner = nullptr;
+    std::deque<Packet> queue;  // kept sorted by (arrival, fifo order)
+  };
+
+  Endpoint& endpoint(int id);
+  const Endpoint& endpoint(int id) const;
+
+  runtime::SimEngine& engine_;
+  ClusterSpec spec_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<double> tx_busy_;     // per machine
+  std::vector<double> rx_busy_;     // per machine
+  std::vector<double> bus_busy_;    // per machine (intra-machine transfers)
+  TrafficStats stats_;
+};
+
+}  // namespace dt::net

@@ -1,0 +1,45 @@
+// The unit of communication on the simulated network.
+//
+// A Packet carries (a) `wire_bytes`, the size the network model charges for
+// — in performance-only runs this is the *paper model's* gradient/parameter
+// size, and (b) an optional functional payload (dense tensors or a sparse
+// index/value pair for DGC) that the receiving algorithm actually computes
+// with. Keeping both on one struct lets every algorithm share a single code
+// path for functional and cost-only execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dt::net {
+
+/// Matches any tag in recv/try_recv.
+inline constexpr int kAnyTag = -1;
+
+struct Packet {
+  int tag = 0;
+  int src_endpoint = -1;
+  std::uint64_t wire_bytes = 0;
+
+  // Small scalar fields used by the protocols (iteration counters, worker
+  // ranks, staleness clocks, shard ids, flags...).
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  double x = 0.0;  // learning rate / gossip weight
+
+  // Dense functional payload (slot-ordered tensors), empty in cost-only runs.
+  std::vector<tensor::Tensor> tensors;
+
+  // Sparse functional payload (DGC): parallel index/value arrays per slot.
+  std::vector<std::vector<std::uint32_t>> sparse_indices;
+  std::vector<std::vector<float>> sparse_values;
+
+  // Filled by the network on delivery.
+  double sent_at = 0.0;
+  double arrival = 0.0;
+};
+
+}  // namespace dt::net

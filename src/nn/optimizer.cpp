@@ -1,0 +1,54 @@
+#include "nn/optimizer.hpp"
+
+#include "common/error.hpp"
+
+namespace dt::nn {
+
+void MomentumSgd::step_slot(std::size_t i, std::span<float> param,
+                            std::span<const float> grad, float lr) {
+  common::check(param.size() == grad.size(), "MomentumSgd: size mismatch");
+  if (i >= velocity_.size()) velocity_.resize(i + 1);
+  auto& v = velocity_[i];
+  if (v.empty()) v.assign(param.size(), 0.0f);
+  common::check(v.size() == param.size(), "MomentumSgd: slot shape changed");
+  const float mu = config_.momentum;
+  const float wd = config_.weight_decay;
+  for (std::size_t j = 0; j < param.size(); ++j) {
+    v[j] = mu * v[j] + grad[j] + wd * param[j];
+    param[j] -= lr * v[j];
+  }
+}
+
+std::span<const float> MomentumSgd::velocity(std::size_t i) const {
+  if (i >= velocity_.size()) return {};
+  return velocity_[i];
+}
+
+double LrSchedule::lr_at(double epoch) const {
+  double lr;
+  if (epoch < warmup_epochs && warmup_epochs > 0.0) {
+    const double start =
+        warmup_start_lr > 0.0 ? warmup_start_lr : base_lr / warmup_epochs;
+    lr = start + (base_lr - start) * (epoch / warmup_epochs);
+  } else {
+    lr = base_lr;
+  }
+  for (double at : decay_epochs) {
+    if (epoch >= at) lr *= decay_factor;
+  }
+  return lr;
+}
+
+LrSchedule LrSchedule::paper(int num_workers, double total_epochs,
+                             double lr_per_worker) {
+  LrSchedule s;
+  s.base_lr = lr_per_worker * num_workers;
+  s.warmup_start_lr = lr_per_worker;
+  const double scale = total_epochs / 90.0;
+  s.warmup_epochs = 5.0 * scale;
+  s.decay_epochs = {30.0 * scale, 60.0 * scale, 80.0 * scale};
+  s.decay_factor = 0.1;
+  return s;
+}
+
+}  // namespace dt::nn

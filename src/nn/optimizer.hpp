@@ -1,0 +1,68 @@
+// Momentum SGD and the paper's learning-rate schedule.
+//
+// The optimizer is split from the model because in centralized algorithms
+// (BSP/ASP/SSP) the update is applied on the parameter server against PS-side
+// state, while in decentralized ones it runs on the worker. Both call sites
+// use the same per-slot kernel so training dynamics are identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dt::nn {
+
+struct SgdConfig {
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+/// Momentum SGD with decoupled per-slot velocity state:
+///   v <- momentum * v + (grad + weight_decay * param)
+///   param <- param - lr * v
+class MomentumSgd {
+ public:
+  explicit MomentumSgd(SgdConfig config = {}) : config_(config) {}
+
+  /// Applies one update to slot `i`. Velocity buffers are created lazily and
+  /// keyed by slot index, so callers must use a stable slot ordering.
+  void step_slot(std::size_t i, std::span<float> param,
+                 std::span<const float> grad, float lr);
+
+  /// Number of slots that have accumulated velocity state so far.
+  [[nodiscard]] std::size_t num_slots() const noexcept {
+    return velocity_.size();
+  }
+
+  [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
+
+  /// Velocity of slot `i` (empty span if the slot has never been stepped).
+  [[nodiscard]] std::span<const float> velocity(std::size_t i) const;
+
+ private:
+  SgdConfig config_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// The schedule used throughout the paper's evaluation (Goyal et al.):
+/// linear warm-up from `warmup_start_lr` to `base_lr` over the first
+/// `warmup_epochs`, then step decay by `decay_factor` at each epoch in
+/// `decay_epochs`. Epochs are fractional so per-iteration queries work.
+struct LrSchedule {
+  double base_lr = 0.05;
+  double warmup_start_lr = 0.0;  // defaults to base_lr / warmup span behaviour
+  double warmup_epochs = 5.0;
+  std::vector<double> decay_epochs = {30.0, 60.0, 80.0};
+  double decay_factor = 0.1;
+
+  [[nodiscard]] double lr_at(double epoch) const;
+
+  /// The paper's setup: base lr 0.05 * n workers, 5-epoch warm-up, decays at
+  /// 30/60/80 of 90 epochs — rescaled to `total_epochs`.
+  static LrSchedule paper(int num_workers, double total_epochs,
+                          double lr_per_worker = 0.05);
+};
+
+}  // namespace dt::nn

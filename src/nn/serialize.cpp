@@ -1,0 +1,99 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace dt::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'T', 'C', 'K', 'P', 'T', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  common::check(is.good(), "checkpoint: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(const Sequential& model, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  const auto& slots = model.slots();
+  write_pod(os, static_cast<std::uint32_t>(slots.size()));
+  for (const ParamSlot* slot : slots) {
+    write_pod(os, static_cast<std::uint32_t>(slot->name.size()));
+    os.write(slot->name.data(),
+             static_cast<std::streamsize>(slot->name.size()));
+    const auto& shape = slot->value.shape();
+    write_pod(os, static_cast<std::uint32_t>(shape.size()));
+    for (std::int64_t d : shape) write_pod(os, d);
+    os.write(reinterpret_cast<const char*>(slot->value.data().data()),
+             static_cast<std::streamsize>(slot->value.numel() *
+                                          static_cast<std::int64_t>(
+                                              sizeof(float))));
+  }
+  common::check(os.good(), "checkpoint: write failed");
+}
+
+void save_checkpoint(const Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  common::check(out.good(), "checkpoint: cannot open " + path);
+  save_checkpoint(model, out);
+}
+
+void load_checkpoint(Sequential& model, std::istream& is) {
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  common::check(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "checkpoint: bad magic");
+  const auto count = read_pod<std::uint32_t>(is);
+  const auto& slots = model.slots();
+  common::check(count == slots.size(),
+                "checkpoint: slot count mismatch (checkpoint " +
+                    std::to_string(count) + ", model " +
+                    std::to_string(slots.size()) + ")");
+  for (ParamSlot* slot : slots) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    common::check(name_len < 4096, "checkpoint: implausible name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    common::check(is.good(), "checkpoint: truncated name");
+    common::check(name == slot->name,
+                  "checkpoint: slot name mismatch: expected '" + slot->name +
+                      "', found '" + name + "'");
+    const auto rank = read_pod<std::uint32_t>(is);
+    common::check(rank == slot->value.rank(),
+                  "checkpoint: rank mismatch for " + name);
+    for (std::size_t d = 0; d < rank; ++d) {
+      const auto dim = read_pod<std::int64_t>(is);
+      common::check(dim == slot->value.shape()[d],
+                    "checkpoint: shape mismatch for " + name);
+    }
+    is.read(reinterpret_cast<char*>(slot->value.data().data()),
+            static_cast<std::streamsize>(slot->value.numel() *
+                                         static_cast<std::int64_t>(
+                                             sizeof(float))));
+    common::check(is.good(), "checkpoint: truncated tensor data for " + name);
+  }
+}
+
+void load_checkpoint(Sequential& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  common::check(in.good(), "checkpoint: cannot open " + path);
+  load_checkpoint(model, in);
+}
+
+}  // namespace dt::nn

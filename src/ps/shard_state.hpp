@@ -1,0 +1,81 @@
+// PS-shard-side parameter and optimizer state.
+//
+// A ShardState owns the global parameters of the slots assigned to one PS
+// shard (functional mode) plus its slice of the momentum-SGD state. The
+// protocol is per-slot (one packet per layer), so the API is per-slot too:
+// the shard looks up the local index of an incoming slot and applies /
+// accumulates / exchanges just that tensor. In cost-only mode no tensors
+// exist and only the byte bookkeeping is available.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/optimizer.hpp"
+#include "ps/sharding.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dt::core {
+class Workload;
+}
+
+namespace dt::ps {
+
+class ShardState {
+ public:
+  /// `shard` selects this shard's slots from `plan`. When the workload is
+  /// functional, parameters are initialized from its initial_params().
+  ShardState(const ShardingPlan& plan, int shard, const core::Workload& wl,
+             nn::SgdConfig sgd);
+
+  [[nodiscard]] int shard() const noexcept { return shard_; }
+  [[nodiscard]] const std::vector<std::size_t>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::size_t num_local() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] bool functional() const noexcept { return !params_.empty(); }
+
+  /// Local index of a global slot id; fails if the slot is not ours.
+  [[nodiscard]] std::size_t local_index(std::size_t slot) const;
+
+  /// Global parameters of local slot `local`.
+  [[nodiscard]] const tensor::Tensor& param(std::size_t local) const;
+
+  /// One momentum-SGD step on local slot `local` with `grad * scale`.
+  void apply_dense(std::size_t local, std::span<const float> grad, float lr,
+                   float scale);
+
+  /// Same with a sparse (DGC) gradient.
+  void apply_sparse(std::size_t local, std::span<const std::uint32_t> indices,
+                    std::span<const float> values, float lr, float scale);
+
+  /// BSP gather: sums contributions; take_accumulated returns & clears.
+  void accumulate_dense(std::size_t local, std::span<const float> grad);
+  void accumulate_sparse(std::size_t local,
+                         std::span<const std::uint32_t> indices,
+                         std::span<const float> values);
+  [[nodiscard]] tensor::Tensor take_accumulated(std::size_t local);
+
+  /// EASGD: center += alpha * (worker - center); returns the elastically
+  /// updated worker tensor (worker - alpha * (worker - center_before)).
+  [[nodiscard]] tensor::Tensor elastic_exchange(
+      std::size_t local, const tensor::Tensor& worker_param, float alpha);
+
+ private:
+  void check_local(std::size_t local) const;
+
+  int shard_;
+  std::vector<std::size_t> slots_;
+  std::unordered_map<std::size_t, std::size_t> slot_to_local_;
+  std::uint64_t bytes_ = 0;
+  std::vector<tensor::Tensor> params_;  // shard-local order
+  std::vector<tensor::Tensor> accum_;   // BSP sum buffers
+  nn::MomentumSgd optimizer_;
+};
+
+}  // namespace dt::ps

@@ -1,0 +1,63 @@
+#include "ps/sharding.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dt::ps {
+
+ShardingPlan ShardingPlan::build(const std::vector<std::uint64_t>& slot_bytes,
+                                 int num_shards, ShardPolicy policy) {
+  common::check(num_shards >= 1, "ShardingPlan: need at least one shard");
+  common::check(!slot_bytes.empty(), "ShardingPlan: no slots");
+  // More shards than slots would leave idle shards; clamp.
+  num_shards = std::min<int>(num_shards, static_cast<int>(slot_bytes.size()));
+
+  ShardingPlan plan;
+  plan.num_shards = num_shards;
+  plan.slot_to_shard.assign(slot_bytes.size(), 0);
+  plan.shard_slots.assign(static_cast<std::size_t>(num_shards), {});
+  plan.shard_bytes.assign(static_cast<std::size_t>(num_shards), 0);
+
+  if (policy == ShardPolicy::round_robin) {
+    for (std::size_t slot = 0; slot < slot_bytes.size(); ++slot) {
+      const int shard = static_cast<int>(slot % static_cast<std::size_t>(num_shards));
+      plan.slot_to_shard[slot] = shard;
+    }
+  } else {
+    // Greedy: process slots by decreasing size, assign to lightest shard.
+    std::vector<std::size_t> order(slot_bytes.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return slot_bytes[a] != slot_bytes[b] ? slot_bytes[a] > slot_bytes[b]
+                                            : a < b;
+    });
+    std::vector<std::uint64_t> load(static_cast<std::size_t>(num_shards), 0);
+    for (std::size_t slot : order) {
+      const auto lightest = static_cast<int>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      plan.slot_to_shard[slot] = lightest;
+      load[static_cast<std::size_t>(lightest)] += slot_bytes[slot];
+    }
+  }
+
+  for (std::size_t slot = 0; slot < slot_bytes.size(); ++slot) {
+    const int shard = plan.slot_to_shard[slot];
+    plan.shard_slots[static_cast<std::size_t>(shard)].push_back(slot);
+    plan.shard_bytes[static_cast<std::size_t>(shard)] += slot_bytes[slot];
+  }
+  return plan;
+}
+
+double ShardingPlan::imbalance() const {
+  const std::uint64_t total =
+      std::accumulate(shard_bytes.begin(), shard_bytes.end(),
+                      static_cast<std::uint64_t>(0));
+  if (total == 0) return 0.0;
+  const std::uint64_t mx =
+      *std::max_element(shard_bytes.begin(), shard_bytes.end());
+  return static_cast<double>(mx) / static_cast<double>(total);
+}
+
+}  // namespace dt::ps

@@ -1,0 +1,39 @@
+// Layer-wise parameter sharding (paper Section V-A).
+//
+// Parameters of one layer (= one slot) always live on exactly one PS shard,
+// "the same way as TensorFlow". The default assignment is round-robin over
+// slots, which balances well for uniform layers (ResNet-50) but leaves the
+// VGG-16 fc1 shard ~75% of all bytes — exactly the bottleneck the paper
+// demonstrates in Fig. 3(e-h). A greedy size-balancing policy is provided
+// for the ablation the paper suggests ("fine-grained sharding ... is
+// necessary for large DNN models").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dt::ps {
+
+enum class ShardPolicy {
+  round_robin,     // slot i -> shard (i mod num_shards), TF-like
+  greedy_balance,  // largest slot first onto the lightest shard
+};
+
+struct ShardingPlan {
+  int num_shards = 1;
+  std::vector<int> slot_to_shard;                  // per slot
+  std::vector<std::vector<std::size_t>> shard_slots;  // inverse mapping
+  std::vector<std::uint64_t> shard_bytes;          // wire bytes per shard
+
+  static ShardingPlan build(const std::vector<std::uint64_t>& slot_bytes,
+                            int num_shards,
+                            ShardPolicy policy = ShardPolicy::round_robin);
+
+  [[nodiscard]] int shard_of(std::size_t slot) const {
+    return slot_to_shard.at(slot);
+  }
+  /// Largest shard's share of total bytes (1/num_shards = perfectly even).
+  [[nodiscard]] double imbalance() const;
+};
+
+}  // namespace dt::ps

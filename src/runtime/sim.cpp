@@ -1,0 +1,233 @@
+#include "runtime/sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dt::runtime {
+
+// ---- Process ------------------------------------------------------------------
+
+Process::Process(SimEngine* engine, int id, std::string name,
+                 std::function<void(Process&)> body, bool daemon)
+    : engine_(engine),
+      id_(id),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      daemon_(daemon) {
+  thread_ = std::thread([this] {
+    {
+      std::unique_lock<std::mutex> lock(engine_->mu_);
+      cv_.wait(lock, [this] { return engine_->running_ == this; });
+      if (kill_requested_) {
+        state_ = State::done;
+        engine_->running_ = nullptr;
+        engine_->engine_cv_.notify_one();
+        return;
+      }
+      state_ = State::running;
+    }
+    try {
+      body_(*this);
+    } catch (const ProcessKilled&) {
+      // normal daemon shutdown
+    } catch (...) {
+      failure_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(engine_->mu_);
+      state_ = State::done;
+      engine_->running_ = nullptr;
+      engine_->engine_cv_.notify_one();
+    }
+  });
+}
+
+void Process::yield_locked(std::unique_lock<std::mutex>& lock) {
+  engine_->running_ = nullptr;
+  engine_->engine_cv_.notify_one();
+  cv_.wait(lock, [this] { return engine_->running_ == this; });
+  wakeable_ = false;
+  state_ = State::running;
+  if (kill_requested_) {
+    // If the stack is already unwinding (a destructor yielded while
+    // ProcessKilled propagates), throwing again would terminate; let the
+    // unwind continue instead.
+    if (std::uncaught_exceptions() == 0) throw ProcessKilled{};
+  }
+}
+
+void Process::advance(double seconds) {
+  common::check(seconds >= 0.0, "Process::advance: negative duration");
+  std::unique_lock<std::mutex> lock(engine_->mu_);
+  common::check(engine_->running_ == this,
+                "Process::advance called from outside the process");
+  state_ = State::ready;
+  ready_time_ = engine_->now_ + seconds;
+  ready_seq_ = ++engine_->seq_counter_;
+  wakeable_ = false;
+  yield_locked(lock);
+}
+
+void Process::wait_event() {
+  std::unique_lock<std::mutex> lock(engine_->mu_);
+  common::check(engine_->running_ == this,
+                "Process::wait_event called from outside the process");
+  state_ = State::blocked;
+  wakeable_ = true;
+  yield_locked(lock);
+}
+
+void Process::wait_event_until(double at) {
+  std::unique_lock<std::mutex> lock(engine_->mu_);
+  common::check(engine_->running_ == this,
+                "Process::wait_event_until called from outside the process");
+  state_ = State::ready;
+  ready_time_ = std::max(at, engine_->now_);
+  ready_seq_ = ++engine_->seq_counter_;
+  wakeable_ = true;
+  yield_locked(lock);
+}
+
+double Process::now() const noexcept { return engine_->now_; }
+
+// ---- SimEngine ------------------------------------------------------------------
+
+SimEngine::~SimEngine() {
+  // Unblock and join every thread, killing processes that never finished
+  // (e.g. when run() threw or was never called).
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& p : processes_) {
+    p->kill_requested_ = true;
+    while (p->state_ != Process::State::done) {
+      resume_locked(lock, *p);
+    }
+  }
+  lock.unlock();
+  for (auto& p : processes_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+}
+
+Process& SimEngine::spawn(std::string name, std::function<void(Process&)> body,
+                          bool daemon) {
+  std::unique_lock<std::mutex> lock(mu_);
+  common::check(!started_, "SimEngine::spawn after run() started");
+  auto proc = std::unique_ptr<Process>(new Process(
+      this, static_cast<int>(processes_.size()), std::move(name),
+      std::move(body), daemon));
+  proc->state_ = Process::State::ready;
+  proc->ready_time_ = 0.0;
+  proc->ready_seq_ = ++seq_counter_;
+  processes_.push_back(std::move(proc));
+  return *processes_.back();
+}
+
+Process* SimEngine::pick_next_locked() {
+  Process* best = nullptr;
+  for (auto& p : processes_) {
+    if (p->state_ != Process::State::ready) continue;
+    if (!best || p->ready_time_ < best->ready_time_ ||
+        (p->ready_time_ == best->ready_time_ &&
+         p->ready_seq_ < best->ready_seq_)) {
+      best = p.get();
+    }
+  }
+  return best;
+}
+
+void SimEngine::resume_locked(std::unique_lock<std::mutex>& lock, Process& p) {
+  running_ = &p;
+  p.cv_.notify_one();
+  engine_cv_.wait(lock, [this] { return running_ == nullptr; });
+}
+
+void SimEngine::kill_daemons_locked(std::unique_lock<std::mutex>& lock) {
+  for (auto& p : processes_) {
+    if (p->state_ == Process::State::done) continue;
+    p->kill_requested_ = true;
+    // A killed process may pass through several yield points while its
+    // destructors run; drive it until completion.
+    while (p->state_ != Process::State::done) {
+      resume_locked(lock, *p);
+    }
+  }
+}
+
+void SimEngine::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  common::check(!started_, "SimEngine::run called twice");
+  started_ = true;
+
+  std::exception_ptr failure;
+  for (;;) {
+    Process* next = pick_next_locked();
+    if (next == nullptr) {
+      bool regular_remaining = false;
+      std::ostringstream blocked_names;
+      for (auto& p : processes_) {
+        if (p->state_ == Process::State::done || p->daemon_) continue;
+        regular_remaining = true;
+        blocked_names << ' ' << p->name_;
+      }
+      if (!regular_remaining) break;  // only daemons left: normal end
+      kill_daemons_locked(lock);
+      lock.unlock();
+      common::fail("SimEngine: deadlock — blocked processes:" +
+                   blocked_names.str());
+    }
+    now_ = std::max(now_, next->ready_time_);
+    resume_locked(lock, *next);
+    if (next->failure_) {
+      failure = next->failure_;
+      break;
+    }
+    // Check whether any non-daemon process is still alive.
+    bool regular_remaining = false;
+    for (auto& p : processes_) {
+      if (!p->daemon_ && p->state_ != Process::State::done) {
+        regular_remaining = true;
+        break;
+      }
+    }
+    if (!regular_remaining) break;
+  }
+
+  kill_daemons_locked(lock);
+  lock.unlock();
+  for (auto& p : processes_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+  if (!failure) {
+    // A process other than the last-resumed one may have failed earlier.
+    for (auto& p : processes_) {
+      if (p->failure_) {
+        failure = p->failure_;
+        break;
+      }
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+}
+
+void SimEngine::wake(Process& p, double at) {
+  std::unique_lock<std::mutex> lock(mu_);
+  common::check(running_ != nullptr, "SimEngine::wake from outside a process");
+  const double at_clamped = std::max(at, now_);
+  if (p.state_ == Process::State::blocked) {
+    p.state_ = Process::State::ready;
+    p.ready_time_ = at_clamped;
+    p.ready_seq_ = ++seq_counter_;
+  } else if (p.state_ == Process::State::ready && p.wakeable_) {
+    if (at_clamped < p.ready_time_) {
+      p.ready_time_ = at_clamped;
+      p.ready_seq_ = ++seq_counter_;
+    }
+  }
+  // Running/done/non-wakeable-ready processes are left untouched: the
+  // payload sits in its queue and is observed at the next scan.
+}
+
+}  // namespace dt::runtime

@@ -1,0 +1,144 @@
+// Cooperative virtual-time process runtime.
+//
+// Every actor in an experiment (worker, PS shard, background communication
+// thread) is a Process: a real std::thread whose execution is serialized by
+// the SimEngine so that EXACTLY ONE process runs at any instant. Time is
+// virtual: a process consumes it only through advance(), and the engine
+// always resumes the process with the smallest next-event time (FIFO
+// tie-break). The result is a discrete-event simulation that
+//   - is bit-for-bit deterministic for a fixed seed, regardless of host
+//     core count or load;
+//   - lets worker code be written as straight-line blocking code (send /
+//     recv / advance) instead of hand-rolled event callbacks;
+//   - gives the accuracy experiments *genuine* asynchrony: the interleaving
+//     of parameter updates is decided by the modeled compute/network times,
+//     exactly as staleness arises on a physical cluster.
+//
+// Threading protocol: one global mutex guards the scheduler state; each
+// process has its own condition variable so a context switch wakes exactly
+// one thread. Processes yield back to the engine at every advance()/block().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dt::runtime {
+
+class SimEngine;
+
+/// Thrown inside daemon processes when the engine shuts them down after all
+/// regular processes finished. Process bodies must let it propagate.
+class ProcessKilled {};
+
+class Process {
+ public:
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Consumes `seconds` of virtual time. Must be called from inside the
+  /// process body. `seconds` may be zero (yields and re-runs at the same
+  /// timestamp, after other processes ready at that time). A process inside
+  /// advance() is NOT wakeable: it models busy compute.
+  void advance(double seconds);
+
+  /// Blocks until another process calls SimEngine::wake() on this process.
+  /// Used by mailboxes when no deliverable message exists.
+  void wait_event();
+
+  /// Sleeps until virtual time `at`, but can be woken earlier by wake().
+  /// Used by mailboxes when the earliest matching message is still in
+  /// flight (arrival known) yet an earlier one might still be sent.
+  void wait_event_until(double at);
+
+  /// Virtual clock (engine-wide).
+  [[nodiscard]] double now() const noexcept;
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] SimEngine& engine() noexcept { return *engine_; }
+
+ private:
+  friend class SimEngine;
+
+  enum class State { created, ready, running, blocked, done };
+
+  Process(SimEngine* engine, int id, std::string name,
+          std::function<void(Process&)> body, bool daemon);
+
+  // Yields to the engine; the caller must have set state_ and ready_time_
+  // while holding the engine mutex. Rechecks the kill flag on resume.
+  void yield_locked(std::unique_lock<std::mutex>& lock);
+
+  SimEngine* engine_;
+  int id_;
+  std::string name_;
+  std::function<void(Process&)> body_;
+  bool daemon_;
+
+  State state_ = State::created;
+  double ready_time_ = 0.0;
+  std::uint64_t ready_seq_ = 0;  // FIFO tie-break for equal ready times
+  bool wakeable_ = false;        // true only while waiting for an event
+  bool kill_requested_ = false;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::exception_ptr failure_;
+};
+
+class SimEngine {
+ public:
+  SimEngine() = default;
+  ~SimEngine();
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Registers a process. `daemon` processes (servers) do not keep the
+  /// simulation alive: once every non-daemon process finishes, daemons are
+  /// killed via ProcessKilled at their next yield point. Must be called
+  /// before run() (no dynamic spawning mid-run).
+  Process& spawn(std::string name, std::function<void(Process&)> body,
+                 bool daemon = false);
+
+  /// Runs the simulation until all non-daemon processes complete. Rethrows
+  /// the first exception raised inside any process. Throws on deadlock
+  /// (processes remain but none is ready) with the blocked process names.
+  void run();
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Makes a blocked process runnable at virtual time `at` (>= now at the
+  /// time it actually resumes; if `at` is in the past it resumes "now").
+  /// If the process is already ready, its wake-up moves earlier only
+  /// (min(at, current)). Callable only from a running process.
+  void wake(Process& p, double at);
+
+  [[nodiscard]] std::size_t num_processes() const noexcept {
+    return processes_.size();
+  }
+
+ private:
+  friend class Process;
+
+  // Scheduler loop helpers; all require mu_ held.
+  Process* pick_next_locked();
+  void resume_locked(std::unique_lock<std::mutex>& lock, Process& p);
+  void kill_daemons_locked(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable engine_cv_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* running_ = nullptr;  // nullptr = engine holds the baton
+  double now_ = 0.0;
+  std::uint64_t seq_counter_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dt::runtime

@@ -1,0 +1,97 @@
+// Math kernels over Tensor / float spans.
+//
+// These are the only numerical primitives the NN and compression substrates
+// use. Everything is single-threaded scalar code tuned for -O2 (the virtual
+// cluster runs exactly one process at a time, so intra-op parallelism would
+// buy nothing); GEMM is blocked for cache reuse which is plenty for the
+// small functional models used in the accuracy experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace dt::common {
+class Rng;
+}
+
+namespace dt::tensor {
+
+// ---- element-wise / BLAS-1 -------------------------------------------------
+
+/// y += alpha * x (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void scale(std::span<float> x, float alpha) noexcept;
+
+/// dst = src (sizes must match).
+void copy(std::span<const float> src, std::span<float> dst);
+
+/// Element-wise: dst = a + b.
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> dst);
+
+/// Element-wise: dst = a - b.
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> dst);
+
+/// Element-wise in place: x = max(x, 0).
+void relu(std::span<float> x) noexcept;
+
+/// Backward of ReLU: grad_in = grad_out where activation > 0, else 0.
+void relu_backward(std::span<const float> activation,
+                   std::span<const float> grad_out, std::span<float> grad_in);
+
+[[nodiscard]] float dot(std::span<const float> a, std::span<const float> b);
+[[nodiscard]] float sum(std::span<const float> x) noexcept;
+[[nodiscard]] float l2_norm(std::span<const float> x) noexcept;
+[[nodiscard]] float max_abs(std::span<const float> x) noexcept;
+
+// ---- GEMM family (row-major) ----------------------------------------------
+
+/// C = A(mxk) * B(kxn). `accumulate` keeps existing C, otherwise C is
+/// overwritten.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c,
+            bool accumulate = false);
+
+/// C = A^T(mxk from kxm? no:) — C(k x n) = A(m x k)^T * B(m x n).
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c,
+               bool accumulate = false);
+
+/// C(m x k) = A(m x n) * B(k x n)^T.
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c,
+               bool accumulate = false);
+
+/// Adds row vector `bias` (size n) to every row of `x` (m x n).
+void add_row_bias(Tensor& x, std::span<const float> bias);
+
+/// Accumulates column sums of `x` (m x n) into `dst` (size n).
+void sum_rows(const Tensor& x, std::span<float> dst);
+
+// ---- softmax / classification ----------------------------------------------
+
+/// Row-wise in-place softmax on logits (m x n), numerically stabilized.
+void softmax_rows(Tensor& logits);
+
+/// Index of the maximum entry of row `r`.
+[[nodiscard]] std::int64_t argmax_row(const Tensor& x, std::int64_t r);
+
+// ---- random fills -----------------------------------------------------------
+
+/// Fills with N(0, stddev^2).
+void fill_normal(Tensor& t, common::Rng& rng, float stddev);
+
+/// Fills with U(-bound, bound).
+void fill_uniform(Tensor& t, common::Rng& rng, float bound);
+
+// ---- selection (used by DGC sparsification) ---------------------------------
+
+/// Magnitude threshold such that exactly `k` elements of `x` satisfy
+/// |x[i]| >= threshold (ties broken arbitrarily but consistently).
+/// Requires 1 <= k <= x.size().
+[[nodiscard]] float topk_abs_threshold(std::span<const float> x,
+                                       std::size_t k);
+
+}  // namespace dt::tensor

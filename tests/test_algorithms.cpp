@@ -1,0 +1,345 @@
+// Protocol-level tests of the seven distributed training algorithms:
+// replica consistency for synchronous algorithms, Table-I communication
+// volumes measured on the simulated network, optimization effects on
+// traffic/time, and deadlock freedom.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <tuple>
+
+#include "core/trainer.hpp"
+
+namespace dt::core {
+namespace {
+
+Workload tiny_functional(int workers, std::uint64_t seed = 17) {
+  FunctionalWorkloadSpec spec;
+  spec.train_samples = 512;
+  spec.test_samples = 128;
+  spec.input_dim = 12;
+  spec.hidden_dim = 16;
+  spec.num_classes = 4;
+  spec.batch = 8;
+  spec.num_workers = workers;
+  spec.seed = seed;
+  return make_functional_workload(spec);
+}
+
+TrainConfig base_config(Algo algo, int workers, double epochs = 4.0) {
+  TrainConfig cfg;
+  cfg.algo = algo;
+  cfg.num_workers = workers;
+  cfg.epochs = epochs;
+  cfg.lr = nn::LrSchedule::paper(workers, epochs, 0.02);
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.seed = 7;
+  return cfg;
+}
+
+double max_param_diff(Workload& wl, int workers) {
+  double mx = 0.0;
+  const auto ref = wl.params(0);
+  for (int w = 1; w < workers; ++w) {
+    const auto p = wl.params(w);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      for (std::int64_t j = 0; j < p[i].numel(); ++j) {
+        mx = std::max(mx, std::fabs(static_cast<double>(
+                              p[i][static_cast<std::size_t>(j)] -
+                              ref[i][static_cast<std::size_t>(j)])));
+      }
+    }
+  }
+  return mx;
+}
+
+TEST(Bsp, ReplicasStayIdenticalAcrossWorkers) {
+  Workload wl = tiny_functional(4);
+  TrainConfig cfg = base_config(Algo::bsp, 4);
+  run_training(cfg, wl);
+  EXPECT_EQ(max_param_diff(wl, 4), 0.0);
+}
+
+TEST(Arsgd, ReplicasStayIdenticalAcrossWorkers) {
+  Workload wl = tiny_functional(4);
+  TrainConfig cfg = base_config(Algo::arsgd, 4);
+  run_training(cfg, wl);
+  // AllReduce gives every worker the identical sum; replicas never diverge.
+  EXPECT_EQ(max_param_diff(wl, 4), 0.0);
+}
+
+TEST(BspVsArsgd, SameLearningTrajectory) {
+  // Both implement synchronous averaged-gradient SGD; up to float
+  // summation order they must train the same model.
+  Workload wl_bsp = tiny_functional(4);
+  TrainConfig cfg = base_config(Algo::bsp, 4);
+  auto r_bsp = run_training(cfg, wl_bsp);
+
+  Workload wl_ar = tiny_functional(4);
+  cfg.algo = Algo::arsgd;
+  auto r_ar = run_training(cfg, wl_ar);
+
+  const auto pb = wl_bsp.params(0);
+  const auto pa = wl_ar.params(0);
+  double mx = 0.0;
+  for (std::size_t i = 0; i < pb.size(); ++i) {
+    for (std::int64_t j = 0; j < pb[i].numel(); ++j) {
+      mx = std::max(mx, std::fabs(static_cast<double>(
+                            pb[i][static_cast<std::size_t>(j)] -
+                            pa[i][static_cast<std::size_t>(j)])));
+    }
+  }
+  EXPECT_LT(mx, 1e-3);
+  EXPECT_NEAR(r_bsp.final_accuracy, r_ar.final_accuracy, 0.05);
+}
+
+TEST(Bsp, ShardCountDoesNotChangeLearning) {
+  Workload wl1 = tiny_functional(4);
+  TrainConfig cfg = base_config(Algo::bsp, 4);
+  cfg.opt.ps_shards_per_machine = 0;  // single PS
+  auto r1 = run_training(cfg, wl1);
+
+  Workload wl4 = tiny_functional(4);
+  cfg.opt.ps_shards_per_machine = 4;
+  auto r4 = run_training(cfg, wl4);
+  EXPECT_DOUBLE_EQ(r1.final_accuracy, r4.final_accuracy);
+}
+
+TEST(Determinism, SameSeedSameResult) {
+  Workload wl1 = tiny_functional(3);
+  TrainConfig cfg = base_config(Algo::asp, 3);
+  auto r1 = run_training(cfg, wl1);
+  Workload wl2 = tiny_functional(3);
+  auto r2 = run_training(cfg, wl2);
+  EXPECT_DOUBLE_EQ(r1.final_accuracy, r2.final_accuracy);
+  EXPECT_DOUBLE_EQ(r1.virtual_duration, r2.virtual_duration);
+  EXPECT_EQ(r1.wire_bytes, r2.wire_bytes);
+}
+
+// ---- Table I communication volumes ------------------------------------------
+
+// One machine per worker (no local aggregation path) so the measured bytes
+// match the analytic formulas exactly; uniform profile avoids rounding
+// artifacts from slot sizing.
+struct TrafficCase {
+  Algo algo;
+  int workers;
+  double tolerance;  // relative
+};
+
+class TrafficVolume : public ::testing::TestWithParam<TrafficCase> {};
+
+TEST_P(TrafficVolume, MatchesTableIFormula) {
+  const TrafficCase tc = GetParam();
+  cost::ModelProfile profile =
+      cost::uniform_profile("uniform", 8, 250'000, 1e8);
+  Workload wl = make_cost_workload(profile, 32);
+
+  TrainConfig cfg;
+  cfg.algo = tc.algo;
+  cfg.num_workers = tc.workers;
+  cfg.cluster.workers_per_machine = 1;  // workers on distinct machines
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.opt.local_aggregation = false;
+  cfg.iterations = 24;  // divisible by tau and s+1
+  cfg.ssp_staleness = 3;
+  cfg.easgd_tau = 4;
+  cfg.gosgd_p = 1.0;  // deterministic gossip for exact accounting
+  cfg.seed = 3;
+
+  auto result = run_training(cfg, wl);
+  const double expected_per_round =
+      expected_bytes_per_round(cfg, profile.total_bytes());
+  const double expected = expected_per_round * static_cast<double>(cfg.iterations);
+  EXPECT_NEAR(static_cast<double>(result.wire_bytes), expected,
+              expected * tc.tolerance)
+      << algo_name(tc.algo) << " with " << tc.workers << " workers";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, TrafficVolume,
+    ::testing::Values(TrafficCase{Algo::bsp, 4, 0.02},
+                      TrafficCase{Algo::asp, 4, 0.02},
+                      TrafficCase{Algo::asp, 8, 0.02},
+                      TrafficCase{Algo::ssp, 4, 0.05},
+                      TrafficCase{Algo::easgd, 4, 0.05},
+                      TrafficCase{Algo::arsgd, 4, 0.02},
+                      TrafficCase{Algo::arsgd, 7, 0.02},
+                      TrafficCase{Algo::gosgd, 4, 0.05},
+                      TrafficCase{Algo::adpsgd, 4, 0.05},
+                      TrafficCase{Algo::adpsgd, 5, 0.05},
+                      TrafficCase{Algo::dpsgd, 4, 0.02},
+                      TrafficCase{Algo::dpsgd, 2, 0.02}));
+
+TEST(Bsp, LocalAggregationCutsInterMachineTraffic) {
+  cost::ModelProfile profile = cost::uniform_profile("uniform", 8, 250'000, 1e8);
+  TrainConfig cfg;
+  cfg.algo = Algo::bsp;
+  cfg.num_workers = 8;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.iterations = 10;
+
+  cfg.opt.local_aggregation = false;
+  Workload wl1 = make_cost_workload(profile, 32);
+  auto without = run_training(cfg, wl1);
+
+  cfg.opt.local_aggregation = true;
+  Workload wl2 = make_cost_workload(profile, 32);
+  auto with = run_training(cfg, wl2);
+
+  // With l = 4 workers per machine, cross-machine PS traffic drops sharply
+  // (not exactly 1/l here because PS shards are co-located round-robin).
+  EXPECT_LT(static_cast<double>(with.inter_machine_bytes),
+            0.7 * static_cast<double>(without.inter_machine_bytes));
+}
+
+// ---- Hyperparameters steer communication -----------------------------------
+
+std::uint64_t run_bytes(Algo algo, const std::function<void(TrainConfig&)>& tweak) {
+  cost::ModelProfile profile = cost::uniform_profile("uniform", 8, 250'000, 1e8);
+  Workload wl = make_cost_workload(profile, 32);
+  TrainConfig cfg;
+  cfg.algo = algo;
+  cfg.num_workers = 4;
+  cfg.cluster.workers_per_machine = 1;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.opt.local_aggregation = false;
+  cfg.iterations = 24;
+  cfg.seed = 5;
+  tweak(cfg);
+  return run_training(cfg, wl).wire_bytes;
+}
+
+TEST(Ssp, LargerStalenessMeansFewerPulls) {
+  const auto s3 = run_bytes(Algo::ssp, [](TrainConfig& c) {
+    c.ssp_staleness = 3;
+  });
+  const auto s11 = run_bytes(Algo::ssp, [](TrainConfig& c) {
+    c.ssp_staleness = 11;
+  });
+  EXPECT_GT(s3, s11);
+}
+
+TEST(Easgd, LargerTauMeansLessTraffic) {
+  const auto t2 = run_bytes(Algo::easgd, [](TrainConfig& c) {
+    c.easgd_tau = 2;
+  });
+  const auto t8 = run_bytes(Algo::easgd, [](TrainConfig& c) {
+    c.easgd_tau = 8;
+  });
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t8), 4.0, 0.4);
+}
+
+TEST(Gosgd, ProbabilityScalesTraffic) {
+  const auto p1 = run_bytes(Algo::gosgd, [](TrainConfig& c) {
+    c.gosgd_p = 1.0;
+  });
+  const auto p01 = run_bytes(Algo::gosgd, [](TrainConfig& c) {
+    c.gosgd_p = 0.1;
+    c.iterations = 240;  // enough trials for the expectation to settle
+  });
+  // p=1 for 24 iters and p=0.1 for 240 iters move similar bytes.
+  EXPECT_NEAR(static_cast<double>(p01) / static_cast<double>(p1), 1.0, 0.35);
+}
+
+// ---- Optimizations ----------------------------------------------------------
+
+TEST(WaitFreeBp, OverlapsBackwardWithCommunication) {
+  cost::ModelProfile profile = cost::vgg16_profile();
+  TrainConfig cfg;
+  cfg.algo = Algo::asp;
+  cfg.num_workers = 8;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 2;
+  cfg.iterations = 12;
+
+  auto duration = [&](double gbps, bool wait_free) {
+    cfg.cluster.nic_gbps = gbps;
+    cfg.opt.wait_free_bp = wait_free;
+    Workload wl = make_cost_workload(profile, 96);
+    return run_training(cfg, wl).virtual_duration;
+  };
+
+  // With ample bandwidth the overlap can only help (communication hides
+  // under the remaining backward compute).
+  EXPECT_LT(duration(56.0, true), duration(56.0, false) * 1.001);
+  // Under saturation the benefit shrinks and queueing-pattern shifts can
+  // even cost a little — the paper's "less effective than it is reported"
+  // observation; assert the effect stays bounded either way.
+  EXPECT_LT(duration(10.0, true), duration(10.0, false) * 1.15);
+}
+
+TEST(Dgc, SlashesPushTraffic) {
+  cost::ModelProfile profile = cost::resnet50_profile();
+  TrainConfig cfg;
+  cfg.algo = Algo::asp;
+  cfg.num_workers = 4;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.iterations = 10;
+
+  Workload wl1 = make_cost_workload(profile, 128);
+  const auto dense = run_training(cfg, wl1).wire_bytes;
+
+  cfg.opt.dgc = true;
+  Workload wl2 = make_cost_workload(profile, 128);
+  const auto sparse = run_training(cfg, wl2).wire_bytes;
+
+  // Pushes shrink ~500x; replies stay dense, so total roughly halves.
+  EXPECT_LT(static_cast<double>(sparse), 0.6 * static_cast<double>(dense));
+  EXPECT_GT(static_cast<double>(sparse), 0.4 * static_cast<double>(dense));
+}
+
+// ---- Deadlock freedom --------------------------------------------------------
+
+class AdpsgdWorkers : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdpsgdWorkers, BipartiteGraphCompletesWithoutDeadlock) {
+  const int workers = GetParam();
+  cost::ModelProfile profile = cost::uniform_profile("u", 4, 100'000, 1e8);
+  Workload wl = make_cost_workload(profile, 32);
+  TrainConfig cfg;
+  cfg.algo = Algo::adpsgd;
+  cfg.num_workers = workers;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.iterations = 15;
+  auto result = run_training(cfg, wl);
+  EXPECT_EQ(result.total_iterations, static_cast<std::int64_t>(workers) * 15);
+  EXPECT_GT(result.virtual_duration, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AdpsgdWorkers,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13));
+
+// ---- every algorithm completes at every scale (smoke matrix) ----------------
+
+class AlgoMatrix
+    : public ::testing::TestWithParam<std::tuple<Algo, int>> {};
+
+TEST_P(AlgoMatrix, CostOnlyRunCompletes) {
+  const auto [algo, workers] = GetParam();
+  cost::ModelProfile profile = cost::uniform_profile("u", 6, 200'000, 2e8);
+  Workload wl = make_cost_workload(profile, 32);
+  TrainConfig cfg;
+  cfg.algo = algo;
+  cfg.num_workers = workers;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.iterations = 8;
+  auto result = run_training(cfg, wl);
+  EXPECT_GT(result.throughput(), 0.0);
+  EXPECT_EQ(result.total_iterations, static_cast<std::int64_t>(workers) * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgos, AlgoMatrix,
+    ::testing::Combine(::testing::Values(Algo::bsp, Algo::asp, Algo::ssp,
+                                         Algo::easgd, Algo::arsgd,
+                                         Algo::gosgd, Algo::adpsgd,
+                                         Algo::dpsgd),
+                       ::testing::Values(1, 2, 5, 8)));
+
+}  // namespace
+}  // namespace dt::core

@@ -1,0 +1,152 @@
+// Tests for the analytical cost profiles: ResNet-50 / VGG-16 structure,
+// the parameter-size skew the paper's sharding analysis relies on, and the
+// compute-time model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "cost/profiles.hpp"
+
+namespace dt::cost {
+namespace {
+
+TEST(Resnet50, TotalsInExpectedRange) {
+  ModelProfile m = resnet50_profile();
+  // Canonical ResNet-50: ~25.6 M params, ~4.1 GFLOP forward per image
+  // (the paper quotes 23 M, excluding batch-norm and counting slightly
+  // differently; we accept the canonical range).
+  EXPECT_GT(m.total_params(), 23'000'000);
+  EXPECT_LT(m.total_params(), 27'000'000);
+  // ~3.9 GMAC = ~7.7 GFLOP forward (multiply+add counted separately).
+  EXPECT_GT(m.total_flops_fwd(), 6.8e9);
+  EXPECT_LT(m.total_flops_fwd(), 8.6e9);
+  // 1 stem + 16 blocks * 3 convs + 4 downsamples + 1 fc = 54 param layers.
+  EXPECT_EQ(m.num_layers(), 54u);
+}
+
+TEST(Vgg16, TotalsInExpectedRange) {
+  ModelProfile m = vgg16_profile();
+  // Canonical VGG-16: 138.3 M params, ~15.5 GFLOP forward per image.
+  EXPECT_GT(m.total_params(), 136'000'000);
+  EXPECT_LT(m.total_params(), 140'000'000);
+  // ~15.5 GMAC = ~31 GFLOP forward.
+  EXPECT_GT(m.total_flops_fwd(), 28.0e9);
+  EXPECT_LT(m.total_flops_fwd(), 34.0e9);
+  EXPECT_EQ(m.num_layers(), 16u);
+}
+
+TEST(Vgg16, Fc1DominatesParameters) {
+  ModelProfile m = vgg16_profile();
+  const auto fc1 = std::find_if(m.layers.begin(), m.layers.end(),
+                                [](const LayerCost& l) {
+                                  return l.name == "fc1";
+                                });
+  ASSERT_NE(fc1, m.layers.end());
+  const double share = static_cast<double>(fc1->params) /
+                       static_cast<double>(m.total_params());
+  // The paper: "the size of the first fully connected layer is particularly
+  // large (about 75% of total parameters)".
+  EXPECT_NEAR(share, 0.74, 0.03);
+}
+
+TEST(Resnet50, NoSingleLayerDominates) {
+  ModelProfile m = resnet50_profile();
+  std::int64_t mx = 0;
+  for (const auto& l : m.layers) mx = std::max(mx, l.params);
+  EXPECT_LT(static_cast<double>(mx) / m.total_params(), 0.2);
+}
+
+TEST(TitanV, MatchesPaperSpec) {
+  DeviceProfile d = titan_v();
+  EXPECT_DOUBLE_EQ(d.peak_flops, 14.90e12);
+  EXPECT_GT(d.effective_flops(), 0.0);
+  EXPECT_LT(d.effective_flops(), d.peak_flops);
+}
+
+TEST(ComputeModel, TimeScalesWithBatchAndDevice) {
+  ModelProfile m = resnet50_profile();
+  ComputeModel cm;
+  cm.jitter_sigma = 0.0;
+  common::Rng rng(1);
+  const double t128 = cm.forward_time(m, 128, rng);
+  const double t256 = cm.forward_time(m, 256, rng);
+  EXPECT_NEAR(t256 / t128, 2.0, 1e-9);
+
+  ComputeModel faster = cm;
+  faster.device.peak_flops *= 2.0;
+  EXPECT_NEAR(cm.forward_time(m, 128, rng) /
+                  faster.forward_time(m, 128, rng),
+              2.0, 1e-9);
+}
+
+TEST(ComputeModel, BackwardIsTwiceForward) {
+  ModelProfile m = vgg16_profile();
+  ComputeModel cm;
+  cm.jitter_sigma = 0.0;
+  common::Rng rng(1);
+  EXPECT_NEAR(cm.backward_time(m, 64, rng) / cm.forward_time(m, 64, rng),
+              2.0, 1e-9);
+}
+
+TEST(ComputeModel, ResNetIterationTimeIsPlausible) {
+  // Paper-scale sanity: ResNet-50, batch 128 on a TITAN V should take a few
+  // hundred milliseconds per fwd+bwd iteration.
+  ModelProfile m = resnet50_profile();
+  ComputeModel cm;
+  cm.jitter_sigma = 0.0;
+  common::Rng rng(1);
+  const double iter = cm.forward_time(m, 128, rng) +
+                      cm.backward_time(m, 128, rng);
+  EXPECT_GT(iter, 0.1);
+  EXPECT_LT(iter, 1.0);
+}
+
+TEST(ComputeModel, JitterSpreadAroundFivePercent) {
+  ModelProfile m = resnet50_profile();
+  ComputeModel cm;
+  cm.jitter_sigma = 0.02;
+  common::Rng rng(7);
+  double lo = 1e30, hi = 0.0, sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double t = cm.forward_time(m, 128, rng);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+    sum += t;
+  }
+  const double mean = sum / n;
+  // The paper observed the fastest-slowest spread to be ~5% of compute time.
+  EXPECT_GT((hi - lo) / mean, 0.02);
+  EXPECT_LT((hi - lo) / mean, 0.25);
+}
+
+TEST(ComputeModel, BackwardLayerTimesSumToBackwardTotal) {
+  ModelProfile m = resnet50_profile();
+  ComputeModel cm;
+  cm.jitter_sigma = 0.0;
+  common::Rng rng(1);
+  double per_layer = 0.0;
+  for (std::size_t i = 0; i < m.num_layers(); ++i) {
+    per_layer += cm.backward_layer_time(m, i, 128);
+  }
+  EXPECT_NEAR(per_layer, cm.backward_time(m, 128, rng), 1e-9);
+}
+
+TEST(AggregationModel, LinearInBytes) {
+  AggregationModel agg{.agg_bandwidth = 8e9};
+  EXPECT_DOUBLE_EQ(agg.time(8'000'000'000ull), 1.0);
+  EXPECT_DOUBLE_EQ(agg.time(0), 0.0);
+}
+
+TEST(UniformProfile, Shape) {
+  ModelProfile m = uniform_profile("u", 10, 1000, 2e6);
+  EXPECT_EQ(m.num_layers(), 10u);
+  EXPECT_EQ(m.total_params(), 10'000);
+  EXPECT_DOUBLE_EQ(m.total_flops_fwd(), 2e7);
+  EXPECT_THROW(uniform_profile("bad", 0, 1, 1.0), common::Error);
+}
+
+}  // namespace
+}  // namespace dt::cost

@@ -1,0 +1,246 @@
+// Tests for dataset generation, sharding, splitting and batch iteration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace dt::data {
+namespace {
+
+TEST(TeacherStudent, ShapesAndLabelRange) {
+  common::Rng rng(1);
+  TeacherStudentSpec spec;
+  spec.num_samples = 500;
+  spec.input_dim = 16;
+  spec.num_classes = 6;
+  Dataset ds = make_teacher_student(spec, rng);
+  EXPECT_EQ(ds.size(), 500);
+  EXPECT_EQ(ds.feature_size(), 16);
+  EXPECT_EQ(ds.num_classes, 6);
+  for (auto y : ds.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 6);
+  }
+}
+
+TEST(TeacherStudent, UsesMultipleClasses) {
+  common::Rng rng(2);
+  TeacherStudentSpec spec;
+  spec.num_samples = 2000;
+  spec.num_classes = 10;
+  Dataset ds = make_teacher_student(spec, rng);
+  std::set<std::int32_t> seen(ds.labels.begin(), ds.labels.end());
+  EXPECT_GE(seen.size(), 6u);  // a random teacher may rarely use a few less
+}
+
+TEST(TeacherStudent, DeterministicGivenRngState) {
+  common::Rng r1(5), r2(5);
+  TeacherStudentSpec spec;
+  spec.num_samples = 64;
+  Dataset a = make_teacher_student(spec, r1);
+  Dataset b = make_teacher_student(spec, r2);
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::int64_t i = 0; i < a.inputs.numel(); ++i) {
+    EXPECT_EQ(a.inputs[static_cast<std::size_t>(i)],
+              b.inputs[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(GaussianMixture, ClassMeansSeparated) {
+  common::Rng rng(3);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 4000;
+  spec.num_classes = 4;
+  spec.input_dim = 8;
+  spec.mean_radius = 5.0;
+  spec.noise_stddev = 0.5;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  // Per-class centroid norms should be close to mean_radius.
+  for (std::int32_t c = 0; c < 4; ++c) {
+    std::vector<double> centroid(8, 0.0);
+    int count = 0;
+    for (std::int64_t i = 0; i < ds.size(); ++i) {
+      if (ds.labels[static_cast<std::size_t>(i)] != c) continue;
+      ++count;
+      for (int j = 0; j < 8; ++j) {
+        centroid[static_cast<std::size_t>(j)] +=
+            ds.inputs[static_cast<std::size_t>(i * 8 + j)];
+      }
+    }
+    ASSERT_GT(count, 0);
+    double norm = 0;
+    for (double v : centroid) norm += (v / count) * (v / count);
+    EXPECT_NEAR(std::sqrt(norm), 5.0, 1.0);
+  }
+}
+
+TEST(ImageBlobs, QuadrantPatternPresent) {
+  common::Rng rng(4);
+  ImageBlobSpec spec;
+  spec.num_samples = 200;
+  spec.image_size = 8;
+  spec.num_classes = 4;
+  spec.noise_stddev = 0.01;
+  Dataset ds = make_image_blobs(spec, rng);
+  EXPECT_EQ(ds.inputs.shape(), (tensor::Shape{200, 1, 8, 8}));
+  // For a label-0 sample the top-left quadrant mean should be ~1 higher.
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    if (ds.labels[static_cast<std::size_t>(i)] != 0) continue;
+    const float* img = ds.inputs.data().data() + i * 64;
+    double q0 = 0, q3 = 0;
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        q0 += img[y * 8 + x];
+        q3 += img[(y + 4) * 8 + (x + 4)];
+      }
+    }
+    EXPECT_GT(q0, q3 + 10.0);
+    break;
+  }
+}
+
+TEST(Shard, PartitionIsDisjointAndComplete) {
+  common::Rng rng(6);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 103;  // deliberately not divisible
+  Dataset ds = make_gaussian_mixture(spec, rng);
+
+  const int workers = 4;
+  std::int64_t total = 0;
+  for (int w = 0; w < workers; ++w) {
+    Dataset sh = shard(ds, w, workers);
+    total += sh.size();
+    // Strided shard: sample j of worker w is original row w + j*workers.
+    for (std::int64_t j = 0; j < sh.size(); ++j) {
+      const std::int64_t orig = w + j * workers;
+      EXPECT_EQ(sh.labels[static_cast<std::size_t>(j)],
+                ds.labels[static_cast<std::size_t>(orig)]);
+    }
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(Shard, BadWorkerIndexThrows) {
+  common::Rng rng(6);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 16;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  EXPECT_THROW(shard(ds, 4, 4), common::Error);
+  EXPECT_THROW(shard(ds, -1, 4), common::Error);
+}
+
+TEST(ShardNonIid, ContiguousLabelRangesDisjointAndComplete) {
+  common::Rng rng(12);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 120;
+  spec.num_classes = 8;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+
+  const int workers = 4;
+  std::int64_t total = 0;
+  std::multiset<std::int32_t> all_labels(ds.labels.begin(), ds.labels.end());
+  std::multiset<std::int32_t> shard_labels;
+  for (int w = 0; w < workers; ++w) {
+    Dataset sh = shard_non_iid(ds, w, workers);
+    total += sh.size();
+    std::set<std::int32_t> classes(sh.labels.begin(), sh.labels.end());
+    // Pathological split: each worker sees only a few of the 8 classes.
+    EXPECT_LE(classes.size(), 4u) << "worker " << w;
+    // Labels inside a shard are sorted (contiguous label range).
+    EXPECT_TRUE(std::is_sorted(sh.labels.begin(), sh.labels.end()));
+    shard_labels.insert(sh.labels.begin(), sh.labels.end());
+  }
+  EXPECT_EQ(total, ds.size());
+  EXPECT_EQ(shard_labels, all_labels);  // partition preserves multiplicity
+}
+
+TEST(ShardNonIid, BadWorkerIndexThrows) {
+  common::Rng rng(13);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 16;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  EXPECT_THROW(shard_non_iid(ds, 4, 4), common::Error);
+}
+
+TEST(SplitTrainTest, SizesAndNoOverlap) {
+  common::Rng rng(7);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 100;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  auto [train, test] = split_train_test(ds, 0.2);
+  EXPECT_EQ(train.size(), 80);
+  EXPECT_EQ(test.size(), 20);
+  EXPECT_EQ(test.labels[0], ds.labels[80]);
+}
+
+TEST(BatchIterator, CoversEverySampleOncePerEpoch) {
+  common::Rng rng(8);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 64;
+  spec.input_dim = 2;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  // Tag each sample by a unique value in feature 0 so batches identify rows.
+  for (std::int64_t i = 0; i < 64; ++i) {
+    ds.inputs[static_cast<std::size_t>(i * 2)] = static_cast<float>(i);
+  }
+  BatchIterator it(ds, 16, common::Rng(99));
+  EXPECT_EQ(it.batches_per_epoch(), 4);
+  std::multiset<int> seen;
+  for (int b = 0; b < 4; ++b) {
+    auto batch = it.next();
+    EXPECT_EQ(batch.labels.size(), 16u);
+    for (int r = 0; r < 16; ++r) {
+      seen.insert(static_cast<int>(batch.inputs.at(r, 0)));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(BatchIterator, ShufflesBetweenEpochs) {
+  common::Rng rng(9);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 32;
+  spec.input_dim = 2;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  for (std::int64_t i = 0; i < 32; ++i) {
+    ds.inputs[static_cast<std::size_t>(i * 2)] = static_cast<float>(i);
+  }
+  BatchIterator it(ds, 32, common::Rng(4));
+  auto e1 = it.next();
+  auto e2 = it.next();
+  int same_position = 0;
+  for (int r = 0; r < 32; ++r) {
+    if (e1.inputs.at(r, 0) == e2.inputs.at(r, 0)) ++same_position;
+  }
+  EXPECT_LT(same_position, 12);
+}
+
+TEST(BatchIterator, BatchLargerThanDatasetClamps) {
+  common::Rng rng(10);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 10;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  BatchIterator it(ds, 64, common::Rng(1));
+  auto b = it.next();
+  EXPECT_EQ(b.labels.size(), 10u);
+}
+
+TEST(Gather, ExtractsRows) {
+  common::Rng rng(11);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 8;
+  spec.input_dim = 3;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  std::vector<std::int64_t> rows = {7, 0};
+  tensor::Tensor sub = ds.gather(rows);
+  EXPECT_EQ(sub.shape(), (tensor::Shape{2, 3}));
+  EXPECT_EQ(sub.at(0, 1), ds.inputs.at(7, 1));
+  EXPECT_EQ(sub.at(1, 2), ds.inputs.at(0, 2));
+}
+
+}  // namespace
+}  // namespace dt::data

@@ -1,0 +1,213 @@
+// Tests for Deep Gradient Compression: warm-up schedule, top-k selection,
+// residual accumulation ("no gradient is ever lost"), momentum correction,
+// factor masking, and wire-size accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "compress/dgc.hpp"
+#include "tensor/ops.hpp"
+
+namespace dt::compress {
+namespace {
+
+DgcConfig plain_config() {
+  DgcConfig cfg;
+  cfg.final_sparsity = 0.9;  // top 10% on small test vectors
+  cfg.momentum_correction = false;
+  cfg.factor_masking = false;
+  cfg.clip_norm = 0.0;
+  cfg.warmup_epochs = 0.0;
+  return cfg;
+}
+
+TEST(DgcSchedule, CanonicalWarmupSteps) {
+  DgcConfig cfg;
+  cfg.final_sparsity = 0.999;
+  cfg.warmup_epochs = 4.0;
+  // Lin et al.: 75% -> 93.75% -> 98.4375% -> 99.6% -> 99.9%.
+  EXPECT_NEAR(DgcCompressor::sparsity_at(cfg, 0.0), 0.75, 1e-9);
+  EXPECT_NEAR(DgcCompressor::sparsity_at(cfg, 1.0), 0.9375, 1e-9);
+  EXPECT_NEAR(DgcCompressor::sparsity_at(cfg, 2.0), 0.984375, 1e-9);
+  EXPECT_NEAR(DgcCompressor::sparsity_at(cfg, 3.0), 0.99609375, 1e-6);
+  EXPECT_NEAR(DgcCompressor::sparsity_at(cfg, 4.0), 0.999, 1e-9);
+  EXPECT_NEAR(DgcCompressor::sparsity_at(cfg, 50.0), 0.999, 1e-12);
+}
+
+TEST(DgcSchedule, DisabledWarmupIsFlat) {
+  DgcConfig cfg = plain_config();
+  EXPECT_DOUBLE_EQ(DgcCompressor::sparsity_at(cfg, 0.0), 0.9);
+}
+
+TEST(Dgc, CompressSelectsTopKWithoutAccumulationEffects) {
+  DgcConfig cfg = plain_config();
+  DgcCompressor dgc(cfg, {20});
+  std::vector<float> grad(20, 0.0f);
+  for (int i = 0; i < 20; ++i) grad[static_cast<std::size_t>(i)] = i - 10.5f;
+  SparseSlot out = dgc.compress(0, grad, 100.0);
+  // k = round(0.1 * 20) = 2: the two largest magnitudes are -10.5 and 9.5...
+  // values: -10.5..8.5 -> |.| max are index 0 (-10.5) and index 1 (-9.5).
+  ASSERT_EQ(out.indices.size(), 2u);
+  EXPECT_EQ(out.indices[0], 0u);
+  EXPECT_EQ(out.indices[1], 1u);
+  EXPECT_FLOAT_EQ(out.values[0], -10.5f);
+}
+
+TEST(Dgc, ResidualKeepsUncommunicatedMass) {
+  DgcConfig cfg = plain_config();
+  DgcCompressor dgc(cfg, {10});
+  std::vector<float> grad = {5, 4, 3, 2, 1, -1, -2, -3, -4, 0.5f};
+  SparseSlot out = dgc.compress(0, grad, 100.0);  // k = 1 -> only "5"
+  ASSERT_EQ(out.indices.size(), 1u);
+  EXPECT_EQ(out.indices[0], 0u);
+  // Everything not sent stays in the residual.
+  auto res = dgc.residual(0);
+  EXPECT_FLOAT_EQ(res[0], 0.0f);  // communicated -> cleared
+  EXPECT_FLOAT_EQ(res[1], 4.0f);
+  EXPECT_FLOAT_EQ(res[8], -4.0f);
+}
+
+TEST(Dgc, AccumulatedResidualEventuallyCommunicated) {
+  DgcConfig cfg = plain_config();
+  DgcCompressor dgc(cfg, {10});
+  std::vector<float> grad = {0, 3, 0, 0, 0, 0, 0, 0, 0, 0};
+  // After round 1: index 1 has residual 3 but "0" wins? No: 3 is the max.
+  SparseSlot r1 = dgc.compress(0, grad, 100.0);
+  EXPECT_EQ(r1.indices[0], 1u);
+  EXPECT_FLOAT_EQ(r1.values[0], 3.0f);
+  // Now feed a spike at index 7 and nothing at 1; 7 is communicated, 1 = 0.
+  std::vector<float> grad2 = {0, 0, 0, 0, 0, 0, 0, 9, 0, 0};
+  SparseSlot r2 = dgc.compress(0, grad2, 100.0);
+  EXPECT_EQ(r2.indices[0], 7u);
+  // A persistent gradient direction is communicated without loss: the sum
+  // of what is sent plus the remaining residual equals the injected mass.
+  std::vector<float> tiny(10, 0.0f);
+  tiny[4] = 0.6f;
+  double sent_total = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    SparseSlot out = dgc.compress(0, tiny, 100.0);
+    for (std::size_t j = 0; j < out.indices.size(); ++j) {
+      if (out.indices[j] == 4u) sent_total += out.values[j];
+    }
+  }
+  EXPECT_NEAR(sent_total + dgc.residual(0)[4], 0.6 * 4, 1e-5);
+}
+
+TEST(Dgc, MassConservation) {
+  // communicated + residual == running sum of clipped gradients (no
+  // momentum correction). Property over random inputs.
+  DgcConfig cfg = plain_config();
+  const std::int64_t n = 64;
+  DgcCompressor dgc(cfg, {n});
+  common::Rng rng(5);
+  std::vector<double> injected(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> sent(static_cast<std::size_t>(n), 0.0);
+  std::vector<float> grad(static_cast<std::size_t>(n));
+  for (int round = 0; round < 20; ++round) {
+    for (auto& g : grad) g = static_cast<float>(rng.normal(0.0, 1.0));
+    for (std::int64_t i = 0; i < n; ++i) {
+      injected[static_cast<std::size_t>(i)] +=
+          grad[static_cast<std::size_t>(i)];
+    }
+    SparseSlot out = dgc.compress(0, grad, 100.0);
+    for (std::size_t j = 0; j < out.indices.size(); ++j) {
+      sent[out.indices[j]] += out.values[j];
+    }
+  }
+  auto res = dgc.residual(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sent[static_cast<std::size_t>(i)] +
+                    res[static_cast<std::size_t>(i)],
+                injected[static_cast<std::size_t>(i)], 1e-3);
+  }
+}
+
+TEST(Dgc, MomentumCorrectionAmplifiesPersistentDirections) {
+  DgcConfig cfg = plain_config();
+  cfg.momentum_correction = true;
+  cfg.momentum = 0.9f;
+  DgcCompressor with(cfg, {4});
+  DgcConfig cfg2 = plain_config();
+  DgcCompressor without(cfg2, {4});
+
+  std::vector<float> grad = {1.0f, 0.0f, 0.0f, 0.0f};
+  SparseSlot a, b;
+  for (int i = 0; i < 5; ++i) {
+    a = with.compress(0, grad, 100.0);
+    b = without.compress(0, grad, 100.0);
+  }
+  // With momentum correction the accumulated velocity compounds, so the
+  // communicated magnitude exceeds the plain accumulation's.
+  ASSERT_FALSE(a.values.empty());
+  ASSERT_FALSE(b.values.empty());
+  EXPECT_GT(a.values[0], b.values[0]);
+}
+
+TEST(Dgc, FactorMaskingClearsVelocityOfSentEntries) {
+  DgcConfig cfg = plain_config();
+  cfg.momentum_correction = true;
+  cfg.factor_masking = true;
+  DgcCompressor dgc(cfg, {4});
+  std::vector<float> grad = {1.0f, 0.0f, 0.0f, 0.0f};
+  SparseSlot first = dgc.compress(0, grad, 100.0);
+  ASSERT_EQ(first.indices[0], 0u);
+  const float v1 = first.values[0];
+  SparseSlot second = dgc.compress(0, grad, 100.0);
+  // With masking, the velocity restarts after communication: same value.
+  EXPECT_FLOAT_EQ(second.values[0], v1);
+}
+
+TEST(Dgc, ClippingBoundsLocalNorm) {
+  DgcConfig cfg = plain_config();
+  cfg.clip_norm = 1.0;
+  cfg.num_workers = 4;  // limit = 1/sqrt(4) = 0.5
+  DgcCompressor dgc(cfg, {2});
+  std::vector<float> grad = {3.0f, 4.0f};  // norm 5
+  SparseSlot out = dgc.compress(0, grad, 100.0);
+  // After clipping to norm 0.5 the largest entry is 4 * 0.1 = 0.4.
+  ASSERT_EQ(out.indices.size(), 1u);
+  EXPECT_EQ(out.indices[0], 1u);
+  EXPECT_NEAR(out.values[0], 0.4f, 1e-5);
+}
+
+TEST(Dgc, ApplyScatterAdds) {
+  SparseSlot s;
+  s.indices = {1, 3};
+  s.values = {2.0f, -1.0f};
+  std::vector<float> dense(4, 10.0f);
+  DgcCompressor::apply(s, dense);
+  EXPECT_FLOAT_EQ(dense[0], 10.0f);
+  EXPECT_FLOAT_EQ(dense[1], 12.0f);
+  EXPECT_FLOAT_EQ(dense[3], 9.0f);
+  SparseSlot bad;
+  bad.indices = {9};
+  bad.values = {1.0f};
+  EXPECT_THROW(DgcCompressor::apply(bad, dense), common::Error);
+}
+
+TEST(Dgc, WireBytesReflectDensity) {
+  DgcConfig cfg;
+  cfg.final_sparsity = 0.999;
+  cfg.warmup_epochs = 0.0;
+  DgcCompressor dgc(cfg, {1000000});
+  // Dense 4 MB -> 0.1% density, doubled for index+value = 8 KB.
+  EXPECT_NEAR(static_cast<double>(dgc.wire_bytes(4'000'000, 100.0)), 8000.0,
+              1.0);
+  SparseSlot s;
+  s.indices = {1, 2, 3};
+  s.values = {1, 2, 3};
+  EXPECT_EQ(s.wire_bytes(), 24u);
+}
+
+TEST(Dgc, SlotSizeMismatchThrows) {
+  DgcCompressor dgc(plain_config(), {8});
+  std::vector<float> grad(9, 0.0f);
+  EXPECT_THROW(dgc.compress(0, grad, 1.0), common::Error);
+  std::vector<float> ok(8, 0.0f);
+  EXPECT_THROW(dgc.compress(1, ok, 1.0), common::Error);
+}
+
+}  // namespace
+}  // namespace dt::compress

@@ -1,0 +1,176 @@
+// Tests for the INI parser and the declarative experiment loader behind
+// the `dtrain` runner.
+#include <gtest/gtest.h>
+
+#include "common/ini.hpp"
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+
+namespace dt {
+namespace {
+
+TEST(Ini, ParsesSectionsKeysAndComments) {
+  const auto cfg = common::IniConfig::parse_string(R"(
+# leading comment
+[alpha]
+name = hello world   ; trailing comment
+count = 42
+ratio = 0.25
+flag = true
+
+[beta]
+empty_ok =
+)");
+  EXPECT_TRUE(cfg.has("alpha", "name"));
+  EXPECT_EQ(cfg.get("alpha", "name"), "hello world");
+  EXPECT_EQ(cfg.get_int("alpha", "count", -1), 42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("alpha", "ratio", 0.0), 0.25);
+  EXPECT_TRUE(cfg.get_bool("alpha", "flag", false));
+  EXPECT_EQ(cfg.get("beta", "empty_ok", "zz"), "");
+  EXPECT_EQ(cfg.get("missing", "key", "fallback"), "fallback");
+  EXPECT_EQ(cfg.sections(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(cfg.keys("alpha").size(), 4u);
+}
+
+TEST(Ini, LaterDuplicateWins) {
+  const auto cfg = common::IniConfig::parse_string("[s]\nk = 1\nk = 2\n");
+  EXPECT_EQ(cfg.get_int("s", "k", 0), 2);
+}
+
+TEST(Ini, BooleanSpellings) {
+  const auto cfg = common::IniConfig::parse_string(
+      "[s]\na = YES\nb = off\nc = 1\nd = False\n");
+  EXPECT_TRUE(cfg.get_bool("s", "a", false));
+  EXPECT_FALSE(cfg.get_bool("s", "b", true));
+  EXPECT_TRUE(cfg.get_bool("s", "c", false));
+  EXPECT_FALSE(cfg.get_bool("s", "d", true));
+}
+
+TEST(Ini, MalformedInputThrows) {
+  EXPECT_THROW(common::IniConfig::parse_string("[unterminated\n"),
+               common::Error);
+  EXPECT_THROW(common::IniConfig::parse_string("[s]\nno_equals_here\n"),
+               common::Error);
+  EXPECT_THROW(common::IniConfig::parse_string("[s]\n= value\n"),
+               common::Error);
+  const auto cfg = common::IniConfig::parse_string("[s]\nk = abc\n");
+  EXPECT_THROW((void)cfg.get_int("s", "k", 0), common::Error);
+  EXPECT_THROW((void)cfg.get_double("s", "k", 0.0), common::Error);
+  EXPECT_THROW((void)cfg.get_bool("s", "k", false), common::Error);
+}
+
+TEST(Experiment, AlgoNamesParseFlexibly) {
+  using core::Algo;
+  EXPECT_EQ(core::algo_from_name("bsp"), Algo::bsp);
+  EXPECT_EQ(core::algo_from_name("AD-PSGD"), Algo::adpsgd);
+  EXPECT_EQ(core::algo_from_name("ar_sgd"), Algo::arsgd);
+  EXPECT_EQ(core::algo_from_name("GoSGD"), Algo::gosgd);
+  EXPECT_EQ(core::algo_from_name("D-PSGD"), Algo::dpsgd);
+  EXPECT_THROW(core::algo_from_name("hogwild"), common::Error);
+}
+
+TEST(Experiment, FromIniFillsConfig) {
+  const auto ini = common::IniConfig::parse_string(R"(
+[experiment]
+algorithm = ssp
+mode = throughput
+workers = 16
+iterations = 12
+seed = 9
+
+[cluster]
+workers_per_machine = 4
+nic_gbps = 10
+
+[optimizations]
+ps_shards_per_machine = 4
+wait_free_bp = yes
+qsgd_bits = 4
+shard_policy = greedy
+
+[hyperparameters]
+ssp_staleness = 5
+lr_per_worker = 0.01
+
+[workload]
+model = vgg16
+batch = 96
+
+[failures]
+straggler_rank = 2
+straggler_slowdown = 2.5
+)");
+  const auto spec = core::ExperimentSpec::from_ini(ini);
+  EXPECT_EQ(spec.config.algo, core::Algo::ssp);
+  EXPECT_FALSE(spec.functional);
+  EXPECT_EQ(spec.config.num_workers, 16);
+  EXPECT_EQ(spec.config.iterations, 12);
+  EXPECT_EQ(spec.config.seed, 9u);
+  EXPECT_DOUBLE_EQ(spec.config.cluster.nic_gbps, 10.0);
+  EXPECT_EQ(spec.config.opt.ps_shards_per_machine, 4);
+  EXPECT_TRUE(spec.config.opt.wait_free_bp);
+  EXPECT_EQ(spec.config.opt.qsgd_bits, 4);
+  EXPECT_EQ(spec.config.opt.shard_policy, ps::ShardPolicy::greedy_balance);
+  EXPECT_EQ(spec.config.ssp_staleness, 5);
+  EXPECT_EQ(spec.model, "vgg16");
+  EXPECT_EQ(spec.batch, 96);
+  EXPECT_EQ(spec.config.straggler_rank, 2);
+  EXPECT_DOUBLE_EQ(spec.config.straggler_slowdown, 2.5);
+  // LR schedule scaled by workers.
+  EXPECT_NEAR(spec.config.lr.base_lr, 0.01 * 16, 1e-12);
+}
+
+TEST(Experiment, RejectsBadValues) {
+  EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+                   "[experiment]\nmode = turbo\n")),
+               common::Error);
+  EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+                   "[workload]\nmodel = alexnet\n")),
+               common::Error);
+  EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+                   "[experiment]\nworkers = 0\n")),
+               common::Error);
+}
+
+TEST(Experiment, MakeWorkloadRespectsMode) {
+  {
+    const auto ini = common::IniConfig::parse_string(
+        "[experiment]\nmode = throughput\n[workload]\nmodel = vgg16\n");
+    const auto spec = core::ExperimentSpec::from_ini(ini);
+    core::Workload wl = spec.make_workload();
+    EXPECT_FALSE(wl.functional());
+    EXPECT_EQ(wl.num_slots(), 16u);
+  }
+  {
+    const auto ini = common::IniConfig::parse_string(
+        "[experiment]\nmode = functional\nworkers = 2\n"
+        "[workload]\ntrain_samples = 512\ntest_samples = 128\n");
+    const auto spec = core::ExperimentSpec::from_ini(ini);
+    core::Workload wl = spec.make_workload();
+    EXPECT_TRUE(wl.functional());
+    EXPECT_EQ(wl.num_workers(), 2);
+  }
+}
+
+TEST(Experiment, EndToEndTinyRun) {
+  const auto ini = common::IniConfig::parse_string(R"(
+[experiment]
+algorithm = dpsgd
+mode = functional
+workers = 2
+epochs = 2
+
+[workload]
+train_samples = 256
+test_samples = 64
+)");
+  const auto spec = core::ExperimentSpec::from_ini(ini);
+  core::Workload wl = spec.make_workload();
+  auto result = core::run_training(spec.config, wl);
+  EXPECT_EQ(result.algorithm, "D-PSGD");
+  EXPECT_GT(result.final_accuracy, 0.0);
+  EXPECT_GT(result.total_iterations, 0);
+}
+
+}  // namespace
+}  // namespace dt

@@ -1,0 +1,326 @@
+// End-to-end integration tests: functional training through the full
+// simulated cluster for all seven algorithms, plus reproductions (at test
+// scale) of the paper's headline qualitative findings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/trainer.hpp"
+
+namespace dt::core {
+namespace {
+
+Workload easy_workload(int workers, std::uint64_t seed = 29) {
+  FunctionalWorkloadSpec spec;
+  spec.train_samples = 1024;
+  spec.test_samples = 256;
+  spec.input_dim = 12;
+  spec.hidden_dim = 24;
+  spec.num_classes = 4;
+  spec.batch = 16;
+  spec.num_workers = workers;
+  spec.seed = seed;
+  return make_functional_workload(spec);
+}
+
+TrainConfig functional_config(Algo algo, int workers, double epochs = 10.0) {
+  TrainConfig cfg;
+  cfg.algo = algo;
+  cfg.num_workers = workers;
+  cfg.epochs = epochs;
+  cfg.lr = nn::LrSchedule::paper(workers, epochs, 0.02);
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.seed = 13;
+  return cfg;
+}
+
+class AllAlgosLearn : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(AllAlgosLearn, ReachesReasonableAccuracyWithFourWorkers) {
+  const Algo algo = GetParam();
+  Workload wl = easy_workload(4);
+  TrainConfig cfg = functional_config(algo, 4);
+  // Keep aggregation frequent at this scale so every algorithm converges;
+  // the sensitivity bench explores the degradation regimes.
+  cfg.ssp_staleness = 3;
+  cfg.easgd_tau = 2;
+  cfg.gosgd_p = 0.5;
+  auto result = run_training(cfg, wl);
+  EXPECT_GT(result.final_accuracy, 0.60) << algo_name(algo);
+  EXPECT_GT(result.total_iterations, 0);
+  EXPECT_FALSE(result.curve.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, AllAlgosLearn,
+                         ::testing::Values(Algo::bsp, Algo::asp, Algo::ssp,
+                                           Algo::easgd, Algo::arsgd,
+                                           Algo::gosgd, Algo::adpsgd,
+                                           Algo::dpsgd));
+
+TEST(Findings, InfrequentGossipHurtsAccuracy) {
+  // Paper Table II/III: GoSGD with p = 0.01 loses substantial accuracy
+  // versus synchronous training at the same epoch budget.
+  Workload wl_bsp = easy_workload(8);
+  TrainConfig cfg = functional_config(Algo::bsp, 8);
+  const double bsp = run_training(cfg, wl_bsp).final_accuracy;
+
+  Workload wl_gossip = easy_workload(8);
+  cfg.algo = Algo::gosgd;
+  cfg.gosgd_p = 0.01;
+  const double gossip = run_training(cfg, wl_gossip).final_accuracy;
+
+  EXPECT_GT(bsp, gossip + 0.03);
+}
+
+TEST(Findings, PerIterationAsyncBeatsIntermittentAsync) {
+  // Paper Section VI-A: ASP / AD-PSGD (aggregate every iteration) retain
+  // accuracy much better than EASGD (intermittent) at equal budgets.
+  Workload wl_asp = easy_workload(8);
+  TrainConfig cfg = functional_config(Algo::asp, 8);
+  const double asp = run_training(cfg, wl_asp).final_accuracy;
+
+  Workload wl_easgd = easy_workload(8);
+  cfg.algo = Algo::easgd;
+  cfg.easgd_tau = 8;
+  const double easgd = run_training(cfg, wl_easgd).final_accuracy;
+
+  EXPECT_GE(asp, easgd - 0.02);
+}
+
+TEST(Findings, PsBottleneckOnSlowNetwork) {
+  // Paper Section VI-C: on a 10 Gbps network ASP scales *worse* than BSP
+  // because every worker hits the PS NICs individually, while BSP's local
+  // aggregation sends 1/l of the flows.
+  cost::ModelProfile profile = cost::resnet50_profile();
+  TrainConfig cfg;
+  cfg.num_workers = 16;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.cluster.nic_gbps = 10.0;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.iterations = 12;
+
+  cfg.algo = Algo::bsp;
+  Workload wl_bsp = make_cost_workload(profile, 128);
+  const double bsp = run_training(cfg, wl_bsp).throughput();
+
+  cfg.algo = Algo::asp;
+  Workload wl_asp = make_cost_workload(profile, 128);
+  const double asp = run_training(cfg, wl_asp).throughput();
+
+  EXPECT_GT(bsp, asp);
+}
+
+TEST(Findings, BandwidthHelpsAspMoreThanBsp) {
+  // Paper Fig. 2: raising 10 -> 56 Gbps barely moves BSP (waiting
+  // dominates) but strongly improves ASP/SSP.
+  cost::ModelProfile profile = cost::resnet50_profile();
+  TrainConfig cfg;
+  cfg.num_workers = 16;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.iterations = 12;
+
+  auto throughput_of = [&](Algo algo, double gbps) {
+    cfg.algo = algo;
+    cfg.cluster.nic_gbps = gbps;
+    Workload wl = make_cost_workload(profile, 128);
+    return run_training(cfg, wl).throughput();
+  };
+
+  const double asp_gain = throughput_of(Algo::asp, 56.0) /
+                          throughput_of(Algo::asp, 10.0);
+  const double bsp_gain = throughput_of(Algo::bsp, 56.0) /
+                          throughput_of(Algo::bsp, 10.0);
+  EXPECT_GT(asp_gain, bsp_gain);
+}
+
+TEST(Findings, AdpsgdScalesNearLinearlyForResnet) {
+  cost::ModelProfile profile = cost::resnet50_profile();
+  TrainConfig cfg;
+  cfg.algo = Algo::adpsgd;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.cluster.nic_gbps = 56.0;
+  cfg.iterations = 12;
+
+  cfg.num_workers = 1;
+  Workload wl1 = make_cost_workload(profile, 128);
+  const double t1 = run_training(cfg, wl1).throughput();
+
+  cfg.num_workers = 16;
+  Workload wl16 = make_cost_workload(profile, 128);
+  const double t16 = run_training(cfg, wl16).throughput();
+
+  EXPECT_GT(t16 / t1, 10.0);
+}
+
+TEST(Findings, Vgg16ScalesWorseThanResnet50) {
+  // Paper Fig. 2: the communication-intensive model scales worse.
+  TrainConfig cfg;
+  cfg.algo = Algo::asp;
+  cfg.num_workers = 16;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.cluster.nic_gbps = 10.0;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.iterations = 10;
+
+  auto speedup = [&](const cost::ModelProfile& profile, std::int64_t batch) {
+    Workload wl16 = make_cost_workload(profile, batch);
+    const double t16 = run_training(cfg, wl16).throughput();
+    TrainConfig one = cfg;
+    one.num_workers = 1;
+    Workload wl1 = make_cost_workload(profile, batch);
+    const double t1 = run_training(one, wl1).throughput();
+    return t16 / t1;
+  };
+
+  EXPECT_GT(speedup(cost::resnet50_profile(), 128),
+            speedup(cost::vgg16_profile(), 96));
+}
+
+TEST(Findings, DgcDoesNotHurtAccuracy) {
+  // Paper Table IV: accuracies with DGC are comparable to without.
+  Workload wl_plain = easy_workload(4);
+  TrainConfig cfg = functional_config(Algo::bsp, 4);
+  const double plain = run_training(cfg, wl_plain).final_accuracy;
+
+  Workload wl_dgc = easy_workload(4);
+  cfg.opt.dgc = true;
+  cfg.opt.dgc_config.final_sparsity = 0.90;  // small model: keep top 10%
+  cfg.opt.dgc_config.warmup_epochs = 3.0;
+  const double dgc = run_training(cfg, wl_dgc).final_accuracy;
+
+  EXPECT_NEAR(dgc, plain, 0.12);
+}
+
+TEST(Extensions, StragglerHurtsSynchronousMoreThanAsynchronous) {
+  // Failure injection: one worker 3x slower. In BSP every *healthy* worker
+  // waits for it each round, so their iteration time ~triples; in ASP the
+  // healthy workers keep their own pace (only the straggler is slow).
+  cost::ModelProfile profile = cost::resnet50_profile();
+  // Mean per-iteration busy+wait time of the healthy workers.
+  auto healthy_iter_time = [&](Algo algo, bool straggler) {
+    TrainConfig cfg;
+    cfg.algo = algo;
+    cfg.num_workers = 8;
+    cfg.cluster.workers_per_machine = 4;
+    cfg.cluster.nic_gbps = 56.0;
+    cfg.opt.ps_shards_per_machine = 1;
+    cfg.iterations = 10;
+    if (straggler) {
+      cfg.straggler_rank = 3;
+      cfg.straggler_slowdown = 3.0;
+    }
+    Workload wl = make_cost_workload(profile, 128);
+    auto result = run_training(cfg, wl);
+    double sum = 0.0;
+    int counted = 0;
+    for (int r = 0; r < 8; ++r) {
+      if (r == 3) continue;
+      sum += result.workers[static_cast<std::size_t>(r)].total_time();
+      ++counted;
+    }
+    return sum / (counted * 10.0);
+  };
+  const double bsp_slowdown =
+      healthy_iter_time(Algo::bsp, true) / healthy_iter_time(Algo::bsp, false);
+  const double asp_slowdown =
+      healthy_iter_time(Algo::asp, true) / healthy_iter_time(Algo::asp, false);
+  EXPECT_GT(bsp_slowdown, 2.0);  // healthy workers dragged to ~3x
+  EXPECT_LT(asp_slowdown, 1.5);  // healthy workers barely affected
+}
+
+TEST(Extensions, NonIidShardingHurtsInfrequentAggregation) {
+  // Label-sorted shards: BSP still averages every iteration and barely
+  // cares; GoSGD with rare gossip sees divergent local tasks.
+  auto accuracy_of = [&](Algo algo, bool non_iid) {
+    FunctionalWorkloadSpec spec;
+    spec.train_samples = 1024;
+    spec.test_samples = 256;
+    spec.input_dim = 12;
+    spec.hidden_dim = 24;
+    spec.num_classes = 4;
+    spec.batch = 16;
+    spec.num_workers = 4;
+    spec.seed = 31;
+    spec.non_iid = non_iid;
+    Workload wl = make_functional_workload(spec);
+    TrainConfig cfg = functional_config(algo, 4, 10.0);
+    cfg.gosgd_p = 0.02;
+    return run_training(cfg, wl).final_accuracy;
+  };
+  const double bsp_iid = accuracy_of(Algo::bsp, false);
+  const double bsp_non = accuracy_of(Algo::bsp, true);
+  const double gossip_non = accuracy_of(Algo::gosgd, true);
+  EXPECT_GT(bsp_non, bsp_iid - 0.08);  // sync tolerates non-IID shards
+  EXPECT_GT(bsp_non, gossip_non + 0.05);
+}
+
+TEST(Extensions, DpsgdTracksAdpsgdAccuracy) {
+  Workload wl_d = easy_workload(8);
+  TrainConfig cfg = functional_config(Algo::dpsgd, 8);
+  const double dpsgd = run_training(cfg, wl_d).final_accuracy;
+
+  Workload wl_ad = easy_workload(8);
+  cfg.algo = Algo::adpsgd;
+  const double adpsgd = run_training(cfg, wl_ad).final_accuracy;
+  EXPECT_NEAR(dpsgd, adpsgd, 0.08);
+}
+
+TEST(Metrics, BreakdownPhasesAreRecorded) {
+  cost::ModelProfile profile = cost::resnet50_profile();
+  TrainConfig cfg;
+  cfg.algo = Algo::bsp;
+  cfg.num_workers = 8;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.iterations = 6;
+  Workload wl = make_cost_workload(profile, 128);
+  auto result = run_training(cfg, wl);
+
+  EXPECT_GT(result.mean_phase_time(metrics::Phase::compute), 0.0);
+  // Leaders must show local aggregation time (waiting for peers).
+  const auto& leader = result.workers.at(0);
+  EXPECT_GT(leader.phase_time(metrics::Phase::local_agg), 0.0);
+  EXPECT_GT(leader.phase_time(metrics::Phase::comm) +
+                leader.phase_time(metrics::Phase::global_agg),
+            0.0);
+  // Phase totals never exceed the run duration.
+  for (const auto& w : result.workers) {
+    EXPECT_LE(w.total_time(), result.virtual_duration * 1.0001);
+  }
+}
+
+TEST(Metrics, CurveIsMonotoneInEpochAndTime) {
+  Workload wl = easy_workload(4);
+  TrainConfig cfg = functional_config(Algo::bsp, 4, 6.0);
+  auto result = run_training(cfg, wl);
+  ASSERT_GE(result.curve.size(), 3u);
+  for (std::size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_GE(result.curve[i].epoch, result.curve[i - 1].epoch);
+    EXPECT_GE(result.curve[i].virtual_time, result.curve[i - 1].virtual_time);
+    EXPECT_GE(result.curve[i].test_error, 0.0);
+    EXPECT_LE(result.curve[i].test_error, 1.0);
+  }
+  // Training should reduce error versus the first measurement.
+  EXPECT_LT(result.curve.back().test_error,
+            result.curve.front().test_error + 0.05);
+}
+
+TEST(Metrics, ThroughputAccountsAllWorkers) {
+  cost::ModelProfile profile = cost::uniform_profile("u", 4, 100'000, 1e9);
+  TrainConfig cfg;
+  cfg.algo = Algo::gosgd;
+  cfg.num_workers = 6;
+  cfg.iterations = 10;
+  Workload wl = make_cost_workload(profile, 32);
+  auto result = run_training(cfg, wl);
+  EXPECT_EQ(result.total_samples, 6 * 10 * 32);
+  EXPECT_NEAR(result.throughput(),
+              static_cast<double>(result.total_samples) /
+                  result.virtual_duration,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace dt::core

@@ -1,0 +1,125 @@
+// Tests for metrics accounting and the Chrome-tracing export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/trainer.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/trace.hpp"
+#include "runtime/sim.hpp"
+
+namespace dt::metrics {
+namespace {
+
+TEST(WorkerMetrics, AccumulatesPerPhase) {
+  WorkerMetrics wm;
+  wm.accumulate(Phase::compute, 1.0);
+  wm.accumulate(Phase::compute, 0.5);
+  wm.accumulate(Phase::comm, 2.0);
+  wm.count_iteration(32);
+  wm.count_iteration(32);
+  EXPECT_DOUBLE_EQ(wm.phase_time(Phase::compute), 1.5);
+  EXPECT_DOUBLE_EQ(wm.phase_time(Phase::comm), 2.0);
+  EXPECT_DOUBLE_EQ(wm.phase_time(Phase::local_agg), 0.0);
+  EXPECT_DOUBLE_EQ(wm.total_time(), 3.5);
+  EXPECT_EQ(wm.iterations(), 2);
+  EXPECT_EQ(wm.samples(), 64);
+}
+
+TEST(PhaseTimer, MeasuresVirtualTime) {
+  runtime::SimEngine engine;
+  WorkerMetrics wm;
+  engine.spawn("p", [&](runtime::Process& self) {
+    PhaseTimer t(self, wm, Phase::compute);
+    self.advance(2.5);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(wm.phase_time(Phase::compute), 2.5);
+}
+
+TEST(PhaseTimer, FeedsAttachedTrace) {
+  runtime::SimEngine engine;
+  WorkerMetrics wm;
+  TraceLog trace;
+  wm.set_trace(&trace, "w0");
+  engine.spawn("p", [&](runtime::Process& self) {
+    {
+      PhaseTimer t(self, wm, Phase::compute);
+      self.advance(1.0);
+    }
+    {
+      PhaseTimer t(self, wm, Phase::comm);
+      self.advance(0.5);
+    }
+  });
+  engine.run();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].name, "compute");
+  EXPECT_DOUBLE_EQ(trace.events()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(trace.events()[0].end, 1.0);
+  EXPECT_EQ(trace.events()[1].name, "comm");
+  EXPECT_DOUBLE_EQ(trace.events()[1].end, 1.5);
+}
+
+TEST(TraceLog, ChromeJsonShape) {
+  TraceLog trace;
+  trace.record("worker0", "compute", 0.0, 0.001);
+  trace.record("worker1", "comm", 0.001, 0.002);
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"compute")"), std::string::npos);
+  EXPECT_NE(json.find(R"("thread_name")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"worker1")"), std::string::npos);
+  // Timestamps in microseconds.
+  EXPECT_NE(json.find(R"("ts":1000)"), std::string::npos);
+}
+
+TEST(TraceLog, RejectsNegativeDuration) {
+  TraceLog trace;
+  EXPECT_THROW(trace.record("t", "e", 2.0, 1.0), common::Error);
+}
+
+TEST(RunResult, ThroughputAndPhaseMeans) {
+  RunResult r;
+  r.total_samples = 100;
+  r.virtual_duration = 4.0;
+  EXPECT_DOUBLE_EQ(r.throughput(), 25.0);
+  WorkerMetrics a, b;
+  a.accumulate(Phase::compute, 2.0);
+  b.accumulate(Phase::compute, 4.0);
+  r.workers = {a, b};
+  EXPECT_DOUBLE_EQ(r.mean_phase_time(Phase::compute), 3.0);
+}
+
+TEST(SessionTrace, WritesChromeJsonFile) {
+  const std::string path = "/tmp/dtrainlib_trace_test.json";
+  std::remove(path.c_str());
+
+  cost::ModelProfile profile = cost::uniform_profile("u", 4, 100'000, 1e9);
+  core::Workload wl = core::make_cost_workload(profile, 32);
+  core::TrainConfig cfg;
+  cfg.algo = core::Algo::asp;
+  cfg.num_workers = 4;
+  cfg.iterations = 3;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.trace_path = path;
+  core::run_training(cfg, wl);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("worker0"), std::string::npos);
+  EXPECT_NE(json.find("worker3"), std::string::npos);
+  EXPECT_NE(json.find("compute"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dt::metrics

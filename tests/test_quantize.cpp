@@ -1,0 +1,136 @@
+// Tests for QSGD stochastic quantization: unbiasedness, error bounds,
+// encoding sizes, and end-to-end training with quantized gradient pushes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "compress/quantize.hpp"
+#include "core/trainer.hpp"
+
+namespace dt::compress {
+namespace {
+
+TEST(Qsgd, ZeroInputStaysZero) {
+  common::Rng rng(1);
+  std::vector<float> v(16, 0.0f);
+  QuantizedSlot q = quantize(v, QsgdConfig{.bits = 4}, rng);
+  EXPECT_EQ(q.scale, 0.0f);
+  std::vector<float> out(16, 1.0f);
+  q.dequantize(out);
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Qsgd, ExactLevelsRoundTripExactly) {
+  // Values exactly on quantization levels survive unchanged.
+  common::Rng rng(2);
+  QsgdConfig cfg{.bits = 3};  // max level = 3
+  std::vector<float> v = {3.0f, -3.0f, 1.0f, -2.0f, 0.0f};
+  QuantizedSlot q = quantize(v, cfg, rng);
+  EXPECT_EQ(q.scale, 3.0f);
+  std::vector<float> out(v.size());
+  q.dequantize(out);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FLOAT_EQ(out[i], v[i]);
+}
+
+class QsgdBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(QsgdBits, UnbiasedAndBounded) {
+  const int bits = GetParam();
+  common::Rng rng(100 + bits);
+  const QsgdConfig cfg{.bits = bits};
+  const int max_level = (1 << (bits - 1)) - 1;
+
+  std::vector<float> v(64);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const float scale = [&] {
+    float m = 0.0f;
+    for (float x : v) m = std::max(m, std::fabs(x));
+    return m;
+  }();
+  const float unit = scale / static_cast<float>(max_level);
+
+  std::vector<double> mean(v.size(), 0.0);
+  const int trials = 3000;
+  std::vector<float> out(v.size());
+  for (int t = 0; t < trials; ++t) {
+    QuantizedSlot q = quantize(v, cfg, rng);
+    q.dequantize(out);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      // Single-sample error bounded by one quantization step.
+      EXPECT_LE(std::fabs(out[i] - v[i]), unit + 1e-6);
+      mean[i] += out[i];
+    }
+  }
+  // Unbiasedness: empirical mean approaches the input.
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(mean[i] / trials, v[i], 3.0 * unit / std::sqrt(trials) + 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QsgdBits, ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(Qsgd, WireBytesShrinkWithBits) {
+  // 1000 float32 values = 4000 dense bytes.
+  EXPECT_EQ(qsgd_wire_bytes(4000, 8), 4u + 1000u);
+  EXPECT_EQ(qsgd_wire_bytes(4000, 4), 4u + 500u);
+  EXPECT_EQ(qsgd_wire_bytes(4000, 2), 4u + 250u);
+  QuantizedSlot q;
+  q.bits = 4;
+  q.levels.resize(1000);
+  EXPECT_EQ(q.wire_bytes(), 4u + 500u);
+}
+
+TEST(Qsgd, InvalidBitsThrow) {
+  common::Rng rng(1);
+  std::vector<float> v(4, 1.0f);
+  EXPECT_THROW((void)quantize(v, QsgdConfig{.bits = 1}, rng), common::Error);
+  EXPECT_THROW((void)quantize(v, QsgdConfig{.bits = 9}, rng), common::Error);
+}
+
+TEST(QsgdIntegration, CutsTrafficProportionally) {
+  cost::ModelProfile profile = cost::resnet50_profile();
+  core::TrainConfig cfg;
+  cfg.algo = core::Algo::asp;
+  cfg.num_workers = 4;
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.iterations = 8;
+
+  core::Workload dense_wl = core::make_cost_workload(profile, 128);
+  const auto dense = core::run_training(cfg, dense_wl).wire_bytes;
+
+  cfg.opt.qsgd_bits = 8;
+  core::Workload q_wl = core::make_cost_workload(profile, 128);
+  const auto q8 = core::run_training(cfg, q_wl).wire_bytes;
+
+  // Pushes shrink 4x (32 -> 8 bit); replies stay dense: total ~ 5/8.
+  EXPECT_NEAR(static_cast<double>(q8) / static_cast<double>(dense), 0.625,
+              0.03);
+}
+
+TEST(QsgdIntegration, EightBitTrainingMatchesDense) {
+  core::FunctionalWorkloadSpec spec;
+  spec.train_samples = 1024;
+  spec.test_samples = 256;
+  spec.num_workers = 4;
+  spec.batch = 16;
+  spec.seed = 77;
+
+  auto accuracy_with_bits = [&](int bits) {
+    core::Workload wl = core::make_functional_workload(spec);
+    core::TrainConfig cfg;
+    cfg.algo = core::Algo::bsp;
+    cfg.num_workers = 4;
+    cfg.epochs = 8.0;
+    cfg.lr = nn::LrSchedule::paper(4, cfg.epochs, 0.02);
+    cfg.opt.qsgd_bits = bits;
+    return core::run_training(cfg, wl).final_accuracy;
+  };
+  const double dense = accuracy_with_bits(0);
+  const double q8 = accuracy_with_bits(8);
+  EXPECT_NEAR(q8, dense, 0.08);
+}
+
+}  // namespace
+}  // namespace dt::compress

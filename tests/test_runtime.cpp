@@ -1,0 +1,263 @@
+// Tests for the cooperative virtual-time runtime: event ordering,
+// determinism, wake semantics, daemons, deadlock detection, and error
+// propagation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/sim.hpp"
+
+namespace dt::runtime {
+namespace {
+
+TEST(Sim, SingleProcessAdvancesClock) {
+  SimEngine engine;
+  double observed = -1.0;
+  engine.spawn("p", [&](Process& self) {
+    EXPECT_EQ(self.now(), 0.0);
+    self.advance(1.5);
+    self.advance(0.5);
+    observed = self.now();
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(observed, 2.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(Sim, ProcessesInterleaveInTimeOrder) {
+  SimEngine engine;
+  std::vector<std::string> log;
+  engine.spawn("slow", [&](Process& self) {
+    self.advance(10.0);
+    log.push_back("slow@" + std::to_string(static_cast<int>(self.now())));
+  });
+  engine.spawn("fast", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      self.advance(2.0);
+      log.push_back("fast@" + std::to_string(static_cast<int>(self.now())));
+    }
+  });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"fast@2", "fast@4", "fast@6",
+                                           "slow@10"}));
+}
+
+TEST(Sim, FifoTieBreakAtEqualTimes) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.spawn("p" + std::to_string(i), [&order, i](Process& self) {
+      self.advance(1.0);
+      order.push_back(i);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sim, ZeroAdvanceYieldsToPeersAtSameTime) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.spawn("a", [&](Process& self) {
+    order.push_back(1);
+    self.advance(0.0);
+    order.push_back(3);
+  });
+  engine.spawn("b", [&](Process&) { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sim, NegativeAdvanceThrows) {
+  SimEngine engine;
+  engine.spawn("p", [](Process& self) { self.advance(-1.0); });
+  EXPECT_THROW(engine.run(), common::Error);
+}
+
+TEST(Sim, WakeUnblocksAtRequestedTime) {
+  SimEngine engine;
+  double woken_at = -1.0;
+  Process& sleeper = engine.spawn("sleeper", [&](Process& self) {
+    self.wait_event();
+    woken_at = self.now();
+  });
+  engine.spawn("waker", [&](Process& self) {
+    self.advance(1.0);
+    self.engine().wake(sleeper, 5.0);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(woken_at, 5.0);
+}
+
+TEST(Sim, WakeInThePastClampsToNow) {
+  SimEngine engine;
+  double woken_at = -1.0;
+  Process& sleeper = engine.spawn("sleeper", [&](Process& self) {
+    self.wait_event();
+    woken_at = self.now();
+  });
+  engine.spawn("waker", [&](Process& self) {
+    self.advance(3.0);
+    self.engine().wake(sleeper, 1.0);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(woken_at, 3.0);
+}
+
+TEST(Sim, WakeMovesWakeableSleepEarlier) {
+  SimEngine engine;
+  double woken_at = -1.0;
+  Process& sleeper = engine.spawn("sleeper", [&](Process& self) {
+    self.wait_event_until(100.0);
+    woken_at = self.now();
+  });
+  engine.spawn("waker", [&](Process& self) {
+    self.advance(2.0);
+    self.engine().wake(sleeper, 4.0);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(woken_at, 4.0);
+}
+
+TEST(Sim, WakeDoesNotInterruptComputeAdvance) {
+  SimEngine engine;
+  double finished_at = -1.0;
+  Process& computer = engine.spawn("computer", [&](Process& self) {
+    self.advance(10.0);  // busy compute: not wakeable
+    finished_at = self.now();
+  });
+  engine.spawn("waker", [&](Process& self) {
+    self.advance(1.0);
+    self.engine().wake(computer, 2.0);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(finished_at, 10.0);
+}
+
+TEST(Sim, WaitEventUntilExpiresWithoutWake) {
+  SimEngine engine;
+  double t = -1.0;
+  engine.spawn("p", [&](Process& self) {
+    self.wait_event_until(7.0);
+    t = self.now();
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(t, 7.0);
+}
+
+TEST(Sim, DaemonsAreKilledWhenRegularsFinish) {
+  SimEngine engine;
+  bool daemon_cleanup_ran = false;
+  engine.spawn(
+      "server",
+      [&](Process& self) {
+        struct Cleanup {
+          bool* flag;
+          ~Cleanup() { *flag = true; }
+        } cleanup{&daemon_cleanup_ran};
+        for (;;) self.wait_event();  // ProcessKilled unwinds through here
+      },
+      /*daemon=*/true);
+  engine.spawn("worker", [](Process& self) { self.advance(1.0); });
+  engine.run();
+  EXPECT_TRUE(daemon_cleanup_ran);
+}
+
+TEST(Sim, DeadlockOfRegularProcessesIsDetected) {
+  SimEngine engine;
+  Process* a_ptr = nullptr;
+  Process* b_ptr = nullptr;
+  Process& a = engine.spawn("A", [&](Process& self) {
+    self.wait_event();  // waits for B, who waits for A
+    self.engine().wake(*b_ptr, self.now());
+  });
+  Process& b = engine.spawn("B", [&](Process& self) {
+    self.wait_event();
+    self.engine().wake(*a_ptr, self.now());
+  });
+  a_ptr = &a;
+  b_ptr = &b;
+  try {
+    engine.run();
+    FAIL() << "deadlock not detected";
+  } catch (const common::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos);
+    EXPECT_NE(what.find("A"), std::string::npos);
+    EXPECT_NE(what.find("B"), std::string::npos);
+  }
+}
+
+TEST(Sim, ExceptionInProcessPropagates) {
+  SimEngine engine;
+  engine.spawn("boom", [](Process& self) {
+    self.advance(1.0);
+    common::fail("exploded");
+  });
+  engine.spawn("bystander", [](Process& self) { self.advance(100.0); });
+  try {
+    engine.run();
+    FAIL() << "exception not propagated";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("exploded"), std::string::npos);
+  }
+}
+
+TEST(Sim, RunTwiceThrows) {
+  SimEngine engine;
+  engine.spawn("p", [](Process& self) { self.advance(1.0); });
+  engine.run();
+  EXPECT_THROW(engine.run(), common::Error);
+}
+
+TEST(Sim, SpawnAfterRunThrows) {
+  SimEngine engine;
+  engine.spawn("p", [](Process& self) { self.advance(1.0); });
+  engine.run();
+  EXPECT_THROW(engine.spawn("late", [](Process&) {}), common::Error);
+}
+
+TEST(Sim, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SimEngine engine;
+    std::vector<double> times;
+    for (int i = 0; i < 8; ++i) {
+      engine.spawn("p" + std::to_string(i), [&times, i](Process& self) {
+        for (int k = 0; k < 20; ++k) {
+          self.advance(0.1 * ((i * 7 + k) % 5 + 1));
+        }
+        times.push_back(self.now());
+      });
+    }
+    engine.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Sim, ManyProcessesStress) {
+  SimEngine engine;
+  int finished = 0;
+  for (int i = 0; i < 64; ++i) {
+    engine.spawn("p" + std::to_string(i), [&finished, i](Process& self) {
+      for (int k = 0; k < 50; ++k) self.advance(0.001 * (i + 1));
+      ++finished;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(finished, 64);
+}
+
+TEST(Sim, DestructorCleansUpWithoutRun) {
+  // Spawning processes and destroying the engine without run() must not
+  // hang or crash (threads are killed at their first yield point).
+  auto engine = std::make_unique<SimEngine>();
+  engine->spawn("never-run", [](Process& self) { self.advance(1.0); });
+  engine.reset();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dt::runtime

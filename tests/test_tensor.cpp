@@ -1,0 +1,256 @@
+// Unit + property tests for the tensor substrate. GEMM variants are checked
+// against a naive reference over randomized shapes (parameterized).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dt::tensor {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), common::Error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), common::Error);
+}
+
+TEST(Tensor, FillAndIndex) {
+  Tensor t({4});
+  t.fill(2.5f);
+  EXPECT_EQ(t[3], 2.5f);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.shape_string(), "[2, 3, 4]");
+}
+
+TEST(Ops, AxpyScaleCopy) {
+  std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+  scale(y, 0.5f);
+  EXPECT_EQ(y, (std::vector<float>{6, 12, 18}));
+  copy(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Ops, AddSub) {
+  std::vector<float> a = {1, 2}, b = {3, 5}, d(2);
+  add(a, b, d);
+  EXPECT_EQ(d, (std::vector<float>{4, 7}));
+  sub(b, a, d);
+  EXPECT_EQ(d, (std::vector<float>{2, 3}));
+}
+
+TEST(Ops, SizeMismatchThrows) {
+  std::vector<float> a = {1, 2}, b = {3};
+  EXPECT_THROW(axpy(1.0f, a, b), common::Error);
+  EXPECT_THROW((void)dot(a, b), common::Error);
+}
+
+TEST(Ops, ReluAndBackward) {
+  std::vector<float> x = {-1, 0, 2};
+  relu(x);
+  EXPECT_EQ(x, (std::vector<float>{0, 0, 2}));
+  std::vector<float> gout = {5, 5, 5}, gin(3);
+  relu_backward(x, gout, gin);
+  EXPECT_EQ(gin, (std::vector<float>{0, 0, 5}));
+}
+
+TEST(Ops, Reductions) {
+  std::vector<float> x = {3, -4};
+  EXPECT_FLOAT_EQ(sum(x), -1.0f);
+  EXPECT_FLOAT_EQ(l2_norm(x), 5.0f);
+  EXPECT_FLOAT_EQ(max_abs(x), 4.0f);
+  EXPECT_FLOAT_EQ(dot(x, x), 25.0f);
+}
+
+TEST(Ops, MatmulKnownValues) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c({2, 2});
+  matmul(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+  // accumulate adds on top
+  matmul(a, b, c, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 100);
+}
+
+TEST(Ops, MatmulShapeChecks) {
+  Tensor a({2, 3}), b({2, 2}), c({2, 2});
+  EXPECT_THROW(matmul(a, b, c), common::Error);
+}
+
+// Reference GEMM for the property tests.
+void ref_matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) acc += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+}
+
+class GemmProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmProperty, MatchesReferenceAllVariants) {
+  const auto [m, k, n] = GetParam();
+  common::Rng rng(m * 10007 + k * 101 + n);
+  Tensor a({m, k}), b({k, n});
+  fill_normal(a, rng, 1.0f);
+  fill_normal(b, rng, 1.0f);
+
+  Tensor c({m, n}), ref({m, n});
+  matmul(a, b, c);
+  ref_matmul(a, b, ref);
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3f * (std::fabs(ref[i]) + 1.0f));
+  }
+
+  // matmul_tn: C(k x n) = A2(m x k)^T * B(m x n)
+  Tensor a2({m, k}), b2({m, n});
+  fill_normal(a2, rng, 1.0f);
+  fill_normal(b2, rng, 1.0f);
+  Tensor ctn({k, n});
+  matmul_tn(a2, b2, ctn);
+  Tensor a2t({k, m});
+  for (int i = 0; i < m; ++i)
+    for (int p = 0; p < k; ++p) a2t.at(p, i) = a2.at(i, p);
+  Tensor reftn({k, n});
+  ref_matmul(a2t, b2, reftn);
+  for (std::int64_t i = 0; i < ctn.numel(); ++i) {
+    EXPECT_NEAR(ctn[i], reftn[i], 1e-3f * (std::fabs(reftn[i]) + 1.0f));
+  }
+
+  // matmul_nt: C(m x k) = A3(m x n) * B3(k x n)^T
+  Tensor a3({m, n}), b3({k, n});
+  fill_normal(a3, rng, 1.0f);
+  fill_normal(b3, rng, 1.0f);
+  Tensor cnt({m, k});
+  matmul_nt(a3, b3, cnt);
+  Tensor b3t({n, k});
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < n; ++j) b3t.at(j, i) = b3.at(i, j);
+  Tensor refnt({m, k});
+  ref_matmul(a3, b3t, refnt);
+  for (std::int64_t i = 0; i < cnt.numel(); ++i) {
+    EXPECT_NEAR(cnt[i], refnt[i], 1e-3f * (std::fabs(refnt[i]) + 1.0f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmProperty,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 64, 1), std::make_tuple(33, 17, 9),
+                      std::make_tuple(64, 72, 65)));
+
+TEST(Ops, AddRowBiasAndSumRows) {
+  Tensor x({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<float> bias = {10, 20, 30};
+  add_row_bias(x, bias);
+  EXPECT_FLOAT_EQ(x.at(1, 2), 36);
+  std::vector<float> sums(3, 0.0f);
+  sum_rows(x, sums);
+  EXPECT_FLOAT_EQ(sums[0], 11 + 14);
+  EXPECT_FLOAT_EQ(sums[2], 33 + 36);
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrderPreserved) {
+  common::Rng rng(99);
+  Tensor logits({5, 8});
+  fill_normal(logits, rng, 3.0f);
+  Tensor raw = logits;
+  softmax_rows(logits);
+  for (int r = 0; r < 5; ++r) {
+    double s = 0;
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_GT(logits.at(r, c), 0.0f);
+      s += logits.at(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+    EXPECT_EQ(argmax_row(logits, r), argmax_row(raw, r));
+  }
+}
+
+TEST(Ops, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor logits({1, 3}, {1000.0f, 1001.0f, 999.0f});
+  softmax_rows(logits);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_TRUE(std::isfinite(logits.at(0, c)));
+  }
+  EXPECT_EQ(argmax_row(logits, 0), 1);
+}
+
+TEST(Ops, FillUniformBounds) {
+  common::Rng rng(5);
+  Tensor t({1000});
+  fill_uniform(t, rng, 0.25f);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -0.25f);
+    EXPECT_LE(v, 0.25f);
+  }
+}
+
+class TopKProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKProperty, ThresholdSelectsAtLeastKAndTopK) {
+  const int k = GetParam();
+  common::Rng rng(k * 7 + 1);
+  Tensor t({257});
+  fill_normal(t, rng, 1.0f);
+  const float thr = topk_abs_threshold(t.data(), static_cast<std::size_t>(k));
+  int selected = 0;
+  float min_selected = 1e30f, max_rejected = 0.0f;
+  for (float v : t.data()) {
+    if (std::fabs(v) >= thr) {
+      ++selected;
+      min_selected = std::min(min_selected, std::fabs(v));
+    } else {
+      max_rejected = std::max(max_rejected, std::fabs(v));
+    }
+  }
+  EXPECT_GE(selected, k);           // ties can only add
+  EXPECT_GE(min_selected, max_rejected);  // selection is magnitude-downward-closed
+  // With continuous random data, ties are measure-zero: exactly k.
+  EXPECT_EQ(selected, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKProperty,
+                         ::testing::Values(1, 2, 16, 128, 256, 257));
+
+TEST(Ops, TopKBadKThrows) {
+  std::vector<float> x = {1, 2, 3};
+  EXPECT_THROW((void)topk_abs_threshold(x, 0), common::Error);
+  EXPECT_THROW((void)topk_abs_threshold(x, 4), common::Error);
+}
+
+}  // namespace
+}  // namespace dt::tensor
