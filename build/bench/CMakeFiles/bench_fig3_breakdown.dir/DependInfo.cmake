@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_breakdown.cpp" "bench/CMakeFiles/bench_fig3_breakdown.dir/bench_fig3_breakdown.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_breakdown.dir/bench_fig3_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/dt_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dt_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dt_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/dt_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dt_core_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_gossip.dir/cnn_gossip.cpp.o"
+  "CMakeFiles/cnn_gossip.dir/cnn_gossip.cpp.o.d"
+  "cnn_gossip"
+  "cnn_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtrain.dir/dtrain.cpp.o"
+  "CMakeFiles/dtrain.dir/dtrain.cpp.o.d"
+  "dtrain"
+  "dtrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/dgc.cpp" "src/compress/CMakeFiles/dt_compress.dir/dgc.cpp.o" "gcc" "src/compress/CMakeFiles/dt_compress.dir/dgc.cpp.o.d"
+  "/root/repo/src/compress/quantize.cpp" "src/compress/CMakeFiles/dt_compress.dir/quantize.cpp.o" "gcc" "src/compress/CMakeFiles/dt_compress.dir/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_compress.dir/dgc.cpp.o"
+  "CMakeFiles/dt_compress.dir/dgc.cpp.o.d"
+  "CMakeFiles/dt_compress.dir/quantize.cpp.o"
+  "CMakeFiles/dt_compress.dir/quantize.cpp.o.d"
+  "libdt_compress.a"
+  "libdt_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

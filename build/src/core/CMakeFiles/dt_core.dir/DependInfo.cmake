@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algo_centralized.cpp" "src/core/CMakeFiles/dt_core.dir/algo_centralized.cpp.o" "gcc" "src/core/CMakeFiles/dt_core.dir/algo_centralized.cpp.o.d"
+  "/root/repo/src/core/algo_decentralized.cpp" "src/core/CMakeFiles/dt_core.dir/algo_decentralized.cpp.o" "gcc" "src/core/CMakeFiles/dt_core.dir/algo_decentralized.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/dt_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/dt_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/dt_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/dt_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/dt_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/dt_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/traits.cpp" "src/core/CMakeFiles/dt_core.dir/traits.cpp.o" "gcc" "src/core/CMakeFiles/dt_core.dir/traits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dt_core_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/dt_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dt_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/dt_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dt_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_core.dir/algo_centralized.cpp.o"
+  "CMakeFiles/dt_core.dir/algo_centralized.cpp.o.d"
+  "CMakeFiles/dt_core.dir/algo_decentralized.cpp.o"
+  "CMakeFiles/dt_core.dir/algo_decentralized.cpp.o.d"
+  "CMakeFiles/dt_core.dir/experiment.cpp.o"
+  "CMakeFiles/dt_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/dt_core.dir/session.cpp.o"
+  "CMakeFiles/dt_core.dir/session.cpp.o.d"
+  "CMakeFiles/dt_core.dir/trainer.cpp.o"
+  "CMakeFiles/dt_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/dt_core.dir/traits.cpp.o"
+  "CMakeFiles/dt_core.dir/traits.cpp.o.d"
+  "libdt_core.a"
+  "libdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

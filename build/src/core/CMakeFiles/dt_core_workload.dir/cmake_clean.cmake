@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_core_workload.dir/config.cpp.o"
+  "CMakeFiles/dt_core_workload.dir/config.cpp.o.d"
+  "CMakeFiles/dt_core_workload.dir/workload.cpp.o"
+  "CMakeFiles/dt_core_workload.dir/workload.cpp.o.d"
+  "libdt_core_workload.a"
+  "libdt_core_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_core_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_cost.dir/profiles.cpp.o"
+  "CMakeFiles/dt_cost.dir/profiles.cpp.o.d"
+  "libdt_cost.a"
+  "libdt_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

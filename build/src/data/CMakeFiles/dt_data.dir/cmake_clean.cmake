@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_data.dir/dataset.cpp.o"
+  "CMakeFiles/dt_data.dir/dataset.cpp.o.d"
+  "libdt_data.a"
+  "libdt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/dt_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/dt_metrics.dir/trace.cpp.o"
+  "CMakeFiles/dt_metrics.dir/trace.cpp.o.d"
+  "libdt_metrics.a"
+  "libdt_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_net.dir/collectives.cpp.o"
+  "CMakeFiles/dt_net.dir/collectives.cpp.o.d"
+  "CMakeFiles/dt_net.dir/network.cpp.o"
+  "CMakeFiles/dt_net.dir/network.cpp.o.d"
+  "libdt_net.a"
+  "libdt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_nn.dir/layers.cpp.o"
+  "CMakeFiles/dt_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/dt_nn.dir/loss.cpp.o"
+  "CMakeFiles/dt_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/dt_nn.dir/model.cpp.o"
+  "CMakeFiles/dt_nn.dir/model.cpp.o.d"
+  "CMakeFiles/dt_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/dt_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dt_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dt_nn.dir/serialize.cpp.o.d"
+  "libdt_nn.a"
+  "libdt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

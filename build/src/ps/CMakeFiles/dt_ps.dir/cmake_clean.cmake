@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_ps.dir/shard_state.cpp.o"
+  "CMakeFiles/dt_ps.dir/shard_state.cpp.o.d"
+  "CMakeFiles/dt_ps.dir/sharding.cpp.o"
+  "CMakeFiles/dt_ps.dir/sharding.cpp.o.d"
+  "libdt_ps.a"
+  "libdt_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

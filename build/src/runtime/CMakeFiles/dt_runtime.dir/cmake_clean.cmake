@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_runtime.dir/sim.cpp.o"
+  "CMakeFiles/dt_runtime.dir/sim.cpp.o.d"
+  "libdt_runtime.a"
+  "libdt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dgc.dir/test_dgc.cpp.o"
+  "CMakeFiles/test_dgc.dir/test_dgc.cpp.o.d"
+  "test_dgc"
+  "test_dgc.pdb"
+  "test_dgc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
