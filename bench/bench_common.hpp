@@ -7,6 +7,8 @@
 //   --iters=<int>       cost-only iterations/worker   (default per bench)
 //   --max-workers=<int> cap the worker sweep          (default 24)
 //   --csv=<path>        also write the table as CSV
+//   --metrics=<prefix>  per-run observability dumps: <prefix>-<tag>.jsonl,
+//                       <prefix>-<tag>.csv and <prefix>-<tag>.trace.json
 //   --quick             quarter-length run for smoke testing
 #pragma once
 
@@ -27,6 +29,7 @@ struct BenchArgs {
   int max_workers = 24;
   bool quick = false;
   std::string csv;
+  std::string metrics_prefix;
 
   static BenchArgs parse(int argc, char** argv, double default_epochs,
                          std::int64_t default_iters) {
@@ -47,6 +50,8 @@ struct BenchArgs {
         args.max_workers = std::stoi(*v);
       } else if (auto v = value_of("--csv=")) {
         args.csv = *v;
+      } else if (auto v = value_of("--metrics=")) {
+        args.metrics_prefix = *v;
       } else if (a == "--quick") {
         args.quick = true;
       } else {
@@ -107,6 +112,20 @@ inline core::TrainConfig paper_throughput_config(core::Algo algo, int workers,
   cfg.iterations = iters;
   cfg.seed = 42;
   return cfg;
+}
+
+/// Turns on the observability outputs for one bench run when --metrics= was
+/// given: metric dump, sampled time series, and a Chrome trace, all under
+/// `<prefix>-<tag>.*`. `tag` should identify the run within the sweep
+/// (e.g. "resnet50-56G-bsp").
+inline void enable_observability(core::TrainConfig& cfg,
+                                 const BenchArgs& args,
+                                 const std::string& tag) {
+  if (args.metrics_prefix.empty()) return;
+  const std::string base = args.metrics_prefix + "-" + tag;
+  cfg.metrics_jsonl = base + ".jsonl";
+  cfg.timeseries_csv = base + ".csv";
+  cfg.trace_path = base + ".trace.json";
 }
 
 inline void emit(const common::Table& table, const BenchArgs& args) {

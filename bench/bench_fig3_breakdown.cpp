@@ -36,6 +36,10 @@ int main(int argc, char** argv) {
       for (core::Algo algo : algos) {
         core::TrainConfig cfg =
             bench::paper_throughput_config(algo, workers, gbps, args.iters);
+        bench::enable_observability(
+            cfg, args,
+            std::string(model.profile.name) + "-" + common::fmt(gbps, 0) +
+                "G-" + core::algo_name(algo));
         core::Workload wl =
             core::make_cost_workload(model.profile, model.batch);
         auto result = core::run_training(cfg, wl);

@@ -2,11 +2,15 @@
 //
 //   dtrain <config.ini>          run the experiment, print a report
 //   dtrain --template            print a documented template config
+//   dtrain --log-level=LEVEL <config.ini>
+//                                override verbosity (debug|info|warn|error)
 //
 // See core/experiment.hpp for the full key reference.
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "core/trainer.hpp"
@@ -55,25 +59,50 @@ straggler_slowdown = 1.0
 
 [output]
 trace =                   ; optional Chrome-tracing JSON path
+metrics_jsonl =           ; optional end-of-run metric dump (JSONL)
+timeseries_csv =          ; optional sampled counter/gauge series (CSV)
+sample_period = 0.25      ; virtual seconds between samples
+log_level =               ; debug | info | warn | error (default warn)
 )ini";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dt;
-  if (argc != 2) {
-    std::cerr << "usage: dtrain <config.ini> | dtrain --template\n";
+  std::vector<std::string> positional;
+  bool log_level_forced = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--template") {
+      std::cout << kTemplate;
+      return 0;
+    }
+    if (arg.rfind("--log-level=", 0) == 0) {
+      try {
+        common::set_log_level(
+            common::log_level_from_name(arg.substr(12)));
+      } catch (const std::exception& e) {
+        std::cerr << "dtrain: " << e.what() << "\n";
+        return 2;
+      }
+      log_level_forced = true;
+      continue;
+    }
+    positional.push_back(arg);
+  }
+  if (positional.size() != 1) {
+    std::cerr << "usage: dtrain [--log-level=LEVEL] <config.ini>"
+                 " | dtrain --template\n";
     return 2;
   }
-  const std::string arg = argv[1];
-  if (arg == "--template") {
-    std::cout << kTemplate;
-    return 0;
-  }
+  const std::string arg = positional.front();
 
   try {
     const common::IniConfig ini = common::IniConfig::load(arg);
+    const common::LogLevel cli_level = common::log_level();
     core::ExperimentSpec spec = core::ExperimentSpec::from_ini(ini);
+    // The CLI flag outranks the config file's [output] log_level.
+    if (log_level_forced) common::set_log_level(cli_level);
     core::Workload workload = spec.make_workload();
 
     std::cerr << "running " << core::algo_name(spec.config.algo) << " with "
@@ -107,6 +136,13 @@ int main(int argc, char** argv) {
 
     if (!spec.config.trace_path.empty()) {
       std::cout << "trace written to " << spec.config.trace_path << "\n";
+    }
+    if (!spec.config.metrics_jsonl.empty()) {
+      std::cout << "metrics written to " << spec.config.metrics_jsonl << "\n";
+    }
+    if (!spec.config.timeseries_csv.empty()) {
+      std::cout << "time series written to " << spec.config.timeseries_csv
+                << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

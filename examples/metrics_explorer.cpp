@@ -1,0 +1,115 @@
+// metrics_explorer: tour of the observability layer (docs/observability.md).
+//
+// Runs a short cost-only experiment per algorithm with every output
+// enabled, prints the full metric catalogue for the first run, and then a
+// cross-algorithm comparison of the protocol probes: observed gradient
+// staleness at the PS, synchronization wait, and PS load. The side files
+// (<prefix>-<algo>.jsonl / .csv / .trace.json) are ready for jq, a
+// spreadsheet, and https://ui.perfetto.dev respectively.
+//
+//   metrics_explorer [--workers=N] [--iters=N] [--prefix=PATH]
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/session.hpp"
+#include "core/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dt;
+
+  int workers = 8;
+  std::int64_t iters = 30;
+  std::string prefix = "metrics_explorer";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value_of = [&a](const char* key) -> std::optional<std::string> {
+      if (a.rfind(key, 0) == 0) return a.substr(std::string(key).size());
+      return std::nullopt;
+    };
+    if (auto v = value_of("--workers=")) {
+      workers = std::stoi(*v);
+    } else if (auto v = value_of("--iters=")) {
+      iters = std::stoll(*v);
+    } else if (auto v = value_of("--prefix=")) {
+      prefix = *v;
+    } else {
+      std::cerr << "usage: metrics_explorer [--workers=N] [--iters=N]"
+                   " [--prefix=PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<core::Algo> algos = {core::Algo::bsp, core::Algo::asp,
+                                         core::Algo::ssp};
+
+  common::Table compare("protocol probes by algorithm (" +
+                        std::to_string(workers) + " workers, " +
+                        std::to_string(iters) + " iters)");
+  compare.set_header({"algorithm", "staleness mean", "staleness max",
+                      "sync wait mean (s)", "ps requests", "ps GB served"});
+
+  bool printed_catalogue = false;
+  for (core::Algo algo : algos) {
+    core::TrainConfig cfg;
+    cfg.algo = algo;
+    cfg.num_workers = workers;
+    cfg.iterations = iters;
+    cfg.opt.ps_shards_per_machine = 2;
+    cfg.ssp_staleness = 4;
+
+    const std::string base = prefix + "-" + core::algo_name(algo);
+    cfg.metrics_jsonl = base + ".jsonl";
+    cfg.timeseries_csv = base + ".csv";
+    cfg.trace_path = base + ".trace.json";
+
+    core::Workload wl = core::make_cost_workload(cost::resnet50_profile(),
+                                                 128);
+    core::Session session(cfg, wl);
+    metrics::RunResult result = session.run();
+
+    if (!printed_catalogue) {
+      // Full instrument catalogue for one run; the comparison below picks
+      // a few series out of the same registry for every algorithm.
+      session.registry
+          .summary_table(std::string("metric catalogue — ") +
+                         core::algo_name(algo))
+          .print(std::cout);
+      std::cout << "\n";
+      printed_catalogue = true;
+    }
+
+    const auto& snap = result.metrics;
+    const metrics::Labels algo_labels{{"algo", core::algo_name(algo)}};
+    const metrics::MetricValue* stale =
+        snap.find("staleness.updates", algo_labels);
+    const metrics::MetricValue* wait = snap.find("sync.wait_s", algo_labels);
+    auto hist_mean = [](const metrics::MetricValue* m) {
+      return m != nullptr && m->count > 0
+                 ? m->sum / static_cast<double>(m->count)
+                 : 0.0;
+    };
+    compare.add_row(
+        {core::algo_name(algo), common::fmt(hist_mean(stale), 2),
+         stale != nullptr ? common::fmt(stale->max, 0) : "-",
+         common::fmt(hist_mean(wait), 4),
+         common::fmt(snap.total("ps.requests_total"), 0),
+         common::fmt(snap.total("ps.bytes_served_total") / 1e9, 2)});
+
+    std::cout << core::algo_name(algo) << ": wrote " << cfg.metrics_jsonl
+              << ", " << cfg.timeseries_csv << ", " << cfg.trace_path
+              << "\n";
+  }
+
+  std::cout << "\n";
+  compare.print(std::cout);
+  std::cout
+      << "\nReading the table: BSP gradients always meet the exact version\n"
+         "they built on (staleness 0); ASP staleness grows with the worker\n"
+         "count; SSP sits in between, bounded by its slack. Load the\n"
+         ".trace.json files in Perfetto to see the message flows behind\n"
+         "these numbers.\n";
+  return 0;
+}

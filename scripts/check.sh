@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Single entry point for the tier-1 verification: configure, build, run the
+# full test suite.
+#
+#   scripts/check.sh                 # plain build + ctest
+#   scripts/check.sh address         # same, under AddressSanitizer
+#   scripts/check.sh thread|undefined
+#
+# Sanitized builds go to build-<sanitizer>/ so they never pollute the plain
+# build tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-}"
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ -n "$SANITIZER" ]]; then
+  case "$SANITIZER" in
+    address|thread|undefined) ;;
+    *)
+      echo "usage: $0 [address|thread|undefined]" >&2
+      exit 2
+      ;;
+  esac
+  BUILD_DIR="build-$SANITIZER"
+  CMAKE_ARGS+=("-DDT_SANITIZE=$SANITIZER")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

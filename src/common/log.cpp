@@ -1,5 +1,9 @@
 #include "common/log.hpp"
 
+#include <cctype>
+
+#include "common/error.hpp"
+
 namespace dt::common {
 
 namespace {
@@ -19,6 +23,20 @@ const char* level_name(LogLevel level) {
 
 LogLevel log_level() noexcept { return g_level; }
 void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel log_level_from_name(const std::string& name) {
+  std::string n;
+  for (char c : name) {
+    n += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (n == "debug") return LogLevel::debug;
+  if (n == "info") return LogLevel::info;
+  if (n == "warn" || n == "warning") return LogLevel::warn;
+  if (n == "error") return LogLevel::error;
+  if (n == "off" || n == "none") return LogLevel::off;
+  fail("unknown log level: " + name +
+       " (expected debug|info|warn|error|off)");
+}
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {

@@ -15,6 +15,11 @@ enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// fails with an Error on anything else. Backs the `[output] log_level`
+/// INI key and the `--log-level=` CLI flag.
+LogLevel log_level_from_name(const std::string& name);
+
 namespace detail {
 void emit(LogLevel level, const std::string& message);
 

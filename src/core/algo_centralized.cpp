@@ -57,13 +57,16 @@ std::unique_ptr<compress::DgcCompressor> make_dgc(Session& s) {
 
 /// Builds one slot's gradient packet (dense, DGC-sparse, or QSGD-quantized
 /// — the latter travels as a dense tensor carrying the quantization error,
-/// with the compressed wire size).
+/// with the compressed wire size). `basis_version` is the PS update clock
+/// the gradient was computed against (staleness probe; see
+/// ps/shard_state.hpp).
 Packet grad_packet(Session& s, int rank, std::size_t slot, double epoch,
-                   double lr_global, compress::DgcCompressor* dgc,
-                   common::Rng& rng) {
+                   double lr_global, std::int64_t basis_version,
+                   compress::DgcCompressor* dgc, common::Rng& rng) {
   Packet pkt;
   pkt.a = rank;
   pkt.b = static_cast<std::int64_t>(slot);
+  pkt.c = basis_version;
   pkt.x = lr_global;
   if (use_qsgd(s)) {
     pkt.tag = kTagGrad;
@@ -137,11 +140,17 @@ double compute_iteration(
 }
 
 /// Receives `count` kTagParams packets on `ep`, loading each into the
-/// worker's replica in functional mode.
+/// worker's replica in functional mode. When `basis` is given, the PS
+/// update clock carried by each reply (Packet.c) is stored per slot so the
+/// next gradient push can be stamped with the version it builds on.
 void await_params(Session& s, runtime::Process& self, int rank, int ep,
-                  std::size_t count) {
+                  std::size_t count,
+                  std::vector<std::int64_t>* basis = nullptr) {
   for (std::size_t i = 0; i < count; ++i) {
     Packet pkt = s.network->recv(self, ep, kTagParams);
+    if (basis != nullptr) {
+      basis->at(static_cast<std::size_t>(pkt.b)) = pkt.c;
+    }
     if (s.wl.functional()) {
       s.wl.set_param_slot(rank, static_cast<std::size_t>(pkt.b),
                           pkt.tensors.at(0));
@@ -149,15 +158,62 @@ void await_params(Session& s, runtime::Process& self, int rank, int ep,
   }
 }
 
+/// Per-worker synchronization probes: the full request-response window and
+/// its wait share (the part the uncontended network estimate cannot
+/// explain — barrier convoy for BSP/AR-SGD, PS queueing for ASP/SSP).
+struct SyncProbes {
+  metrics::Histogram* window = nullptr;  // sync.window_s
+  metrics::Histogram* wait = nullptr;    // sync.wait_s
+
+  static SyncProbes make(Session& s) {
+    const metrics::Labels labels{{"algo", algo_name(s.cfg.algo)}};
+    return SyncProbes{
+        &s.registry.histogram("sync.window_s", labels,
+                              metrics::Histogram::time_bounds()),
+        &s.registry.histogram("sync.wait_s", labels,
+                              metrics::Histogram::time_bounds())};
+  }
+};
+
 /// Splits a measured request-response window into pure-communication time
 /// (up to the uncontended estimate) and aggregation/queueing wait.
 void account_window(runtime::Process& self, metrics::WorkerMetrics& wm,
-                    double window_start, double comm_estimate) {
+                    double window_start, double comm_estimate,
+                    const SyncProbes& probes) {
   const double elapsed = self.now() - window_start;
   const double comm = std::min(elapsed, comm_estimate);
   wm.accumulate(Phase::comm, comm);
   wm.accumulate(Phase::global_agg, elapsed - comm);
+  probes.window->observe(elapsed);
+  probes.wait->observe(elapsed - comm);
 }
+
+/// Per-shard PS-side probes, resolved once per shard process.
+struct PsProbes {
+  metrics::Counter* requests = nullptr;      // ps.requests_total{shard}
+  metrics::Counter* bytes_served = nullptr;  // ps.bytes_served_total{shard}
+  metrics::Histogram* queue_depth = nullptr;  // ps.queue_depth{shard}
+  metrics::Histogram* staleness = nullptr;    // staleness.updates{algo}
+
+  static PsProbes make(Session& s, int shard) {
+    const metrics::Labels shard_labels{{"shard", std::to_string(shard)}};
+    const metrics::Labels algo_labels{{"algo", algo_name(s.cfg.algo)}};
+    return PsProbes{
+        &s.registry.counter("ps.requests_total", shard_labels),
+        &s.registry.counter("ps.bytes_served_total", shard_labels),
+        &s.registry.histogram("ps.queue_depth", shard_labels,
+                              metrics::Histogram::count_bounds()),
+        &s.registry.histogram("staleness.updates", algo_labels,
+                              metrics::Histogram::count_bounds())};
+  }
+
+  /// Call right after a recv: counts the request and samples how many
+  /// messages are still queued behind it (the PS convoy signal).
+  void on_request(Session& s, int ep) const {
+    requests->inc();
+    queue_depth->observe(static_cast<double>(s.network->queue_depth(ep)));
+  }
+};
 
 /// Uncontended estimate of a full per-slot push + per-slot reply round
 /// between worker `rank` and all PS shards.
@@ -196,15 +252,20 @@ struct CurveRecorder {
 };
 
 void send_param_reply(Session& s, runtime::Process& self, int shard,
-                      std::size_t slot, int dst_ep) {
+                      std::size_t slot, int dst_ep,
+                      const PsProbes* probes = nullptr) {
+  const auto& st = *s.shards[static_cast<std::size_t>(shard)];
   Packet reply;
   reply.tag = kTagParams;
   reply.a = shard;
   reply.b = static_cast<std::int64_t>(slot);
+  reply.c = st.version(st.local_index(slot));
   reply.wire_bytes = s.wl.slot_wire_bytes(slot);
   if (s.wl.functional()) {
-    const auto& st = *s.shards[static_cast<std::size_t>(shard)];
     reply.tensors.push_back(st.param(st.local_index(slot)));
+  }
+  if (probes != nullptr) {
+    probes->bytes_served->inc(static_cast<double>(reply.wire_bytes));
   }
   s.network->send(self, s.ps_ep[static_cast<std::size_t>(shard)], dst_ep,
                   std::move(reply));
@@ -234,13 +295,19 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
           const int ep = s.ps_ep[static_cast<std::size_t>(shard)];
           s.network->bind(ep, self);
           auto& st = *s.shards[static_cast<std::size_t>(shard)];
+          const PsProbes probes = PsProbes::make(s, shard);
           std::vector<int> count(st.num_local(), 0);
           for (;;) {
             Packet pkt = s.network->recv(self, ep);
             common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
                           "BSP PS: unexpected tag");
+            probes.on_request(s, ep);
             const auto slot = static_cast<std::size_t>(pkt.b);
             const std::size_t local = st.local_index(slot);
+            // BSP applies round t only after every round-t push arrived, so
+            // every gradient meets the exact version it was computed on.
+            probes.staleness->observe(
+                static_cast<double>(st.version(local) - pkt.c));
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             if (s.wl.functional()) {
               if (pkt.tag == kTagGrad) {
@@ -259,9 +326,11 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
             } else {
               self.advance(s.wl.agg_time(s.wl.slot_wire_bytes(slot)));
             }
+            st.bump_version(local);
             for (int r : pusher_ranks) {
               send_param_reply(s, self, shard, slot,
-                               s.worker_ep[static_cast<std::size_t>(r)]);
+                               s.worker_ep[static_cast<std::size_t>(r)],
+                               &probes);
             }
           }
         },
@@ -279,6 +348,7 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
           common::Rng rng = s.worker_rng(rank);
           auto dgc = make_dgc(s);
           CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
 
           const std::vector<int> peers = s.machine_peers(rank);
           const int leader = s.machine_leader(rank);
@@ -286,6 +356,7 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
           const int leader_ep = s.worker_ep[static_cast<std::size_t>(leader)];
           const std::size_t n_slots = s.wl.num_slots();
           const std::int64_t iters = s.iterations_per_worker();
+          std::vector<std::int64_t> basis(n_slots, 0);
 
           for (std::int64_t it = 0; it < iters; ++it) {
             const double epoch = s.epoch_of(it);
@@ -331,14 +402,16 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
               // Push (locally aggregated) gradients and await fresh params.
               const double t0 = self.now();
               for (std::size_t slot = n_slots; slot-- > 0;) {
-                Packet pkt = grad_packet(s, rank, slot, epoch, lr, dgc.get(), rng);
+                Packet pkt = grad_packet(s, rank, slot, epoch, lr,
+                                         basis[slot], dgc.get(), rng);
                 s.network->send(
                     self, wep,
                     s.ps_ep[static_cast<std::size_t>(s.plan.shard_of(slot))],
                     std::move(pkt));
               }
-              await_params(s, self, rank, wep, n_slots);
-              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank));
+              await_params(s, self, rank, wep, n_slots, &basis);
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
+                             sync);
 
               if (local_agg_enabled && peers.size() > 1) {
                 PhaseTimer t(self, wm, Phase::local_agg);
@@ -391,12 +464,18 @@ void launch_asp_impl(Session& s) {
           const int ep = s.ps_ep[static_cast<std::size_t>(shard)];
           s.network->bind(ep, self);
           auto& st = *s.shards[static_cast<std::size_t>(shard)];
+          const PsProbes probes = PsProbes::make(s, shard);
           for (;;) {
             Packet pkt = s.network->recv(self, ep);
             common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
                           "ASP PS: unexpected tag");
+            probes.on_request(s, ep);
             const auto slot = static_cast<std::size_t>(pkt.b);
             const std::size_t local = st.local_index(slot);
+            // Every update applied since this worker's last pull makes its
+            // gradient one step staler — the ASP staleness distribution.
+            probes.staleness->observe(
+                static_cast<double>(st.version(local) - pkt.c));
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             if (s.wl.functional()) {
               const float lr = static_cast<float>(pkt.x);
@@ -407,9 +486,10 @@ void launch_asp_impl(Session& s) {
                                 pkt.sparse_values.at(0), lr, inv_n);
               }
             }
+            st.bump_version(local);
             send_param_reply(
                 s, self, shard, slot,
-                s.worker_ep[static_cast<std::size_t>(pkt.a)]);
+                s.worker_ep[static_cast<std::size_t>(pkt.a)], &probes);
           }
         },
         /*daemon=*/true);
@@ -424,14 +504,17 @@ void launch_asp_impl(Session& s) {
           common::Rng rng = s.worker_rng(rank);
           auto dgc = make_dgc(s);
           CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
           const std::size_t n_slots = s.wl.num_slots();
           const std::int64_t iters = s.iterations_per_worker();
+          std::vector<std::int64_t> basis(n_slots, 0);
 
           for (std::int64_t it = 0; it < iters; ++it) {
             const double epoch = s.epoch_of(it);
             const double lr = s.lr_at(epoch);
             auto push = [&](std::size_t slot) {
-              Packet pkt = grad_packet(s, rank, slot, epoch, lr, dgc.get(), rng);
+              Packet pkt = grad_packet(s, rank, slot, epoch, lr, basis[slot],
+                                       dgc.get(), rng);
               s.network->send(
                   self, wep,
                   s.ps_ep[static_cast<std::size_t>(s.plan.shard_of(slot))],
@@ -440,8 +523,9 @@ void launch_asp_impl(Session& s) {
             const double loss = compute_iteration(s, self, rank, rng, wm,
                                                   push);
             const double t0 = self.now();
-            await_params(s, self, rank, wep, n_slots);
-            account_window(self, wm, t0, ps_roundtrip_estimate(s, rank));
+            await_params(s, self, rank, wep, n_slots, &basis);
+            account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
+                           sync);
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
@@ -461,13 +545,15 @@ void launch_ssp_impl(Session& s) {
           const int ep = s.ps_ep[static_cast<std::size_t>(shard)];
           s.network->bind(ep, self);
           auto& st = *s.shards[static_cast<std::size_t>(shard)];
+          const PsProbes probes = PsProbes::make(s, shard);
           for (;;) {
             Packet pkt = s.network->recv(self, ep);
+            probes.on_request(s, ep);
             if (pkt.tag == kTagPull) {
               for (std::size_t slot : st.slots()) {
                 send_param_reply(
                     s, self, shard, slot,
-                    s.worker_ep[static_cast<std::size_t>(pkt.a)]);
+                    s.worker_ep[static_cast<std::size_t>(pkt.a)], &probes);
               }
               continue;
             }
@@ -475,6 +561,8 @@ void launch_ssp_impl(Session& s) {
                           "SSP PS: unexpected tag");
             const auto slot = static_cast<std::size_t>(pkt.b);
             const std::size_t local = st.local_index(slot);
+            probes.staleness->observe(
+                static_cast<double>(st.version(local) - pkt.c));
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             if (s.wl.functional()) {
               const float lr = static_cast<float>(pkt.x);
@@ -485,6 +573,7 @@ void launch_ssp_impl(Session& s) {
                                 pkt.sparse_values.at(0), lr, inv_n);
               }
             }
+            st.bump_version(local);
           }
         },
         /*daemon=*/true);
@@ -500,15 +589,22 @@ void launch_ssp_impl(Session& s) {
           common::Rng rng = s.worker_rng(rank);
           auto dgc = make_dgc(s);
           CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
+          metrics::Histogram& local_staleness = s.registry.histogram(
+              "ssp.local_staleness",
+              {{"worker", std::to_string(rank)}},
+              metrics::Histogram::count_bounds());
           const std::size_t n_slots = s.wl.num_slots();
           const std::int64_t iters = s.iterations_per_worker();
+          std::vector<std::int64_t> basis(n_slots, 0);
           int staleness = 0;
 
           for (std::int64_t it = 0; it < iters; ++it) {
             const double epoch = s.epoch_of(it);
             const double lr = s.lr_at(epoch);
             auto push = [&](std::size_t slot) {
-              Packet pkt = grad_packet(s, rank, slot, epoch, lr, dgc.get(), rng);
+              Packet pkt = grad_packet(s, rank, slot, epoch, lr, basis[slot],
+                                       dgc.get(), rng);
               s.network->send(
                   self, wep,
                   s.ps_ep[static_cast<std::size_t>(s.plan.shard_of(slot))],
@@ -516,6 +612,9 @@ void launch_ssp_impl(Session& s) {
             };
             const double loss = compute_iteration(s, self, rank, rng, wm,
                                                   push);
+            // Local clock distance from the last global sync — bounded by
+            // the configured SSP staleness s by construction.
+            local_staleness.observe(static_cast<double>(staleness));
 
             if (staleness < s.cfg.ssp_staleness) {
               // Within the staleness bound: update locally and continue
@@ -536,8 +635,9 @@ void launch_ssp_impl(Session& s) {
                                 s.ps_ep[static_cast<std::size_t>(shard)],
                                 std::move(pull));
               }
-              await_params(s, self, rank, wep, n_slots);
-              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank));
+              await_params(s, self, rank, wep, n_slots, &basis);
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
+                             sync);
               staleness = 0;
             }
             wm.count_iteration(s.wl.batch_size());
@@ -563,10 +663,16 @@ void launch_easgd_impl(Session& s) {
           const int ep = s.ps_ep[static_cast<std::size_t>(shard)];
           s.network->bind(ep, self);
           auto& st = *s.shards[static_cast<std::size_t>(shard)];
+          const PsProbes probes = PsProbes::make(s, shard);
           for (;;) {
             Packet pkt = s.network->recv(self, ep, kTagEasgdPush);
+            probes.on_request(s, ep);
             const auto slot = static_cast<std::size_t>(pkt.b);
             const std::size_t local = st.local_index(slot);
+            // Center updates since the worker's previous exchange of this
+            // slot = how stale its view of the center was at push time.
+            probes.staleness->observe(
+                static_cast<double>(st.version(local) - pkt.c));
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             Packet reply;
             reply.tag = kTagParams;
@@ -577,6 +683,9 @@ void launch_easgd_impl(Session& s) {
               reply.tensors.push_back(
                   st.elastic_exchange(local, pkt.tensors.at(0), alpha));
             }
+            st.bump_version(local);
+            reply.c = st.version(local);
+            probes.bytes_served->inc(static_cast<double>(reply.wire_bytes));
             s.network->send(self, ep,
                             s.worker_ep[static_cast<std::size_t>(pkt.a)],
                             std::move(reply));
@@ -594,8 +703,12 @@ void launch_easgd_impl(Session& s) {
           auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
           common::Rng rng = s.worker_rng(rank);
           CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
+          metrics::Counter& rounds = s.registry.counter(
+              "easgd.rounds_total", {{"worker", std::to_string(rank)}});
           const std::size_t n_slots = s.wl.num_slots();
           const std::int64_t iters = s.iterations_per_worker();
+          std::vector<std::int64_t> basis(n_slots, 0);
           const int tau = std::max(1, s.cfg.easgd_tau);
 
           for (std::int64_t it = 0; it < iters; ++it) {
@@ -615,6 +728,7 @@ void launch_easgd_impl(Session& s) {
                 pkt.tag = kTagEasgdPush;
                 pkt.a = rank;
                 pkt.b = static_cast<std::int64_t>(slot);
+                pkt.c = basis[slot];
                 pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
                 if (s.wl.functional()) {
                   pkt.tensors.push_back(s.wl.param_slot(rank, slot));
@@ -624,8 +738,10 @@ void launch_easgd_impl(Session& s) {
                     s.ps_ep[static_cast<std::size_t>(s.plan.shard_of(slot))],
                     std::move(pkt));
               }
-              await_params(s, self, rank, wep, n_slots);
-              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank));
+              await_params(s, self, rank, wep, n_slots, &basis);
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
+                             sync);
+              rounds.inc();
             }
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);

@@ -58,12 +58,32 @@ struct CurveRecorder {
   }
 };
 
+/// Per-worker synchronization probes; mirrors algo_centralized.cpp. For
+/// AR-SGD/D-PSGD the wait share is the barrier convoy (slowest neighbor),
+/// for AD-PSGD the passive peer's responsiveness.
+struct SyncProbes {
+  metrics::Histogram* window = nullptr;  // sync.window_s
+  metrics::Histogram* wait = nullptr;    // sync.wait_s
+
+  static SyncProbes make(Session& s) {
+    const metrics::Labels labels{{"algo", algo_name(s.cfg.algo)}};
+    return SyncProbes{
+        &s.registry.histogram("sync.window_s", labels,
+                              metrics::Histogram::time_bounds()),
+        &s.registry.histogram("sync.wait_s", labels,
+                              metrics::Histogram::time_bounds())};
+  }
+};
+
 void account_window(runtime::Process& self, metrics::WorkerMetrics& wm,
-                    double window_start, double comm_estimate) {
+                    double window_start, double comm_estimate,
+                    const SyncProbes& probes) {
   const double elapsed = self.now() - window_start;
   const double comm = std::min(elapsed, comm_estimate);
   wm.accumulate(Phase::comm, comm);
   wm.accumulate(Phase::global_agg, elapsed - comm);
+  probes.window->observe(elapsed);
+  probes.wait->observe(elapsed - comm);
 }
 
 // ======================== AR-SGD ===========================================
@@ -121,6 +141,7 @@ void launch_arsgd_impl(Session& s) {
           auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
           common::Rng rng = s.worker_rng(rank);
           CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
 
           net::Communicator comm{.net = s.network.get(),
                                  .endpoints = s.worker_ep,
@@ -217,7 +238,7 @@ void launch_arsgd_impl(Session& s) {
               const double est =
                   2.0 * static_cast<double>(n - 1) *
                   s.uncontended_time(chunk, wep, right_ep);
-              account_window(self, wm, t0, est);
+              account_window(self, wm, t0, est, sync);
 
               if (fn) {
                 // Average and apply this bucket's slots locally. Every
@@ -265,8 +286,11 @@ void launch_gosgd_impl(Session& s) {
         [&s, rank, weights](runtime::Process& self) {
           const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
           s.network->bind(wep, self);
+          metrics::Counter& recvs = s.registry.counter(
+              "gossip.recvs_total", {{"worker", std::to_string(rank)}});
           for (;;) {
             Packet pkt = s.network->recv(self, wep, kTagGossip);
+            recvs.inc();
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             auto& w = *weights;
             const double w_self = w[static_cast<std::size_t>(rank)];
@@ -289,6 +313,8 @@ void launch_gosgd_impl(Session& s) {
           auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
           common::Rng rng = s.worker_rng(rank);
           CurveRecorder curve(s, rank);
+          metrics::Counter& sends = s.registry.counter(
+              "gossip.sends_total", {{"worker", std::to_string(rank)}});
           const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
           const std::int64_t iters = s.iterations_per_worker();
 
@@ -321,6 +347,7 @@ void launch_gosgd_impl(Session& s) {
               s.network->send(
                   self, wep, s.worker_ep[static_cast<std::size_t>(target)],
                   std::move(pkt));
+              sends.inc();
             }
 
             wm.count_iteration(s.wl.batch_size());
@@ -352,8 +379,11 @@ void launch_adpsgd_impl(Session& s) {
         [&s, rank](runtime::Process& self) {
           const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
           s.network->bind(wep, self);
+          metrics::Counter& serves = s.registry.counter(
+              "adpsgd.serves_total", {{"worker", std::to_string(rank)}});
           for (;;) {
             Packet pkt = s.network->recv(self, wep, kTagAdpsgdReq);
+            serves.inc();
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             // Reply with the pre-blend parameters so both sides end at the
             // same average, then blend locally.
@@ -377,6 +407,9 @@ void launch_adpsgd_impl(Session& s) {
           auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
           common::Rng rng = s.worker_rng(rank);
           CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
+          metrics::Counter& exchanges = s.registry.counter(
+              "adpsgd.exchanges_total", {{"worker", std::to_string(rank)}});
           const std::int64_t iters = s.iterations_per_worker();
 
           for (std::int64_t it = 0; it < iters; ++it) {
@@ -408,7 +441,8 @@ void launch_adpsgd_impl(Session& s) {
               Packet reply = s.network->recv(self, wep, kTagAdpsgdReply);
               const double est =
                   2.0 * s.uncontended_time(reply.wire_bytes, wep, peer_ep);
-              account_window(self, wm, t0, est);
+              account_window(self, wm, t0, est, sync);
+              exchanges.inc();
               if (s.wl.functional()) {
                 s.wl.blend_params(rank, reply.tensors, 0.5f);
               }
@@ -447,6 +481,7 @@ void launch_dpsgd_impl(Session& s) {
           auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
           common::Rng rng = s.worker_rng(rank);
           CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
           const std::int64_t iters = s.iterations_per_worker();
 
           // Unique ring neighbors (one when n == 2, none when n == 1).
@@ -490,7 +525,7 @@ void launch_dpsgd_impl(Session& s) {
                             received.front().wire_bytes, wep,
                             s.worker_ep[static_cast<std::size_t>(
                                 neighbors.front())]);
-              account_window(self, wm, t0, est);
+              account_window(self, wm, t0, est, sync);
 
               if (s.wl.functional()) {
                 // Uniform average over {self} u neighbors via sequential

@@ -105,8 +105,19 @@ struct TrainConfig {
   std::uint64_t seed = 42;
 
   /// When non-empty, a Chrome-tracing JSON of every worker's phase
-  /// intervals (virtual time) is written here after the run.
+  /// intervals (virtual time) is written here after the run — including
+  /// counter events (sampled registry scalars) and message flow arrows.
   std::string trace_path;
+
+  // --- observability (see docs/observability.md) ---
+  /// When non-empty, the end-of-run MetricRegistry contents are written
+  /// here as JSONL (one metric per line).
+  std::string metrics_jsonl;
+  /// When non-empty, a daemon samples every counter/gauge each
+  /// `sample_period` virtual seconds and writes the series here as CSV.
+  std::string timeseries_csv;
+  /// Virtual seconds between time-series samples.
+  double sample_period = 0.25;
 };
 
 }  // namespace dt::core

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "core/trainer.hpp"
 
 namespace dt::core {
@@ -106,6 +107,15 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
 
   // [output]
   cfg.trace_path = ini.get("output", "trace", "");
+  cfg.metrics_jsonl = ini.get("output", "metrics_jsonl", "");
+  cfg.timeseries_csv = ini.get("output", "timeseries_csv", "");
+  cfg.sample_period = ini.get_double("output", "sample_period", 0.25);
+  common::check(cfg.sample_period > 0.0,
+                "output: sample_period must be > 0");
+  const std::string level = ini.get("output", "log_level", "");
+  if (!level.empty()) {
+    common::set_log_level(common::log_level_from_name(level));
+  }
 
   return spec;
 }

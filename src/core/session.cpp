@@ -125,13 +125,27 @@ metrics::RunResult Session::run() {
   common::check(!ran_, "Session::run called twice");
   ran_ = true;
 
-  std::unique_ptr<metrics::TraceLog> trace;
+  network->set_metrics(&registry);
+  for (int r = 0; r < cfg.num_workers; ++r) {
+    const metrics::Labels labels{{"worker", std::to_string(r)}};
+    wmetrics[static_cast<std::size_t>(r)].bind_counters(
+        &registry.counter("worker.iterations_total", labels),
+        &registry.counter("worker.samples_total", labels));
+  }
+
   if (!cfg.trace_path.empty()) {
-    trace = std::make_unique<metrics::TraceLog>();
+    trace_ = std::make_unique<metrics::TraceLog>();
+    network->set_trace(trace_.get());
     for (int r = 0; r < cfg.num_workers; ++r) {
       wmetrics[static_cast<std::size_t>(r)].set_trace(
-          trace.get(), "worker" + std::to_string(r));
+          trace_.get(), "worker" + std::to_string(r));
     }
+  }
+  if (!cfg.timeseries_csv.empty()) {
+    sampler_ = std::make_unique<metrics::TimeSeriesSampler>(
+        registry, cfg.sample_period);
+    sampler_->set_trace(trace_.get());
+    sampler_->attach(engine);
   }
 
   launch();
@@ -152,7 +166,13 @@ metrics::RunResult Session::run() {
   if (wl.functional()) {
     result.final_accuracy = wl.evaluate_params(wl.average_worker_params());
   }
-  if (trace) trace->save(cfg.trace_path);
+  if (sampler_) {
+    sampler_->sample(engine.now());  // final row = end-of-run state
+    sampler_->save_csv(cfg.timeseries_csv);
+  }
+  result.metrics = registry.snapshot();
+  if (!cfg.metrics_jsonl.empty()) registry.save_jsonl(cfg.metrics_jsonl);
+  if (trace_) trace_->save(cfg.trace_path);
   std::sort(result.curve.begin(), result.curve.end(),
             [](const metrics::CurvePoint& a, const metrics::CurvePoint& b) {
               return a.epoch < b.epoch;

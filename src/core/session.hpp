@@ -11,6 +11,7 @@
 #include "core/config.hpp"
 #include "core/workload.hpp"
 #include "metrics/metrics.hpp"
+#include "metrics/sampler.hpp"
 #include "net/collectives.hpp"
 #include "net/network.hpp"
 #include "ps/shard_state.hpp"
@@ -43,6 +44,16 @@ class Session {
 
   std::vector<metrics::WorkerMetrics> wmetrics;
   metrics::RunResult result;
+
+  /// Observability: every probe (algorithm protocol counters, PS and
+  /// network instrumentation) registers into this registry; a snapshot of
+  /// it lands in RunResult::metrics. Algorithm launchers resolve their
+  /// instruments once per process, outside the iteration loops.
+  metrics::MetricRegistry registry;
+
+  /// Trace sink for the run (nullptr unless cfg.trace_path is set). Set up
+  /// before launch() so launchers and the network can record into it.
+  [[nodiscard]] metrics::TraceLog* trace() noexcept { return trace_.get(); }
 
   // ---- helpers -----------------------------------------------------------
   [[nodiscard]] int num_workers() const noexcept { return cfg.num_workers; }
@@ -87,6 +98,8 @@ class Session {
   void build_cluster();
   void launch();  // dispatch to per-algorithm launcher
   bool ran_ = false;
+  std::unique_ptr<metrics::TraceLog> trace_;
+  std::unique_ptr<metrics::TimeSeriesSampler> sampler_;
 };
 
 // Per-algorithm launchers (defined in algo_centralized.cpp /

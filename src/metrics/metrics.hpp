@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "metrics/registry.hpp"
 #include "metrics/trace.hpp"
 #include "runtime/sim.hpp"
 
@@ -42,9 +43,21 @@ class WorkerMetrics {
   }
   [[nodiscard]] TraceLog* trace() const noexcept { return trace_; }
   [[nodiscard]] const std::string& track() const noexcept { return track_; }
+
+  /// Mirrors iteration/sample counts into registry counters (per-worker
+  /// labels), so the time-series sampler sees training progress. Pointers
+  /// must outlive the run; Session wires them to its MetricRegistry.
+  void bind_counters(Counter* iterations, Counter* samples) noexcept {
+    iter_counter_ = iterations;
+    sample_counter_ = samples;
+  }
   void count_iteration(std::int64_t samples) noexcept {
     ++iterations_;
     samples_ += samples;
+    if (iter_counter_ != nullptr) iter_counter_->inc();
+    if (sample_counter_ != nullptr) {
+      sample_counter_->inc(static_cast<double>(samples));
+    }
   }
 
   [[nodiscard]] double phase_time(Phase p) const noexcept {
@@ -64,6 +77,8 @@ class WorkerMetrics {
   std::int64_t samples_ = 0;
   TraceLog* trace_ = nullptr;
   std::string track_;
+  Counter* iter_counter_ = nullptr;
+  Counter* sample_counter_ = nullptr;
 };
 
 /// RAII phase timer over the virtual clock. Create it around the code that
@@ -116,6 +131,11 @@ struct RunResult {
   std::uint64_t wire_bytes = 0;     // total network traffic
   std::uint64_t wire_messages = 0;
   std::uint64_t inter_machine_bytes = 0;  // traffic that crossed a NIC
+
+  /// End-of-run values of every registry instrument (protocol probes,
+  /// PS/network counters, staleness histograms, ...). See
+  /// docs/observability.md for the catalogue.
+  MetricSnapshot metrics;
 
   /// Samples per second of virtual time (paper: "images/sec").
   [[nodiscard]] double throughput() const noexcept {

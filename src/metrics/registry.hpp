@@ -1,0 +1,196 @@
+// MetricRegistry: the repo's observability substrate.
+//
+// A registry holds named instruments — monotonic Counters, point-in-time
+// Gauges, and fixed-bucket Histograms — keyed by (name, labels), where
+// labels are small key=value sets such as {algo=asp}, {worker=3} or
+// {shard=1}. Everything is accounted in *virtual* time by the code that
+// observes into it; the registry itself is passive storage plus export.
+//
+// Hot-path protocol: resolve the instrument pointer ONCE (outside the
+// iteration/server loop) via counter()/gauge()/histogram(), then call
+// inc()/set()/observe() on it. Lookup builds a canonical key string and is
+// not meant for per-packet use. The simulation runs exactly one process at
+// a time, so instruments need no locking.
+//
+// Export formats:
+//   - JSONL: one metric per line (save_jsonl), machine-friendly;
+//   - summary_table(): human-readable common::Table of every instrument;
+//   - snapshot(): plain-data copy embedded into RunResult, with lookup
+//     helpers for tests and tools;
+//   - CSV time series: see metrics/sampler.hpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace dt::metrics {
+
+/// Label set: key=value pairs. Canonicalized (sorted by key) on use, so
+/// {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Formats labels as "{k1=v1,k2=v2}" ("" when empty).
+[[nodiscard]] std::string labels_to_string(const Labels& labels);
+
+enum class MetricKind { counter, gauge, histogram };
+[[nodiscard]] const char* metric_kind_name(MetricKind k) noexcept;
+
+/// Monotonically increasing accumulator (events, bytes, iterations).
+class Counter {
+ public:
+  void inc(double delta = 1.0) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Point-in-time value (queue depth, in-flight messages).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double delta) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bucket edges in
+/// ascending order; an implicit +inf bucket catches the tail. Exact
+/// min/max/sum/count are tracked alongside so tests can assert hard bounds
+/// (e.g. "SSP staleness never exceeds s") without bucket quantization.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Count in bucket i (i == bounds().size() is the +inf bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  // Common bucket presets.
+  static std::vector<double> time_bounds();   // 10 µs .. 30 s, log-ish
+  static std::vector<double> count_bounds();  // 0 .. 512, powers of two
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (+inf tail)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Plain-data export of one instrument (no registry back-references).
+struct MetricValue {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::counter;
+  double value = 0.0;  // counter / gauge
+
+  // Histogram-only fields.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Copyable end-of-run view of a registry, carried inside RunResult.
+struct MetricSnapshot {
+  std::vector<MetricValue> metrics;
+
+  /// Exact (name, labels) lookup; nullptr when absent.
+  [[nodiscard]] const MetricValue* find(const std::string& name,
+                                        const Labels& labels = {}) const;
+  /// Counter/gauge value of an exact series (0 when absent).
+  [[nodiscard]] double value(const std::string& name,
+                             const Labels& labels = {}) const;
+  /// Sum of counter/gauge values over every label set of `name`.
+  [[nodiscard]] double total(const std::string& name) const;
+  /// All series of `name`, any labels.
+  [[nodiscard]] std::vector<const MetricValue*> all(
+      const std::string& name) const;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Finds or creates the instrument. The returned reference is stable for
+  /// the registry's lifetime. Fails if the series exists with another kind.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` applies on first creation only (later lookups reuse it).
+  Histogram& histogram(const std::string& name, const Labels& labels,
+                       std::vector<double> bounds);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Visits every counter/gauge series in creation order (histograms are
+  /// excluded — they have no single sampled value). Used by the sampler.
+  template <typename Fn>  // Fn(name, labels, kind, value)
+  void for_each_scalar(Fn&& fn) const {
+    for (const auto& e : entries_) {
+      if (e.kind == MetricKind::counter) {
+        fn(e.name, e.labels, e.kind, e.counter->value());
+      } else if (e.kind == MetricKind::gauge) {
+        fn(e.name, e.labels, e.kind, e.gauge->value());
+      }
+    }
+  }
+
+  [[nodiscard]] MetricSnapshot snapshot() const;
+
+  /// One JSON object per line; histograms carry buckets + min/max/sum.
+  void write_jsonl(std::ostream& os) const;
+  /// Writes JSONL to `path`; throws (with the path) when it cannot be
+  /// opened or the write fails.
+  void save_jsonl(const std::string& path) const;
+
+  /// Human-readable catalogue of every instrument and its current value.
+  [[nodiscard]] common::Table summary_table(
+      const std::string& title = "metrics") const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::counter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& resolve(const std::string& name, const Labels& labels,
+                 MetricKind kind);
+
+  std::vector<Entry> entries_;  // creation order (stable for export)
+  std::unordered_map<std::string, std::size_t> index_;  // canonical key
+};
+
+}  // namespace dt::metrics

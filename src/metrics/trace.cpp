@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace dt::metrics {
 
@@ -14,15 +15,43 @@ void TraceLog::record(const std::string& track, const std::string& name,
   events_.push_back(Event{track, name, start, end});
 }
 
+void TraceLog::counter(const std::string& track, const std::string& name,
+                       double t, double value) {
+  counter_events_.push_back(CounterEvent{track, name, t, value});
+}
+
+void TraceLog::flow(const std::string& src_track, const std::string& dst_track,
+                    const std::string& name, double sent, double arrival,
+                    std::uint64_t id) {
+  common::check(arrival >= sent, "TraceLog: flow arrives before it is sent");
+  flow_events_.push_back(
+      FlowEvent{src_track, dst_track, name, sent, arrival, id});
+}
+
 namespace {
-// Minimal JSON string escaping (quotes and backslashes; our names are
-// plain ASCII identifiers).
+// Full JSON string escaping: quotes, backslashes, and control characters
+// (events and track names may carry user-provided strings from configs).
 std::string escape(const std::string& s) {
+  static const char* hex = "0123456789abcdef";
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += hex[u >> 4];
+          out += hex[u & 0xf];
+        } else {
+          out += c;
+        }
+    }
   }
   return out;
 }
@@ -30,33 +59,64 @@ std::string escape(const std::string& s) {
 
 void TraceLog::write_chrome_json(std::ostream& os) const {
   std::map<std::string, int> tids;
-  for (const Event& e : events_) {
-    tids.emplace(e.track, static_cast<int>(tids.size()));
+  auto tid_of = [&tids](const std::string& track) {
+    return tids.emplace(track, static_cast<int>(tids.size())).first->second;
+  };
+  for (const Event& e : events_) tid_of(e.track);
+  for (const CounterEvent& e : counter_events_) tid_of(e.track);
+  for (const FlowEvent& e : flow_events_) {
+    tid_of(e.src_track);
+    tid_of(e.dst_track);
   }
+
   os << "[\n";
   bool first = true;
-  // Thread-name metadata so the viewer shows worker names.
-  for (const auto& [track, tid] : tids) {
+  auto sep = [&os, &first] {
     if (!first) os << ",\n";
     first = false;
+  };
+  // Thread-name metadata so the viewer shows worker names.
+  for (const auto& [track, tid] : tids) {
+    sep();
     os << R"({"ph":"M","pid":0,"tid":)" << tid
        << R"(,"name":"thread_name","args":{"name":")" << escape(track)
        << R"("}})";
   }
   for (const Event& e : events_) {
-    if (!first) os << ",\n";
-    first = false;
+    sep();
     os << R"({"ph":"X","pid":0,"tid":)" << tids[e.track] << R"(,"name":")"
        << escape(e.name) << R"(","ts":)" << e.start * 1e6 << R"(,"dur":)"
        << (e.end - e.start) * 1e6 << "}";
   }
+  for (const CounterEvent& e : counter_events_) {
+    sep();
+    os << R"({"ph":"C","pid":0,"tid":)" << tids[e.track] << R"(,"name":")"
+       << escape(e.name) << R"(","ts":)" << e.t * 1e6
+       << R"(,"args":{"value":)" << e.value << "}}";
+  }
+  for (const FlowEvent& e : flow_events_) {
+    sep();
+    os << R"({"ph":"s","cat":"net","pid":0,"tid":)" << tids[e.src_track]
+       << R"(,"name":")" << escape(e.name) << R"(","id":)" << e.id
+       << R"(,"ts":)" << e.sent * 1e6 << "}";
+    sep();
+    os << R"({"ph":"f","bp":"e","cat":"net","pid":0,"tid":)"
+       << tids[e.dst_track] << R"(,"name":")" << escape(e.name)
+       << R"(","id":)" << e.id << R"(,"ts":)" << e.arrival * 1e6 << "}";
+  }
   os << "\n]\n";
+  common::check(os.good(), "TraceLog: stream write failed");
 }
 
 void TraceLog::save(const std::string& path) const {
   std::ofstream out(path);
-  common::check(out.good(), "TraceLog: cannot open " + path);
+  if (!out.good()) {
+    common::log_error("TraceLog: cannot open ", path);
+    common::fail("TraceLog: cannot open " + path);
+  }
   write_chrome_json(out);
+  out.flush();
+  common::check(out.good(), "TraceLog: write failed for " + path);
 }
 
 }  // namespace dt::metrics

@@ -6,6 +6,14 @@
 // chrome://tracing or Perfetto: one track per worker, virtual microseconds
 // on the time axis. Invaluable for understanding *why* an algorithm's
 // breakdown looks the way it does (e.g. watching BSP's barrier convoy).
+//
+// Beyond phase slices ("X" events) a TraceLog also records:
+//   - counter events ("C"): sampled registry scalars, drawn by Perfetto as
+//     step plots above the tracks (see metrics/sampler.hpp);
+//   - flow events ("s"/"f"): one arrow per network message from the send on
+//     the source endpoint's track to its delivery on the destination's —
+//     this is what makes staleness and convoy effects *visible* (e.g. every
+//     gradient push crossing a barrier round boundary).
 #pragma once
 
 #include <cstdint>
@@ -21,13 +29,28 @@ class TraceLog {
   void record(const std::string& track, const std::string& name,
               double start, double end);
 
-  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  /// Records a counter sample: `name` has `value` at virtual time `t`.
+  void counter(const std::string& track, const std::string& name, double t,
+               double value);
 
-  /// Chrome-tracing JSON array of complete ("X") events; pid 0, one tid
-  /// per distinct track (in first-appearance order), timestamps in µs.
+  /// Records one message flow: sent from `src_track` at `sent` (virtual
+  /// seconds), delivered on `dst_track` at `arrival`. `id` pairs the two
+  /// ends; use a fresh id per message.
+  void flow(const std::string& src_track, const std::string& dst_track,
+            const std::string& name, double sent, double arrival,
+            std::uint64_t id);
+
+  /// Total recorded events (slices + counter samples + flows).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return events_.size() + counter_events_.size() + flow_events_.size();
+  }
+
+  /// Chrome-tracing JSON array; pid 0, one tid per distinct track (in
+  /// first-appearance order), timestamps in µs. Throws if the stream fails.
   void write_chrome_json(std::ostream& os) const;
 
-  /// Convenience: writes the JSON to `path` (overwrites).
+  /// Convenience: writes the JSON to `path` (overwrites). Throws with the
+  /// path in the message when the file cannot be opened or written.
   void save(const std::string& path) const;
 
   struct Event {
@@ -36,12 +59,35 @@ class TraceLog {
     double start;
     double end;
   };
+  struct CounterEvent {
+    std::string track;
+    std::string name;
+    double t;
+    double value;
+  };
+  struct FlowEvent {
+    std::string src_track;
+    std::string dst_track;
+    std::string name;
+    double sent;
+    double arrival;
+    std::uint64_t id;
+  };
   [[nodiscard]] const std::vector<Event>& events() const noexcept {
     return events_;
+  }
+  [[nodiscard]] const std::vector<CounterEvent>& counter_events()
+      const noexcept {
+    return counter_events_;
+  }
+  [[nodiscard]] const std::vector<FlowEvent>& flow_events() const noexcept {
+    return flow_events_;
   }
 
  private:
   std::vector<Event> events_;
+  std::vector<CounterEvent> counter_events_;
+  std::vector<FlowEvent> flow_events_;
 };
 
 }  // namespace dt::metrics

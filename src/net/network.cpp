@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "metrics/trace.hpp"
 
 namespace dt::net {
 
@@ -44,6 +45,38 @@ int Network::machine_of(int endpoint_id) const {
   return endpoint(endpoint_id).machine;
 }
 
+std::size_t Network::queue_depth(int endpoint_id) const {
+  return endpoint(endpoint_id).queue.size();
+}
+
+std::string Network::endpoint_name(int endpoint_id) const {
+  const Endpoint& ep = endpoint(endpoint_id);
+  return ep.name.empty() ? "ep" + std::to_string(endpoint_id) : ep.name;
+}
+
+void Network::set_metrics(metrics::MetricRegistry* registry) {
+  if (registry == nullptr) return;
+  ctr_bytes_inter_ = &registry->counter("net.bytes_total", {{"scope", "inter"}});
+  ctr_bytes_intra_ = &registry->counter("net.bytes_total", {{"scope", "intra"}});
+  ctr_msgs_inter_ =
+      &registry->counter("net.messages_total", {{"scope", "inter"}});
+  ctr_msgs_intra_ =
+      &registry->counter("net.messages_total", {{"scope", "intra"}});
+  in_flight_ = &registry->gauge("net.in_flight");
+  ctr_tx_busy_.clear();
+  ctr_rx_busy_.clear();
+  ctr_bus_busy_.clear();
+  for (int m = 0; m < spec_.num_machines; ++m) {
+    const std::string machine = std::to_string(m);
+    ctr_tx_busy_.push_back(&registry->counter(
+        "net.link_busy_s", {{"machine", machine}, {"dir", "tx"}}));
+    ctr_rx_busy_.push_back(&registry->counter(
+        "net.link_busy_s", {{"machine", machine}, {"dir", "rx"}}));
+    ctr_bus_busy_.push_back(&registry->counter(
+        "net.link_busy_s", {{"machine", machine}, {"dir", "bus"}}));
+  }
+}
+
 void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
                    Packet pkt) {
   Endpoint& dst = endpoint(dst_endpoint);
@@ -57,10 +90,16 @@ void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
   if (src_machine == dst_machine) {
     double& bus = bus_busy_[static_cast<std::size_t>(src_machine)];
     const double start = std::max(now, bus);
-    const double finish =
-        start + static_cast<double>(pkt.wire_bytes) / spec_.local_bus_bandwidth;
+    const double serialization =
+        static_cast<double>(pkt.wire_bytes) / spec_.local_bus_bandwidth;
+    const double finish = start + serialization;
     bus = finish;
     arrival = finish + spec_.local_latency;
+    if (ctr_bytes_intra_ != nullptr) {
+      ctr_bytes_intra_->inc(static_cast<double>(pkt.wire_bytes));
+      ctr_msgs_intra_->inc();
+      ctr_bus_busy_[static_cast<std::size_t>(src_machine)]->inc(serialization);
+    }
   } else {
     // Cut-through model: the message occupies the sender's TX queue and
     // the receiver's RX queue for its serialization time each, and the RX
@@ -79,9 +118,22 @@ void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
     arrival = rx_start + serialization + spec_.latency;
     ++stats_.inter_machine_messages;
     stats_.inter_machine_bytes += pkt.wire_bytes;
+    if (ctr_bytes_inter_ != nullptr) {
+      ctr_bytes_inter_->inc(static_cast<double>(pkt.wire_bytes));
+      ctr_msgs_inter_->inc();
+      ctr_tx_busy_[static_cast<std::size_t>(src_machine)]->inc(serialization);
+      ctr_rx_busy_[static_cast<std::size_t>(dst_machine)]->inc(serialization);
+    }
   }
   ++stats_.messages;
   stats_.bytes += pkt.wire_bytes;
+  if (in_flight_ != nullptr) in_flight_->add(1.0);
+  if (trace_ != nullptr) {
+    trace_->flow(endpoint_name(src_endpoint), endpoint_name(dst_endpoint),
+                 endpoint_name(src_endpoint) + "->" +
+                     endpoint_name(dst_endpoint),
+                 now, arrival, ++flow_seq_);
+  }
 
   pkt.src_endpoint = src_endpoint;
   pkt.sent_at = now;
@@ -119,6 +171,7 @@ std::optional<Packet> Network::try_recv(runtime::Process& self,
     if (tag == kAnyTag || it->tag == tag) {
       Packet out = std::move(*it);
       ep.queue.erase(it);
+      if (in_flight_ != nullptr) in_flight_->add(-1.0);
       return out;
     }
   }

@@ -27,8 +27,13 @@
 #include <string>
 #include <vector>
 
+#include "metrics/registry.hpp"
 #include "net/packet.hpp"
 #include "runtime/sim.hpp"
+
+namespace dt::metrics {
+class TraceLog;
+}
 
 namespace dt::net {
 
@@ -90,6 +95,24 @@ class Network {
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  /// Attaches a metric registry: every send updates traffic counters
+  /// (`net.bytes_total`/`net.messages_total` by scope, per-machine
+  /// `net.link_busy_s` by direction) and the `net.in_flight` gauge
+  /// (messages sent but not yet received). Instrument pointers are resolved
+  /// here once, so the per-send cost is a few pointer bumps.
+  void set_metrics(metrics::MetricRegistry* registry);
+
+  /// Attaches a trace: every send records a flow event from the source
+  /// endpoint's track to the destination's (arrows in Perfetto).
+  void set_trace(metrics::TraceLog* trace) noexcept { trace_ = trace; }
+
+  /// Messages queued at `endpoint` (delivered or still in flight) — the
+  /// PS-side request-queue-depth probe.
+  [[nodiscard]] std::size_t queue_depth(int endpoint) const;
+
+  /// Endpoint display name ("worker3", "ps1"; "ep<id>" when unnamed).
+  [[nodiscard]] std::string endpoint_name(int endpoint) const;
+
  private:
   struct Endpoint {
     int machine = 0;
@@ -108,6 +131,18 @@ class Network {
   std::vector<double> rx_busy_;     // per machine
   std::vector<double> bus_busy_;    // per machine (intra-machine transfers)
   TrafficStats stats_;
+
+  // Observability sinks (optional; resolved once in set_metrics).
+  metrics::TraceLog* trace_ = nullptr;
+  std::uint64_t flow_seq_ = 0;
+  metrics::Counter* ctr_bytes_inter_ = nullptr;
+  metrics::Counter* ctr_bytes_intra_ = nullptr;
+  metrics::Counter* ctr_msgs_inter_ = nullptr;
+  metrics::Counter* ctr_msgs_intra_ = nullptr;
+  metrics::Gauge* in_flight_ = nullptr;
+  std::vector<metrics::Counter*> ctr_tx_busy_;   // per machine
+  std::vector<metrics::Counter*> ctr_rx_busy_;   // per machine
+  std::vector<metrics::Counter*> ctr_bus_busy_;  // per machine
 };
 
 }  // namespace dt::net

@@ -14,6 +14,7 @@ ShardState::ShardState(const ShardingPlan& plan, int shard,
   common::check(shard >= 0 && shard < plan.num_shards,
                 "ShardState: bad shard index");
   slots_ = plan.shard_slots[static_cast<std::size_t>(shard)];
+  versions_.assign(slots_.size(), 0);
   for (std::size_t local = 0; local < slots_.size(); ++local) {
     slot_to_local_[slots_[local]] = local;
     bytes_ += wl.slot_wire_bytes(slots_[local]);

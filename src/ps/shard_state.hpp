@@ -43,6 +43,18 @@ class ShardState {
   /// Local index of a global slot id; fails if the slot is not ours.
   [[nodiscard]] std::size_t local_index(std::size_t slot) const;
 
+  /// Per-slot update clock for the staleness probes: number of gradient
+  /// updates applied to local slot `local` since the start of the run.
+  /// The PS loops bump it at every apply (in both functional and cost-only
+  /// mode); parameter replies carry it so workers can stamp their next
+  /// gradient push with the version it was computed against.
+  [[nodiscard]] std::int64_t version(std::size_t local) const {
+    return versions_.at(local);
+  }
+  std::int64_t bump_version(std::size_t local) {
+    return ++versions_.at(local);
+  }
+
   /// Global parameters of local slot `local`.
   [[nodiscard]] const tensor::Tensor& param(std::size_t local) const;
 
@@ -73,6 +85,7 @@ class ShardState {
   std::vector<std::size_t> slots_;
   std::unordered_map<std::size_t, std::size_t> slot_to_local_;
   std::uint64_t bytes_ = 0;
+  std::vector<std::int64_t> versions_;  // per local slot, see version()
   std::vector<tensor::Tensor> params_;  // shard-local order
   std::vector<tensor::Tensor> accum_;   // BSP sum buffers
   nn::MomentumSgd optimizer_;

@@ -84,6 +84,63 @@ TEST(TraceLog, RejectsNegativeDuration) {
   EXPECT_THROW(trace.record("t", "e", 2.0, 1.0), common::Error);
 }
 
+TEST(TraceLog, EscapesJsonSpecials) {
+  TraceLog trace;
+  trace.record("tr\"ack\\", "na\nme\tx\x01", 0.0, 1.0);
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find(R"(tr\"ack\\)"), std::string::npos);
+  EXPECT_NE(json.find(R"(na\nme\tx)"), std::string::npos);
+  // The \x01 must become a \u escape; no raw control character may
+  // survive (the only one in the output is the '\n' event separator).
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  for (char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(TraceLog, EmitsCounterEvents) {
+  TraceLog trace;
+  trace.counter("metrics", "net.in_flight", 0.5, 3.0);
+  EXPECT_EQ(trace.size(), 1u);
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find(R"("ph":"C")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"net.in_flight")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ts":500000)"), std::string::npos);
+  EXPECT_NE(json.find(R"("value":3)"), std::string::npos);
+}
+
+TEST(TraceLog, EmitsFlowEventPairs) {
+  TraceLog trace;
+  trace.record("worker0", "comm", 0.0, 0.002);
+  trace.record("ps0", "agg", 0.001, 0.003);
+  trace.flow("worker0", "ps0", "grad", 0.001, 0.002, 42);
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  // One start ("s") on the source track and one finish ("f") on the
+  // destination track, paired by id.
+  EXPECT_NE(json.find(R"("ph":"s")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"f")"), std::string::npos);
+  EXPECT_NE(json.find(R"("id":42)"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"grad")"), std::string::npos);
+}
+
+TEST(TraceLog, RejectsFlowArrivingBeforeSend) {
+  TraceLog trace;
+  EXPECT_THROW(trace.flow("a", "b", "m", 2.0, 1.0, 1), common::Error);
+}
+
+TEST(TraceLog, SaveFailsLoudlyOnBadPath) {
+  TraceLog trace;
+  trace.record("t", "e", 0.0, 1.0);
+  EXPECT_THROW(trace.save("/nonexistent-dir/trace.json"), common::Error);
+}
+
 TEST(RunResult, ThroughputAndPhaseMeans) {
   RunResult r;
   r.total_samples = 100;

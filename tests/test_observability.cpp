@@ -1,0 +1,158 @@
+// End-to-end tests of the observability layer: protocol probes (observed
+// staleness, PS load, network accounting) and the metric/trace/time-series
+// output files, driven through real training runs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/session.hpp"
+#include "core/trainer.hpp"
+#include "metrics/metrics.hpp"
+
+namespace dt {
+namespace {
+
+core::TrainConfig small_config(core::Algo algo, int workers,
+                               std::int64_t iters) {
+  core::TrainConfig cfg;
+  cfg.algo = algo;
+  cfg.num_workers = workers;
+  cfg.iterations = iters;
+  cfg.opt.ps_shards_per_machine = 1;
+  return cfg;
+}
+
+metrics::RunResult run_small(const core::TrainConfig& cfg) {
+  cost::ModelProfile profile = cost::uniform_profile("u", 4, 100'000, 1e9);
+  core::Workload wl = core::make_cost_workload(profile, 32);
+  core::TrainConfig copy = cfg;
+  return core::run_training(copy, wl);
+}
+
+TEST(StalenessProbe, BspGradientsAreNeverStale) {
+  auto result = run_small(small_config(core::Algo::bsp, 4, 6));
+  const metrics::MetricValue* h =
+      result.metrics.find("staleness.updates",
+                          {{"algo", core::algo_name(core::Algo::bsp)}});
+  ASSERT_NE(h, nullptr);
+  // Non-empty distribution, entirely at zero: every BSP gradient is applied
+  // against exactly the version it was computed on.
+  EXPECT_GT(h->count, 0u);
+  EXPECT_DOUBLE_EQ(h->min, 0.0);
+  EXPECT_DOUBLE_EQ(h->max, 0.0);
+}
+
+TEST(StalenessProbe, AspGradientsGoStale) {
+  auto result = run_small(small_config(core::Algo::asp, 4, 6));
+  const metrics::MetricValue* h =
+      result.metrics.find("staleness.updates",
+                          {{"algo", core::algo_name(core::Algo::asp)}});
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->count, 0u);
+  // With 4 workers racing on one PS, other workers' applies land between a
+  // worker's pull and its push: staleness must exceed zero.
+  EXPECT_GT(h->max, 0.0);
+}
+
+TEST(StalenessProbe, SspLocalStalenessRespectsBound) {
+  core::TrainConfig cfg = small_config(core::Algo::ssp, 4, 16);
+  cfg.ssp_staleness = 3;
+  auto result = run_small(cfg);
+  const auto series = result.metrics.all("ssp.local_staleness");
+  ASSERT_EQ(series.size(), 4u);  // one histogram per worker
+  for (const metrics::MetricValue* h : series) {
+    EXPECT_GT(h->count, 0u);
+    EXPECT_LE(h->max, 3.0);  // never beyond the configured slack s
+  }
+}
+
+TEST(NetworkProbes, AgreeWithNetworkStats) {
+  auto result = run_small(small_config(core::Algo::asp, 4, 4));
+  const auto& snap = result.metrics;
+  EXPECT_DOUBLE_EQ(snap.total("net.bytes_total"),
+                   static_cast<double>(result.wire_bytes));
+  EXPECT_DOUBLE_EQ(snap.total("net.messages_total"),
+                   static_cast<double>(result.wire_messages));
+  EXPECT_DOUBLE_EQ(snap.value("net.bytes_total", {{"scope", "inter"}}),
+                   static_cast<double>(result.inter_machine_bytes));
+  // All messages were drained by the end of the run.
+  EXPECT_DOUBLE_EQ(snap.value("net.in_flight"), 0.0);
+  // Per-link busy-time counters exist and accumulated something.
+  EXPECT_GT(snap.total("net.link_busy_s"), 0.0);
+}
+
+TEST(WorkerProbes, CountersMatchRunTotals) {
+  auto result = run_small(small_config(core::Algo::bsp, 4, 5));
+  const auto& snap = result.metrics;
+  EXPECT_DOUBLE_EQ(snap.total("worker.iterations_total"),
+                   static_cast<double>(result.total_iterations));
+  EXPECT_DOUBLE_EQ(snap.total("worker.samples_total"),
+                   static_cast<double>(result.total_samples));
+  EXPECT_GT(snap.total("ps.requests_total"), 0.0);
+  EXPECT_GT(snap.total("ps.bytes_served_total"), 0.0);
+}
+
+TEST(ObservabilityOutputs, WritesAllConfiguredFiles) {
+  const std::string jsonl = "/tmp/dtrainlib_obs_test.jsonl";
+  const std::string csv = "/tmp/dtrainlib_obs_test.csv";
+  const std::string trace = "/tmp/dtrainlib_obs_test.trace.json";
+  std::remove(jsonl.c_str());
+  std::remove(csv.c_str());
+  std::remove(trace.c_str());
+
+  core::TrainConfig cfg = small_config(core::Algo::asp, 4, 4);
+  cfg.metrics_jsonl = jsonl;
+  cfg.timeseries_csv = csv;
+  cfg.trace_path = trace;
+  cfg.sample_period = 0.005;
+  run_small(cfg);
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string jsonl_text = slurp(jsonl);
+  EXPECT_NE(jsonl_text.find("staleness.updates"), std::string::npos);
+  EXPECT_NE(jsonl_text.find(R"("kind":"histogram")"), std::string::npos);
+  EXPECT_NE(jsonl_text.find("net.bytes_total"), std::string::npos);
+
+  const std::string csv_text = slurp(csv);
+  EXPECT_NE(csv_text.find("time,"), std::string::npos);
+  EXPECT_NE(csv_text.find("worker.iterations_total"), std::string::npos);
+  // Header plus at least the end-of-run sample row.
+  EXPECT_GE(std::count(csv_text.begin(), csv_text.end(), '\n'), 2);
+
+  const std::string trace_text = slurp(trace);
+  EXPECT_NE(trace_text.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(trace_text.find(R"("ph":"C")"), std::string::npos);  // counters
+  EXPECT_NE(trace_text.find(R"("ph":"s")"), std::string::npos);  // flows
+  EXPECT_NE(trace_text.find(R"("ph":"f")"), std::string::npos);
+
+  std::remove(jsonl.c_str());
+  std::remove(csv.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(ObservabilityOutputs, SyncProbesCoverEveryAlgorithm) {
+  for (core::Algo algo :
+       {core::Algo::bsp, core::Algo::asp, core::Algo::ssp, core::Algo::easgd,
+        core::Algo::arsgd, core::Algo::adpsgd, core::Algo::dpsgd}) {
+    core::TrainConfig cfg = small_config(algo, 4, 6);
+    cfg.easgd_tau = 2;
+    cfg.ssp_staleness = 2;
+    auto result = run_small(cfg);
+    const metrics::MetricValue* h = result.metrics.find(
+        "sync.window_s", {{"algo", core::algo_name(algo)}});
+    ASSERT_NE(h, nullptr) << core::algo_name(algo);
+    EXPECT_GT(h->count, 0u) << core::algo_name(algo);
+  }
+}
+
+}  // namespace
+}  // namespace dt
