@@ -2,12 +2,26 @@
 // compression, the virtual-time runtime's context-switch cost, and the
 // network model's send path. These guard the simulator's own performance
 // (a slow simulator would make the paper-scale sweeps impractical).
+//
+// Besides the google-benchmark suite, a wall-clock section reports GEMM
+// GFLOP/s at the paper's layer shapes (VGG-16 fc6/fc7, a ResNet-50 1x1
+// conv) against the original scalar kernel, plus end-to-end simulator
+// steps/sec with and without parallel compute offload, and writes the
+// numbers to BENCH_kernels.json. Run with --kernel-report-only to skip the
+// google-benchmark suite.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "common/rng.hpp"
 #include "compress/dgc.hpp"
+#include "core/trainer.hpp"
 #include "net/network.hpp"
 #include "runtime/sim.hpp"
+#include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
@@ -93,6 +107,187 @@ void BM_NetworkSendRecv(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSendRecv)->Unit(benchmark::kMillisecond);
 
+// ---- wall-clock kernel / throughput report ---------------------------------
+
+/// The seed repository's scalar gemm_nn, kept verbatim as the baseline the
+/// GFLOP/s ratios in BENCH_kernels.json are measured against (kc=64
+/// blocking, data-dependent zero-skip that defeats vectorization).
+void seed_scalar_gemm(const float* a, const float* b, float* c,
+                      std::int64_t m, std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kc = 64;
+  std::fill(c, c + m * n, 0.0f);
+  for (std::int64_t p0 = 0; p0 < k; p0 += kc) {
+    const std::int64_t p1 = std::min(p0 + kc, k);
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const float aval = a[i * k + p];
+        if (aval == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
+    }
+  }
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Repeats `fn` until >= 0.4 s elapsed (at least once) and returns seconds
+/// per call.
+template <typename Fn>
+double time_call(Fn&& fn) {
+  const double t0 = now_s();
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (now_s() - t0 < 0.4);
+  return (now_s() - t0) / reps;
+}
+
+struct GemmShape {
+  const char* name;
+  std::int64_t m, k, n;
+};
+
+struct GemmRow {
+  GemmShape shape;
+  double gflops = 0.0;
+  double gflops_seed = 0.0;
+};
+
+GemmRow bench_gemm_shape(const GemmShape& shape) {
+  dt::common::Rng rng(11);
+  dt::tensor::Tensor a({shape.m, shape.k}), b({shape.k, shape.n}),
+      c({shape.m, shape.n});
+  dt::tensor::fill_normal(a, rng, 1.0f);
+  dt::tensor::fill_normal(b, rng, 1.0f);
+  const double flops =
+      2.0 * static_cast<double>(shape.m) * static_cast<double>(shape.k) *
+      static_cast<double>(shape.n);
+
+  GemmRow row{shape};
+  const double t_new = time_call([&] {
+    dt::tensor::gemm_nn(a.data().data(), b.data().data(), c.data().data(),
+                        shape.m, shape.k, shape.n, false);
+  });
+  row.gflops = flops / t_new / 1e9;
+  const double t_seed = time_call([&] {
+    seed_scalar_gemm(a.data().data(), b.data().data(), c.data().data(),
+                     shape.m, shape.k, shape.n);
+  });
+  row.gflops_seed = flops / t_seed / 1e9;
+  return row;
+}
+
+/// End-to-end simulator throughput: host-wall steps/sec of a functional
+/// BSP run at the given worker count and compute_threads setting.
+double bsp_steps_per_sec(int workers, int threads) {
+  dt::core::FunctionalWorkloadSpec spec;
+  spec.train_samples = 64 * workers;
+  spec.test_samples = 64;
+  spec.input_dim = 64;
+  spec.hidden_dim = 512;
+  spec.num_classes = 8;
+  spec.batch = 32;
+  spec.num_workers = workers;
+  spec.seed = 5;
+  dt::core::Workload wl = dt::core::make_functional_workload(spec);
+
+  dt::core::TrainConfig cfg;
+  cfg.algo = dt::core::Algo::bsp;
+  cfg.num_workers = workers;
+  cfg.epochs = 16.0;
+  cfg.lr = dt::nn::LrSchedule::paper(workers, cfg.epochs, 0.02);
+  cfg.cluster.workers_per_machine = 4;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.seed = 5;
+  cfg.compute_threads = threads;
+  cfg.eval_interval_epochs = 1e9;  // measure training, not evaluation
+
+  const auto result = dt::core::run_training(cfg, wl);
+  return result.host_wall_s > 0.0
+             ? static_cast<double>(result.total_iterations) /
+                   result.host_wall_s
+             : 0.0;
+}
+
+void write_kernel_report(const std::string& path) {
+  // Paper layer shapes: VGG-16's fc6 (25088 -> 4096) and fc7
+  // (4096 -> 4096) at batch 32, and a ResNet-50 conv stage-3 1x1
+  // (256 -> 64 channels over 56x56 positions) as its im2col GEMM.
+  const GemmShape shapes[] = {
+      {"vgg16_fc6", 32, 25088, 4096},
+      {"vgg16_fc7", 32, 4096, 4096},
+      {"resnet50_conv_1x1", 64, 256, 3136},
+  };
+
+  std::printf("== GEMM kernels (wall clock) ==\n");
+  GemmRow rows[3];
+  for (int i = 0; i < 3; ++i) {
+    rows[i] = bench_gemm_shape(shapes[i]);
+    std::printf("  %-18s m=%-3lld k=%-6lld n=%-5lld  %7.2f GFLOP/s  (seed scalar %6.2f, x%.2f)\n",
+                rows[i].shape.name, static_cast<long long>(rows[i].shape.m),
+                static_cast<long long>(rows[i].shape.k),
+                static_cast<long long>(rows[i].shape.n), rows[i].gflops,
+                rows[i].gflops_seed, rows[i].gflops / rows[i].gflops_seed);
+  }
+
+  std::printf("== simulator throughput (wall clock) ==\n");
+  const double steps4 = bsp_steps_per_sec(4, 1);
+  std::printf("  bsp 4 workers, compute_threads=1 : %8.1f steps/s\n", steps4);
+  const double steps16_t1 = bsp_steps_per_sec(16, 1);
+  const double steps16_t8 = bsp_steps_per_sec(16, 8);
+  std::printf("  bsp 16 workers, compute_threads=1: %8.1f steps/s\n",
+              steps16_t1);
+  std::printf("  bsp 16 workers, compute_threads=8: %8.1f steps/s (x%.2f)\n",
+              steps16_t8, steps16_t8 / steps16_t1);
+
+  const int host_cores = dt::runtime::ThreadPool::resolve_threads(0);
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"host_cores\": " << host_cores << ",\n"
+      << "  \"gemm\": [\n";
+  for (int i = 0; i < 3; ++i) {
+    out << "    {\"name\": \"" << rows[i].shape.name
+        << "\", \"m\": " << rows[i].shape.m << ", \"k\": " << rows[i].shape.k
+        << ", \"n\": " << rows[i].shape.n
+        << ", \"gflops\": " << rows[i].gflops
+        << ", \"gflops_seed_scalar\": " << rows[i].gflops_seed
+        << ", \"speedup\": " << rows[i].gflops / rows[i].gflops_seed << "}"
+        << (i + 1 < 3 ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"bsp_4worker_steps_per_sec\": " << steps4 << ",\n"
+      << "  \"bsp_16worker\": {\"threads1_steps_per_sec\": " << steps16_t1
+      << ", \"threads8_steps_per_sec\": " << steps16_t8
+      << ", \"speedup\": " << steps16_t8 / steps16_t1 << "}\n"
+      << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool report_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--kernel-report-only") {
+      report_only = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (!report_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  write_kernel_report("BENCH_kernels.json");
+  return 0;
+}

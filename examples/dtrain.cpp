@@ -53,6 +53,12 @@ train_samples = 6144
 test_samples = 1024
 non_iid = false
 
+[runtime]
+compute_threads = 0       ; host threads for compute offload: 0 = auto
+                          ; (DT_COMPUTE_THREADS env, else all cores);
+                          ; results are identical at any value
+host_metrics = false      ; emit host.wall_seconds / host.compute_threads
+
 [failures]
 straggler_rank = -1       ; -1 = no straggler
 straggler_slowdown = 1.0

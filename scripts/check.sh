@@ -5,6 +5,10 @@
 #   scripts/check.sh                 # plain build + ctest
 #   scripts/check.sh address         # same, under AddressSanitizer
 #   scripts/check.sh thread|undefined
+#   scripts/check.sh tsan            # ThreadSanitizer build of the runtime
+#                                    # and compute-offload tests only (the
+#                                    # targeted race check for the
+#                                    # advance_compute thread pool)
 #
 # Sanitized builds go to build-<sanitizer>/ so they never pollute the plain
 # build tree.
@@ -15,11 +19,22 @@ cd "$(dirname "$0")/.."
 SANITIZER="${1:-}"
 BUILD_DIR=build
 CMAKE_ARGS=()
+TEST_ARGS=()
+BUILD_TARGETS=()
 if [[ -n "$SANITIZER" ]]; then
   case "$SANITIZER" in
     address|thread|undefined) ;;
+    tsan)
+      # Focused mode: TSan-instrumented build of the virtual-time runtime,
+      # its thread pool, and the determinism A/B suite — the code that
+      # actually runs concurrent host threads. Shares build-thread/ with
+      # the full `thread` mode.
+      SANITIZER=thread
+      BUILD_TARGETS+=(--target test_runtime test_determinism test_algorithms)
+      TEST_ARGS+=(-R 'Sim|ThreadPool|Determinism|AllAlgosLearn')
+      ;;
     *)
-      echo "usage: $0 [address|thread|undefined]" >&2
+      echo "usage: $0 [address|thread|undefined|tsan]" >&2
       exit 2
       ;;
   esac
@@ -28,5 +43,5 @@ if [[ -n "$SANITIZER" ]]; then
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+cmake --build "$BUILD_DIR" -j "$(nproc)" "${BUILD_TARGETS[@]}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "${TEST_ARGS[@]}"

@@ -116,9 +116,22 @@ double compute_iteration(
     const std::function<void(std::size_t)>& on_slot_ready) {
   PhaseTimer timer(self, wm, Phase::compute);
   const double cs = s.compute_scale(rank);
+  // The forward-time draw must happen on the simulated thread, before the
+  // closure is submitted, so the RNG stream order is independent of the
+  // compute_threads setting.
+  const double fwd = s.wl.forward_time(rng) * cs;
   double loss = 0.0;
-  if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
-  self.advance(s.wl.forward_time(rng) * cs);
+  if (s.wl.functional()) {
+    // Forward+backward touches only worker-`rank` state (its model replica,
+    // batch cursor, gradient slots), so the numerics run on the host pool
+    // while other processes are scheduled across the modeled forward
+    // interval. advance_compute joins the closure before returning, so the
+    // gradients exist before any backward slot below is announced.
+    self.advance_compute(fwd,
+                         [&s, &loss, rank] { loss = s.wl.compute_gradients(rank); });
+  } else {
+    self.advance(fwd);
+  }
 
   const std::size_t n = s.wl.num_slots();
   if (!s.cfg.opt.wait_free_bp || !on_slot_ready) {

@@ -175,8 +175,18 @@ void launch_arsgd_impl(Session& s) {
             double loss = 0.0;
             {
               PhaseTimer t(self, wm, Phase::compute);
-              if (fn) loss = s.wl.compute_gradients(rank);
-              self.advance(s.wl.forward_time(rng) * cs);
+              // AR-SGD workers touch only their own replica until the
+              // AllReduce below, so forward+backward can run on the host
+              // pool over the modeled forward interval (see
+              // Process::advance_compute; the RNG draw stays on the
+              // simulated thread).
+              const double fwd = s.wl.forward_time(rng) * cs;
+              if (fn) {
+                self.advance_compute(
+                    fwd, [&s, &loss, rank] { loss = s.wl.compute_gradients(rank); });
+              } else {
+                self.advance(fwd);
+              }
               if (!s.cfg.opt.wait_free_bp) {
                 self.advance(s.wl.backward_time(rng) * cs);
               }
@@ -326,6 +336,10 @@ void launch_gosgd_impl(Session& s) {
             {
               PhaseTimer t(self, wm, Phase::compute);
               const double cs = s.compute_scale(rank);
+              // NOT offloaded (advance_compute): the gossip rx daemon may
+              // blend incoming parameters into this worker's replica at any
+              // virtual instant of the compute interval, so the replica is
+              // not private to the closure.
               if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
               self.advance(s.wl.forward_time(rng) * cs);
               self.advance(s.wl.backward_time(rng) * cs);
@@ -431,6 +445,10 @@ void launch_adpsgd_impl(Session& s) {
             {
               PhaseTimer t(self, wm, Phase::compute);
               const double cs = s.compute_scale(rank);
+              // NOT offloaded (advance_compute): passive ranks run a
+              // responder daemon that blends a peer's parameters into this
+              // replica mid-interval, so the replica is not private to the
+              // closure. Active ranks share this code path.
               if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
               self.advance(s.wl.forward_time(rng) * cs);
               self.advance(s.wl.backward_time(rng) * cs);
@@ -508,8 +526,16 @@ void launch_dpsgd_impl(Session& s) {
             {
               PhaseTimer t(self, wm, Phase::compute);
               const double cs = s.compute_scale(rank);
-              if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
-              self.advance(s.wl.forward_time(rng) * cs);
+              // Neighbor parameters are blended only on this process's own
+              // thread (after the recv below), so the replica is private for
+              // the whole compute interval and the numerics can be offloaded.
+              const double fwd = s.wl.forward_time(rng) * cs;
+              if (s.wl.functional()) {
+                self.advance_compute(
+                    fwd, [&s, &loss, rank] { loss = s.wl.compute_gradients(rank); });
+              } else {
+                self.advance(fwd);
+              }
               self.advance(s.wl.backward_time(rng) * cs);
             }
 

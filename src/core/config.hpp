@@ -104,6 +104,17 @@ struct TrainConfig {
 
   std::uint64_t seed = 42;
 
+  // --- host execution (does not affect simulated results) ---
+  /// Host threads for Process::advance_compute numerics. 0 = auto: the
+  /// DT_COMPUTE_THREADS environment variable if set, else the hardware
+  /// thread count. 1 = strictly sequential (historical behavior). Any
+  /// value produces bit-identical metrics; >1 only changes wall-clock.
+  int compute_threads = 0;
+  /// When true, host-side wall-clock gauges (host.* metrics) are recorded
+  /// in the registry. Off by default so metric dumps stay byte-identical
+  /// across hosts and compute_threads settings.
+  bool host_metrics = false;
+
   /// When non-empty, a Chrome-tracing JSON of every worker's phase
   /// intervals (virtual time) is written here after the run — including
   /// counter events (sampled registry scalars) and message flow arrows.

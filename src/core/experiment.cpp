@@ -99,6 +99,11 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
       ini.get_int("workload", "functional_batch", spec.workload.batch);
   spec.workload.non_iid = ini.get_bool("workload", "non_iid", false);
 
+  // [runtime]
+  cfg.compute_threads =
+      static_cast<int>(ini.get_int("runtime", "compute_threads", 0));
+  cfg.host_metrics = ini.get_bool("runtime", "host_metrics", false);
+
   // [failures]
   cfg.straggler_rank =
       static_cast<int>(ini.get_int("failures", "straggler_rank", -1));

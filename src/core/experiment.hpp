@@ -34,6 +34,11 @@
 //   train_samples = 6144      ; functional-mode dataset knobs
 //   non_iid = false
 //
+//   [runtime]
+//   compute_threads = 0       ; host threads for compute offload (0 = auto;
+//                             ; never changes simulated results)
+//   host_metrics = false
+//
 //   [failures]
 //   straggler_rank = -1
 //   straggler_slowdown = 1.0

@@ -1,10 +1,12 @@
 #include "core/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "common/error.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace dt::core {
 
@@ -148,11 +150,27 @@ metrics::RunResult Session::run() {
     sampler_->attach(engine);
   }
 
+  const int threads = runtime::ThreadPool::resolve_threads(cfg.compute_threads);
+  engine.set_compute_threads(threads);
+
   launch();
+  const auto host_start = std::chrono::steady_clock::now();
   engine.run();
+  const double host_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
 
   result.algorithm = algo_name(cfg.algo);
   result.num_workers = cfg.num_workers;
+  result.host_wall_s = host_wall;
+  result.host_compute_threads = threads;
+  if (cfg.host_metrics) {
+    // Opt-in: host gauges vary run to run, so recording them would break
+    // byte-identical metric dumps across hosts and thread counts.
+    registry.gauge("host.wall_seconds").set(host_wall);
+    registry.gauge("host.compute_threads").set(static_cast<double>(threads));
+  }
   result.virtual_duration = engine.now();
   result.workers = wmetrics;
   for (const auto& w : wmetrics) {

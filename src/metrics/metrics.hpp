@@ -137,6 +137,12 @@ struct RunResult {
   /// docs/observability.md for the catalogue.
   MetricSnapshot metrics;
 
+  // Host-side execution stats (wall clock, not virtual time). These never
+  // feed back into simulated results; they describe how fast this host ran
+  // the simulation. See docs/performance.md.
+  double host_wall_s = 0.0;       // wall-clock seconds inside engine.run()
+  int host_compute_threads = 0;   // resolved advance_compute pool size
+
   /// Samples per second of virtual time (paper: "images/sec").
   [[nodiscard]] double throughput() const noexcept {
     return virtual_duration > 0.0

@@ -34,8 +34,9 @@ class Layer {
   virtual const tensor::Tensor& forward(const tensor::Tensor& input) = 0;
 
   /// Given dL/d(output), accumulates parameter gradients into the slots and
-  /// returns dL/d(input).
-  virtual tensor::Tensor backward(const tensor::Tensor& grad_output) = 0;
+  /// returns dL/d(input). The reference points at a layer-owned buffer that
+  /// is reused across steps and stays valid until the next backward.
+  virtual const tensor::Tensor& backward(const tensor::Tensor& grad_output) = 0;
 
   /// Parameter slots owned by this layer (empty for stateless layers).
   virtual std::vector<ParamSlot*> params() { return {}; }

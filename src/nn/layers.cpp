@@ -30,21 +30,21 @@ const Tensor& Dense::forward(const Tensor& input) {
                 "Dense(" + name_ + "): bad input shape " +
                     input.shape_string());
   input_ = input;
-  output_ = Tensor({input.dim(0), out_});
+  output_.ensure_shape({input.dim(0), out_});
   tensor::matmul(input, weight_.value, output_);
   tensor::add_row_bias(output_, bias_.value.data());
   return output_;
 }
 
-Tensor Dense::backward(const Tensor& grad_output) {
+const Tensor& Dense::backward(const Tensor& grad_output) {
   common::check(grad_output.rank() == 2 && grad_output.dim(1) == out_ &&
                     grad_output.dim(0) == input_.dim(0),
                 "Dense(" + name_ + "): bad grad shape");
   tensor::matmul_tn(input_, grad_output, weight_.grad, /*accumulate=*/true);
   tensor::sum_rows(grad_output, bias_.grad.data());
-  Tensor grad_in({input_.dim(0), in_});
-  tensor::matmul_nt(grad_output, weight_.value, grad_in);
-  return grad_in;
+  grad_in_.ensure_shape({input_.dim(0), in_});
+  tensor::matmul_nt(grad_output, weight_.value, grad_in_);
+  return grad_in_;
 }
 
 // ---- ReLU -------------------------------------------------------------------
@@ -55,10 +55,10 @@ const Tensor& ReLU::forward(const Tensor& input) {
   return output_;
 }
 
-Tensor ReLU::backward(const Tensor& grad_output) {
-  Tensor grad_in(output_.shape());
-  tensor::relu_backward(output_.data(), grad_output.data(), grad_in.data());
-  return grad_in;
+const Tensor& ReLU::backward(const Tensor& grad_output) {
+  grad_in_.ensure_shape(output_.shape());
+  tensor::relu_backward(output_.data(), grad_output.data(), grad_in_.data());
+  return grad_in_;
 }
 
 // ---- Conv2d -----------------------------------------------------------------
@@ -143,59 +143,56 @@ const Tensor& Conv2d::forward(const Tensor& input) {
   common::check(oh_ > 0 && ow_ > 0, "Conv2d: kernel larger than input");
 
   const std::int64_t col_rows = in_c_ * k_ * k_;
-  cols_ = Tensor({batch_, col_rows, oh_ * ow_});
-  output_ = Tensor({batch_, out_c_, oh_, ow_});
+  const std::int64_t ohow = oh_ * ow_;
+  cols_.ensure_shape({batch_, col_rows, ohow});
+  output_.ensure_shape({batch_, out_c_, oh_, ow_});
 
-  Tensor sample_out({out_c_, oh_ * ow_});
+  // The GEMM runs directly on sub-buffers of cols_/output_: no per-sample
+  // Tensor copies.
   for (std::int64_t b = 0; b < batch_; ++b) {
-    float* col_b = cols_.data().data() + b * col_rows * oh_ * ow_;
+    float* col_b = cols_.data().data() + b * col_rows * ohow;
     im2col(input.data().data() + b * in_c_ * h_ * w_, col_b, in_c_, h_, w_, k_,
            pad_, oh_, ow_);
-    Tensor col_view({col_rows, oh_ * ow_},
-                    std::vector<float>(col_b, col_b + col_rows * oh_ * ow_));
-    tensor::matmul(weight_.value, col_view, sample_out);
-    float* out_b = output_.data().data() + b * out_c_ * oh_ * ow_;
-    const float* so = sample_out.data().data();
+    float* out_b = output_.data().data() + b * out_c_ * ohow;
+    tensor::gemm_nn(weight_.value.data().data(), col_b, out_b, out_c_,
+                    col_rows, ohow, /*accumulate=*/false);
     for (std::int64_t oc = 0; oc < out_c_; ++oc) {
       const float bias = bias_.value[static_cast<std::size_t>(oc)];
-      for (std::int64_t i = 0; i < oh_ * ow_; ++i) {
-        out_b[oc * oh_ * ow_ + i] = so[oc * oh_ * ow_ + i] + bias;
-      }
+      for (std::int64_t i = 0; i < ohow; ++i) out_b[oc * ohow + i] += bias;
     }
   }
   return output_;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_output) {
+const Tensor& Conv2d::backward(const Tensor& grad_output) {
   common::check(grad_output.shape() == output_.shape(),
                 "Conv2d(" + name_ + "): bad grad shape");
   const std::int64_t col_rows = in_c_ * k_ * k_;
-  Tensor grad_in(input_.shape());
+  const std::int64_t ohow = oh_ * ow_;
+  grad_in_.ensure_shape(input_.shape());
+  grad_in_.fill(0.0f);  // col2im accumulates
+  gcols_.ensure_shape({col_rows, ohow});
 
-  Tensor gout_mat({out_c_, oh_ * ow_});
-  Tensor gcols({col_rows, oh_ * ow_});
   for (std::int64_t b = 0; b < batch_; ++b) {
-    const float* go = grad_output.data().data() + b * out_c_ * oh_ * ow_;
-    tensor::copy({go, static_cast<std::size_t>(out_c_ * oh_ * ow_)},
-                 gout_mat.data());
+    const float* go = grad_output.data().data() + b * out_c_ * ohow;
+    const float* col_b = cols_.data().data() + b * col_rows * ohow;
     // dW += gout * cols^T
-    const float* col_b = cols_.data().data() + b * col_rows * oh_ * ow_;
-    Tensor col_view({col_rows, oh_ * ow_},
-                    std::vector<float>(col_b, col_b + col_rows * oh_ * ow_));
-    tensor::matmul_nt(gout_mat, col_view, weight_.grad, /*accumulate=*/true);
+    tensor::gemm_nt(go, col_b, weight_.grad.data().data(), out_c_, ohow,
+                    col_rows, /*accumulate=*/true);
     // db += row sums of gout
     for (std::int64_t oc = 0; oc < out_c_; ++oc) {
       double acc = 0.0;
-      for (std::int64_t i = 0; i < oh_ * ow_; ++i) acc += go[oc * oh_ * ow_ + i];
+      for (std::int64_t i = 0; i < ohow; ++i) acc += go[oc * ohow + i];
       bias_.grad[static_cast<std::size_t>(oc)] += static_cast<float>(acc);
     }
     // dcols = W^T * gout, then scatter back to input grad.
-    tensor::matmul_tn(weight_.value, gout_mat, gcols);
-    col2im(gcols.data().data(),
-           grad_in.data().data() + b * in_c_ * h_ * w_, in_c_, h_, w_, k_,
+    tensor::gemm_tn(weight_.value.data().data(), go, gcols_.data().data(),
+                    out_c_, col_rows, ohow, /*accumulate=*/false);
+    col2im(gcols_.data().data(),
+           grad_in_.data().data() + b * in_c_ * h_ * w_, in_c_, h_, w_, k_,
            pad_, oh_, ow_);
   }
-  return grad_in;
+  return grad_in_;
 }
 
 // ---- BatchNorm1d -------------------------------------------------------------
@@ -222,8 +219,8 @@ const Tensor& BatchNorm1d::forward(const Tensor& input) {
   common::check(input.rank() == 2 && input.dim(1) == features_,
                 "BatchNorm1d(" + name_ + "): bad input shape");
   const std::int64_t m = input.dim(0);
-  output_ = Tensor(input.shape());
-  xhat_ = Tensor(input.shape());
+  output_.ensure_shape(input.shape());
+  xhat_.ensure_shape(input.shape());
   inv_std_.assign(static_cast<std::size_t>(features_), 0.0f);
 
   for (std::int64_t f = 0; f < features_; ++f) {
@@ -259,11 +256,11 @@ const Tensor& BatchNorm1d::forward(const Tensor& input) {
   return output_;
 }
 
-Tensor BatchNorm1d::backward(const Tensor& grad_output) {
+const Tensor& BatchNorm1d::backward(const Tensor& grad_output) {
   common::check(grad_output.shape() == output_.shape(),
                 "BatchNorm1d(" + name_ + "): bad grad shape");
   const std::int64_t m = grad_output.dim(0);
-  Tensor grad_in(grad_output.shape());
+  grad_in_.ensure_shape(grad_output.shape());
   const auto mf = static_cast<float>(m);
 
   for (std::int64_t f = 0; f < features_; ++f) {
@@ -282,7 +279,7 @@ Tensor BatchNorm1d::backward(const Tensor& grad_output) {
     if (training_) {
       for (std::int64_t i = 0; i < m; ++i) {
         const float dy = grad_output.at(i, f);
-        grad_in.at(i, f) =
+        grad_in_.at(i, f) =
             g * inv / mf *
             (mf * dy - static_cast<float>(sum_dy) -
              xhat_.at(i, f) * static_cast<float>(sum_dy_xhat));
@@ -290,11 +287,11 @@ Tensor BatchNorm1d::backward(const Tensor& grad_output) {
     } else {
       // Eval mode: running statistics are constants.
       for (std::int64_t i = 0; i < m; ++i) {
-        grad_in.at(i, f) = grad_output.at(i, f) * g * inv;
+        grad_in_.at(i, f) = grad_output.at(i, f) * g * inv;
       }
     }
   }
-  return grad_in;
+  return grad_in_;
 }
 
 // ---- Dropout -----------------------------------------------------------------
@@ -325,14 +322,14 @@ const Tensor& Dropout::forward(const Tensor& input) {
   return output_;
 }
 
-Tensor Dropout::backward(const Tensor& grad_output) {
+const Tensor& Dropout::backward(const Tensor& grad_output) {
   common::check(
       grad_output.numel() == static_cast<std::int64_t>(mask_.size()),
       "Dropout(" + name_ + "): bad grad shape");
-  Tensor grad_in = grad_output;
-  auto g = grad_in.data();
+  grad_in_ = grad_output;
+  auto g = grad_in_.data();
   for (std::size_t i = 0; i < mask_.size(); ++i) g[i] *= mask_[i];
-  return grad_in;
+  return grad_in_;
 }
 
 // ---- GlobalAvgPool -------------------------------------------------------------
@@ -342,7 +339,7 @@ const Tensor& GlobalAvgPool::forward(const Tensor& input) {
   input_shape_ = input.shape();
   const std::int64_t n = input.dim(0), c = input.dim(1),
                      hw = input.dim(2) * input.dim(3);
-  output_ = Tensor({n, c});
+  output_.ensure_shape({n, c});
   const float* in = input.data().data();
   const float inv = 1.0f / static_cast<float>(hw);
   for (std::int64_t i = 0; i < n * c; ++i) {
@@ -353,19 +350,19 @@ const Tensor& GlobalAvgPool::forward(const Tensor& input) {
   return output_;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+const Tensor& GlobalAvgPool::backward(const Tensor& grad_output) {
   common::check(grad_output.shape() == output_.shape(),
                 "GlobalAvgPool: bad grad shape");
-  Tensor grad_in(input_shape_);
+  grad_in_.ensure_shape(input_shape_);
   const std::int64_t n = input_shape_[0], c = input_shape_[1],
                      hw = input_shape_[2] * input_shape_[3];
-  float* gi = grad_in.data().data();
+  float* gi = grad_in_.data().data();
   const float inv = 1.0f / static_cast<float>(hw);
   for (std::int64_t i = 0; i < n * c; ++i) {
     const float g = grad_output[static_cast<std::size_t>(i)] * inv;
     for (std::int64_t j = 0; j < hw; ++j) gi[i * hw + j] = g;
   }
-  return grad_in;
+  return grad_in_;
 }
 
 // ---- MaxPool2d ---------------------------------------------------------------
@@ -377,7 +374,7 @@ const Tensor& MaxPool2d::forward(const Tensor& input) {
   common::check(h % 2 == 0 && w % 2 == 0, "MaxPool2d: odd spatial size");
   input_shape_ = input.shape();
   const std::int64_t oh = h / 2, ow = w / 2;
-  output_ = Tensor({b, c, oh, ow});
+  output_.ensure_shape({b, c, oh, ow});
   argmax_.assign(static_cast<std::size_t>(b * c * oh * ow), 0);
   const float* in = input.data().data();
   float* out = output_.data().data();
@@ -404,16 +401,17 @@ const Tensor& MaxPool2d::forward(const Tensor& input) {
   return output_;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_output) {
+const Tensor& MaxPool2d::backward(const Tensor& grad_output) {
   common::check(grad_output.shape() == output_.shape(),
                 "MaxPool2d: bad grad shape");
-  Tensor grad_in(input_shape_);
+  grad_in_.ensure_shape(input_shape_);
+  grad_in_.fill(0.0f);  // scatter-add below
   const float* go = grad_output.data().data();
-  float* gi = grad_in.data().data();
+  float* gi = grad_in_.data().data();
   for (std::size_t i = 0; i < argmax_.size(); ++i) {
     gi[static_cast<std::size_t>(argmax_[i])] += go[i];
   }
-  return grad_in;
+  return grad_in_;
 }
 
 // ---- Flatten -----------------------------------------------------------------
@@ -426,10 +424,10 @@ const Tensor& Flatten::forward(const Tensor& input) {
   return output_;
 }
 
-Tensor Flatten::backward(const Tensor& grad_output) {
-  Tensor grad_in = grad_output;
-  grad_in.reshape(input_shape_);
-  return grad_in;
+const Tensor& Flatten::backward(const Tensor& grad_output) {
+  grad_in_ = grad_output;
+  grad_in_.reshape(input_shape_);
+  return grad_in_;
 }
 
 }  // namespace dt::nn

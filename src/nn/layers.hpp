@@ -22,7 +22,7 @@ class Dense final : public Layer {
   Dense(std::string name, std::int64_t in, std::int64_t out);
 
   const tensor::Tensor& forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamSlot*> params() override { return {&weight_, &bias_}; }
   void init(common::Rng& rng) override;
   [[nodiscard]] std::string name() const override { return name_; }
@@ -36,8 +36,9 @@ class Dense final : public Layer {
   std::int64_t out_;
   ParamSlot weight_;
   ParamSlot bias_;
-  tensor::Tensor input_;   // cached forward input
-  tensor::Tensor output_;  // forward result
+  tensor::Tensor input_;    // cached forward input
+  tensor::Tensor output_;   // forward result, reused across steps
+  tensor::Tensor grad_in_;  // backward result, reused across steps
 };
 
 class ReLU final : public Layer {
@@ -45,12 +46,13 @@ class ReLU final : public Layer {
   explicit ReLU(std::string name = "relu") : name_(std::move(name)) {}
 
   const tensor::Tensor& forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:
   std::string name_;
   tensor::Tensor output_;
+  tensor::Tensor grad_in_;
 };
 
 class Conv2d final : public Layer {
@@ -60,7 +62,7 @@ class Conv2d final : public Layer {
          std::int64_t kernel, std::int64_t padding);
 
   const tensor::Tensor& forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamSlot*> params() override { return {&weight_, &bias_}; }
   void init(common::Rng& rng) override;
   [[nodiscard]] std::string name() const override { return name_; }
@@ -76,6 +78,8 @@ class Conv2d final : public Layer {
   tensor::Tensor input_;
   tensor::Tensor cols_;  // im2col buffer of the last forward
   tensor::Tensor output_;
+  tensor::Tensor grad_in_;
+  tensor::Tensor gcols_;  // per-sample column gradients, reused across steps
   std::int64_t h_ = 0, w_ = 0, oh_ = 0, ow_ = 0, batch_ = 0;
 };
 
@@ -88,7 +92,7 @@ class BatchNorm1d final : public Layer {
               float momentum = 0.1f);
 
   const tensor::Tensor& forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamSlot*> params() override { return {&gamma_, &beta_}; }
   void init(common::Rng& rng) override;
   void set_training(bool training) override { training_ = training; }
@@ -115,6 +119,7 @@ class BatchNorm1d final : public Layer {
   tensor::Tensor xhat_;
   std::vector<float> inv_std_;
   tensor::Tensor output_;
+  tensor::Tensor grad_in_;
 };
 
 /// Inverted dropout: training zeroes activations with probability p and
@@ -124,7 +129,7 @@ class Dropout final : public Layer {
   explicit Dropout(std::string name, float p = 0.5f);
 
   const tensor::Tensor& forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
   void init(common::Rng& rng) override;
   void set_training(bool training) override { training_ = training; }
   [[nodiscard]] std::string name() const override { return name_; }
@@ -136,6 +141,7 @@ class Dropout final : public Layer {
   common::Rng rng_{0xD0};
   std::vector<float> mask_;  // 0 or 1/(1-p) per element of the last forward
   tensor::Tensor output_;
+  tensor::Tensor grad_in_;
 };
 
 /// Global average pooling: [N, C, H, W] -> [N, C].
@@ -144,13 +150,14 @@ class GlobalAvgPool final : public Layer {
   explicit GlobalAvgPool(std::string name = "gap") : name_(std::move(name)) {}
 
   const tensor::Tensor& forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:
   std::string name_;
   tensor::Shape input_shape_;
   tensor::Tensor output_;
+  tensor::Tensor grad_in_;
 };
 
 class MaxPool2d final : public Layer {
@@ -158,12 +165,13 @@ class MaxPool2d final : public Layer {
   explicit MaxPool2d(std::string name = "maxpool") : name_(std::move(name)) {}
 
   const tensor::Tensor& forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:
   std::string name_;
   tensor::Tensor output_;
+  tensor::Tensor grad_in_;
   std::vector<std::int64_t> argmax_;  // flat input index chosen per output
   tensor::Shape input_shape_;
 };
@@ -173,12 +181,13 @@ class Flatten final : public Layer {
   explicit Flatten(std::string name = "flatten") : name_(std::move(name)) {}
 
   const tensor::Tensor& forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:
   std::string name_;
   tensor::Tensor output_;
+  tensor::Tensor grad_in_;
   tensor::Shape input_shape_;
 };
 

@@ -35,9 +35,9 @@ void Sequential::backward_with_hook(
     first_slot[i] = acc;
     acc += layers_[i]->params().size();
   }
-  tensor::Tensor grad = grad_output;
+  const tensor::Tensor* grad = &grad_output;
   for (std::size_t i = layers_.size(); i-- > 0;) {
-    grad = layers_[i]->backward(grad);
+    grad = &layers_[i]->backward(*grad);
     const std::size_t count = layers_[i]->params().size();
     if (on_layer_grads && count > 0) on_layer_grads(first_slot[i], count);
   }

@@ -71,6 +71,28 @@ void Process::advance(double seconds) {
   yield_locked(lock);
 }
 
+void Process::advance_compute(double seconds, std::function<void()> work) {
+  common::check(seconds >= 0.0, "Process::advance_compute: negative duration");
+  common::check(work != nullptr, "Process::advance_compute: null closure");
+  ThreadPool* pool = engine_->compute_pool_or_null();
+  if (pool == nullptr) {
+    // Sequential mode: today's behavior, bit for bit.
+    work();
+    advance(seconds);
+    return;
+  }
+  std::future<void> done = pool->submit(std::move(work));
+  try {
+    advance(seconds);
+  } catch (...) {
+    // The closure references caller-owned state; it must finish before the
+    // stack unwinds (e.g. ProcessKilled during engine shutdown).
+    done.wait();
+    throw;
+  }
+  done.get();  // joins the closure; rethrows its failure, if any
+}
+
 void Process::wait_event() {
   std::unique_lock<std::mutex> lock(engine_->mu_);
   common::check(engine_->running_ == this,
@@ -210,6 +232,18 @@ void SimEngine::run() {
     }
   }
   if (failure) std::rethrow_exception(failure);
+}
+
+void SimEngine::set_compute_threads(int threads) {
+  std::unique_lock<std::mutex> lock(mu_);
+  common::check(!started_, "SimEngine::set_compute_threads after run()");
+  compute_threads_ = std::max(1, threads);
+}
+
+ThreadPool* SimEngine::compute_pool_or_null() {
+  if (compute_threads_ <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(compute_threads_);
+  return pool_.get();
 }
 
 void SimEngine::wake(Process& p, double at) {

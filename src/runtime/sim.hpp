@@ -17,6 +17,13 @@
 // Threading protocol: one global mutex guards the scheduler state; each
 // process has its own condition variable so a context switch wakes exactly
 // one thread. Processes yield back to the engine at every advance()/block().
+//
+// Compute offload (advance_compute): the *virtual* schedule stays strictly
+// sequential, but the *real* numerics of a modeled busy interval may run on
+// a host thread pool while the engine resumes other processes. Because the
+// closure touches only state private to its process and the engine's event
+// order is a pure function of virtual times, the simulation stays
+// bit-for-bit identical to compute_threads=1 (see docs/performance.md).
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +35,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "runtime/thread_pool.hpp"
 
 namespace dt::runtime {
 
@@ -47,6 +56,19 @@ class Process {
   /// timestamp, after other processes ready at that time). A process inside
   /// advance() is NOT wakeable: it models busy compute.
   void advance(double seconds);
+
+  /// Like advance(), but runs `work` — the real computation the interval
+  /// models — on the engine's host thread pool while other processes are
+  /// scheduled. The process resumes only when BOTH the virtual deadline is
+  /// reached and `work` has completed, so event order (and therefore every
+  /// metric) is identical to calling `work(); advance(seconds);` — which is
+  /// exactly what happens when the engine has no pool (compute_threads<=1).
+  ///
+  /// `work` must touch only state owned by this process (model replica,
+  /// batch iterator, private RNG): it runs concurrently with OTHER simulated
+  /// processes. Shared-state mutation (PS apply, mailbox send) must stay on
+  /// the simulated thread. Exceptions thrown by `work` propagate here.
+  void advance_compute(double seconds, std::function<void()> work);
 
   /// Blocks until another process calls SimEngine::wake() on this process.
   /// Used by mailboxes when no deliverable message exists.
@@ -120,6 +142,15 @@ class SimEngine {
   /// (min(at, current)). Callable only from a running process.
   void wake(Process& p, double at);
 
+  /// Host threads available to advance_compute(). `threads <= 1` disables
+  /// offload entirely (closures run inline, reproducing the historical
+  /// strictly-sequential execution). Call before run(); the pool itself is
+  /// created lazily at the first offloaded interval.
+  void set_compute_threads(int threads);
+  [[nodiscard]] int compute_threads() const noexcept {
+    return compute_threads_;
+  }
+
   [[nodiscard]] std::size_t num_processes() const noexcept {
     return processes_.size();
   }
@@ -132,6 +163,11 @@ class SimEngine {
   void resume_locked(std::unique_lock<std::mutex>& lock, Process& p);
   void kill_daemons_locked(std::unique_lock<std::mutex>& lock);
 
+  // Lazily built pool for advance_compute (nullptr when compute_threads_
+  // <= 1). Only the currently running process touches it, and process
+  // execution is serialized through mu_, so no extra locking is needed.
+  ThreadPool* compute_pool_or_null();
+
   std::mutex mu_;
   std::condition_variable engine_cv_;
   std::vector<std::unique_ptr<Process>> processes_;
@@ -139,6 +175,8 @@ class SimEngine {
   double now_ = 0.0;
   std::uint64_t seq_counter_ = 0;
   bool started_ = false;
+  int compute_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace dt::runtime

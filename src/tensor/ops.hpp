@@ -1,10 +1,20 @@
 // Math kernels over Tensor / float spans.
 //
 // These are the only numerical primitives the NN and compression substrates
-// use. Everything is single-threaded scalar code tuned for -O2 (the virtual
-// cluster runs exactly one process at a time, so intra-op parallelism would
-// buy nothing); GEMM is blocked for cache reuse which is plenty for the
-// small functional models used in the accuracy experiments.
+// use. The GEMM family is written as register-blocked, auto-vectorizable
+// micro-kernels (B-panel packing, 4-row register tiles, no data-dependent
+// branches) — single-threaded by design: inter-worker parallelism comes
+// from the runtime's compute offload (Process::advance_compute), which runs
+// many single-threaded kernels concurrently.
+//
+// Accumulation policy: every GEMM kernel (matmul / matmul_tn / matmul_nt
+// and the raw gemm_* entry points) accumulates in float32, matching the
+// fp32 training arithmetic of the frameworks the paper studies and keeping
+// all three transposition cases numerically consistent with each other.
+// BLAS-1 reductions over whole tensors (dot, sum, l2_norm) keep double
+// accumulators: they feed convergence statistics where magnitude spread is
+// large. Kernels are deterministic: a fixed summation order, independent of
+// host core count and of the runtime's compute_threads setting.
 #pragma once
 
 #include <cstdint>
@@ -50,13 +60,29 @@ void relu_backward(std::span<const float> activation,
 [[nodiscard]] float max_abs(std::span<const float> x) noexcept;
 
 // ---- GEMM family (row-major) ----------------------------------------------
+//
+// Raw-pointer kernels: no shape checks, caller guarantees the dimensions.
+// The hot layers (Conv2d's im2col path) call these directly on sub-buffers
+// to avoid materializing Tensor views.
+
+/// C(m x n) (+)= A(m x k) * B(k x n).
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate);
+
+/// C(k x n) (+)= A(m x k)^T * B(m x n).
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate);
+
+/// C(m x k) (+)= A(m x n) * B(k x n)^T.
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate);
 
 /// C = A(mxk) * B(kxn). `accumulate` keeps existing C, otherwise C is
 /// overwritten.
 void matmul(const Tensor& a, const Tensor& b, Tensor& c,
             bool accumulate = false);
 
-/// C = A^T(mxk from kxm? no:) — C(k x n) = A(m x k)^T * B(m x n).
+/// C(k x n) = A(m x k)^T * B(m x n).
 void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c,
                bool accumulate = false);
 

@@ -70,6 +70,15 @@ class Tensor {
     for (float& x : data_) x = value;
   }
 
+  /// Resizes to `shape`, reusing the existing allocation when its capacity
+  /// suffices (the steady-state of a training loop, where shapes repeat
+  /// every step). Element values are unspecified after a size change:
+  /// callers that accumulate into the tensor must fill(0.0f) first.
+  void ensure_shape(Shape shape) {
+    data_.resize(static_cast<std::size_t>(numel_of(shape)));
+    shape_ = std::move(shape);
+  }
+
   /// Reinterprets the same storage with a new shape of equal element count.
   void reshape(Shape shape) {
     common::check(numel_of(shape) == numel(),

@@ -1,0 +1,149 @@
+// A/B determinism tests for the compute-offload runtime: a training run
+// with compute_threads=8 must be BIT-IDENTICAL to compute_threads=1 — same
+// metrics JSONL, same time-series CSV, same final parameters. This is the
+// contract that lets the simulator use every host core without giving up
+// reproducibility (see docs/performance.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/trainer.hpp"
+
+namespace dt::core {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// FNV-1a over the raw float bits of every worker's parameters: equal
+/// hashes mean bit-identical models.
+std::uint64_t param_hash(Workload& wl, int workers) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (int w = 0; w < workers; ++w) {
+    for (const auto& t : wl.params(w)) {
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        std::uint32_t bits;
+        const float v = t[static_cast<std::size_t>(i)];
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int b = 0; b < 4; ++b) {
+          h ^= (bits >> (8 * b)) & 0xFFu;
+          h *= 1099511628211ull;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+struct RunArtifacts {
+  std::string metrics_jsonl;
+  std::string timeseries_csv;
+  std::uint64_t params = 0;
+  double final_accuracy = 0.0;
+  double virtual_duration = 0.0;
+};
+
+RunArtifacts run_once(Algo algo, int threads, bool wait_free_bp = false) {
+  FunctionalWorkloadSpec spec;
+  spec.train_samples = 256;
+  spec.test_samples = 64;
+  spec.input_dim = 12;
+  spec.hidden_dim = 16;
+  spec.num_classes = 4;
+  spec.batch = 8;
+  spec.num_workers = 4;
+  spec.seed = 23;
+  Workload wl = make_functional_workload(spec);
+
+  const std::string tag = std::string(algo_name(algo)) + "_t" +
+                          std::to_string(threads) +
+                          (wait_free_bp ? "_wfbp" : "");
+  const std::string jsonl = "/tmp/dtrainlib_det_" + tag + ".jsonl";
+  const std::string csv = "/tmp/dtrainlib_det_" + tag + ".csv";
+
+  TrainConfig cfg;
+  cfg.algo = algo;
+  cfg.num_workers = 4;
+  cfg.epochs = 2.0;
+  cfg.lr = nn::LrSchedule::paper(4, cfg.epochs, 0.02);
+  cfg.cluster.workers_per_machine = 2;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.opt.wait_free_bp = wait_free_bp;
+  cfg.seed = 7;
+  cfg.compute_threads = threads;
+  cfg.metrics_jsonl = jsonl;
+  cfg.timeseries_csv = csv;
+
+  auto result = run_training(cfg, wl);
+
+  RunArtifacts out;
+  out.metrics_jsonl = slurp(jsonl);
+  out.timeseries_csv = slurp(csv);
+  out.params = param_hash(wl, 4);
+  out.final_accuracy = result.final_accuracy;
+  out.virtual_duration = result.virtual_duration;
+  std::remove(jsonl.c_str());
+  std::remove(csv.c_str());
+  return out;
+}
+
+void expect_identical(const RunArtifacts& a, const RunArtifacts& b) {
+  EXPECT_EQ(a.metrics_jsonl, b.metrics_jsonl);
+  EXPECT_EQ(a.timeseries_csv, b.timeseries_csv);
+  EXPECT_EQ(a.params, b.params);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.virtual_duration, b.virtual_duration);
+  EXPECT_FALSE(a.metrics_jsonl.empty());
+  EXPECT_FALSE(a.timeseries_csv.empty());
+}
+
+TEST(Determinism, SspParallelOffloadMatchesSequential) {
+  // SSP: asynchronous pulls with a staleness bound — the schedule is
+  // sensitive to any event reordering, so this catches offload bugs that
+  // BSP's barriers would mask.
+  expect_identical(run_once(Algo::ssp, 1), run_once(Algo::ssp, 8));
+}
+
+TEST(Determinism, EasgdParallelOffloadMatchesSequential) {
+  // EASGD: asynchronous elastic averaging against a master replica.
+  expect_identical(run_once(Algo::easgd, 1), run_once(Algo::easgd, 8));
+}
+
+TEST(Determinism, BspWaitFreeParallelOffloadMatchesSequential) {
+  // Wait-free BP interleaves per-slot sends with the backward advances;
+  // the offload join must land before the first slot is announced.
+  expect_identical(run_once(Algo::bsp, 1, /*wait_free_bp=*/true),
+                   run_once(Algo::bsp, 8, /*wait_free_bp=*/true));
+}
+
+TEST(Determinism, ArsgdParallelOffloadMatchesSequential) {
+  expect_identical(run_once(Algo::arsgd, 1), run_once(Algo::arsgd, 8));
+}
+
+TEST(Determinism, DpsgdParallelOffloadMatchesSequential) {
+  expect_identical(run_once(Algo::dpsgd, 1), run_once(Algo::dpsgd, 8));
+}
+
+TEST(Determinism, ComputeThreadsEnvIsPickedUp) {
+  // compute_threads=0 defers to DT_COMPUTE_THREADS; results must still be
+  // identical to an explicit thread count.
+  ::setenv("DT_COMPUTE_THREADS", "8", 1);
+  const RunArtifacts env = run_once(Algo::ssp, 0);
+  ::unsetenv("DT_COMPUTE_THREADS");
+  expect_identical(run_once(Algo::ssp, 1), env);
+}
+
+}  // namespace
+}  // namespace dt::core

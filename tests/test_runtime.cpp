@@ -3,7 +3,15 @@
 // propagation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -257,6 +265,131 @@ TEST(Sim, DestructorCleansUpWithoutRun) {
   engine->spawn("never-run", [](Process& self) { self.advance(1.0); });
   engine.reset();
   SUCCEED();
+}
+
+// ---- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  pool.submit([] {}).get();
+}
+
+TEST(ThreadPool, ResolveThreadsPrecedence) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3);  // explicit wins
+  ::setenv("DT_COMPUTE_THREADS", "7", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 7);
+  EXPECT_EQ(ThreadPool::resolve_threads(2), 2);  // explicit still wins
+  ::unsetenv("DT_COMPUTE_THREADS");
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);  // hardware fallback
+}
+
+// ---- advance_compute --------------------------------------------------------
+
+TEST(Sim, AdvanceComputeRunsClosureInline) {
+  // compute_threads defaults to 1: the closure must run synchronously on
+  // the simulated thread, exactly like work(); advance(t);.
+  SimEngine engine;
+  bool ran = false;
+  engine.spawn("p", [&](Process& self) {
+    self.advance_compute(2.0, [&ran] { ran = true; });
+    EXPECT_TRUE(ran);  // completed by the time advance_compute returns
+    EXPECT_DOUBLE_EQ(self.now(), 2.0);
+  });
+  engine.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Sim, AdvanceComputeJoinsBeforeResuming) {
+  SimEngine engine;
+  engine.set_compute_threads(4);
+  std::atomic<bool> closure_done{false};
+  engine.spawn("p", [&](Process& self) {
+    self.advance_compute(1.0, [&closure_done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      closure_done.store(true);
+    });
+    // Even though the virtual deadline is hit immediately (no competing
+    // processes), the process must not resume before the closure finished.
+    EXPECT_TRUE(closure_done.load());
+  });
+  engine.run();
+  EXPECT_TRUE(closure_done.load());
+}
+
+TEST(Sim, AdvanceComputeEventOrderMatchesSequential) {
+  // The virtual event order must be a pure function of virtual times:
+  // identical regardless of compute_threads.
+  auto run_once = [](int threads) {
+    SimEngine engine;
+    engine.set_compute_threads(threads);
+    std::mutex mu;
+    std::vector<std::string> log;
+    for (int i = 0; i < 4; ++i) {
+      engine.spawn("p" + std::to_string(i), [&, i](Process& self) {
+        for (int k = 0; k < 5; ++k) {
+          self.advance_compute(0.1 * (i + 1), [&, i, k] {
+            // Busy work of host-dependent duration.
+            volatile double x = 0.0;
+            for (int j = 0; j < 1000 * ((i + k) % 3 + 1); ++j) x += j;
+            (void)x;
+          });
+          std::lock_guard<std::mutex> lock(mu);
+          log.push_back("p" + std::to_string(i) + "@" +
+                        std::to_string(self.now()));
+        }
+      });
+    }
+    engine.run();
+    return log;
+  };
+  const auto seq = run_once(1);
+  const auto par = run_once(8);
+  EXPECT_EQ(seq, par);
+}
+
+TEST(Sim, AdvanceComputePropagatesClosureException) {
+  SimEngine engine;
+  engine.set_compute_threads(2);
+  engine.spawn("p", [&](Process& self) {
+    self.advance_compute(1.0, [] { throw std::runtime_error("kernel died"); });
+  });
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(Sim, AdvanceComputeRejectsBadArguments) {
+  SimEngine engine;
+  engine.spawn("p", [&](Process& self) {
+    EXPECT_THROW(self.advance_compute(-1.0, [] {}), common::Error);
+    EXPECT_THROW(self.advance_compute(1.0, nullptr), common::Error);
+    self.advance(0.1);
+  });
+  engine.run();
+}
+
+TEST(Sim, SetComputeThreadsAfterRunThrows) {
+  SimEngine engine;
+  engine.spawn("p", [](Process& self) { self.advance(0.1); });
+  engine.run();
+  EXPECT_THROW(engine.set_compute_threads(4), common::Error);
 }
 
 }  // namespace

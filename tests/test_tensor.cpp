@@ -170,7 +170,95 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
                       std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
                       std::make_tuple(1, 64, 1), std::make_tuple(33, 17, 9),
-                      std::make_tuple(64, 72, 65)));
+                      std::make_tuple(64, 72, 65),
+                      // Crosses the kernels' packing-panel boundaries
+                      // (kKc = 128 reduction depth, kNc = 256 columns).
+                      std::make_tuple(9, 131, 260),
+                      std::make_tuple(130, 300, 270)));
+
+TEST(Ops, GemmAccumulationPolicyFloat32AllVariants) {
+  // Policy (ops.hpp): every GEMM variant accumulates in float32. The same
+  // product computed through all three transposition cases must therefore
+  // agree to float rounding — no variant secretly carries double precision.
+  const std::int64_t m = 37, k = 150, n = 61;
+  common::Rng rng(99);
+  Tensor a({m, k}), b({k, n});
+  fill_normal(a, rng, 1.0f);
+  fill_normal(b, rng, 1.0f);
+
+  Tensor c_nn({m, n});
+  matmul(a, b, c_nn);
+
+  Tensor at({k, m});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t p = 0; p < k; ++p) at.at(p, i) = a.at(i, p);
+  Tensor c_tn({m, n});
+  matmul_tn(at, b, c_tn);  // (A^T)^T * B = A * B
+
+  Tensor bt({n, k});
+  for (std::int64_t p = 0; p < k; ++p)
+    for (std::int64_t j = 0; j < n; ++j) bt.at(j, p) = b.at(p, j);
+  Tensor c_nt({m, n});
+  matmul_nt(a, bt, c_nt);  // A * (B^T)^T = A * B
+
+  Tensor ref({m, n});
+  ref_matmul(a, b, ref);
+  for (std::int64_t i = 0; i < c_nn.numel(); ++i) {
+    const float tol = 1e-3f * (std::fabs(ref[i]) + 1.0f);
+    EXPECT_NEAR(c_nn[i], ref[i], tol);
+    EXPECT_NEAR(c_tn[i], ref[i], tol);
+    EXPECT_NEAR(c_nt[i], ref[i], tol);
+    // Variants differ only by float summation order, never by a precision
+    // class: their spread must be far below the double-reference tolerance.
+    EXPECT_NEAR(c_tn[i], c_nn[i], tol * 0.5f);
+    EXPECT_NEAR(c_nt[i], c_nn[i], tol * 0.5f);
+  }
+}
+
+TEST(Ops, GemmAccumulateAddsOntoExistingOutput) {
+  const std::int64_t m = 5, k = 140, n = 259;
+  common::Rng rng(7);
+  Tensor a({m, k}), b({k, n}), bias({m, n});
+  fill_normal(a, rng, 1.0f);
+  fill_normal(b, rng, 1.0f);
+  fill_normal(bias, rng, 1.0f);
+
+  Tensor once({m, n});
+  matmul(a, b, once);
+  Tensor acc = bias;
+  matmul(a, b, acc, /*accumulate=*/true);
+  for (std::int64_t i = 0; i < acc.numel(); ++i) {
+    // Not bit-equal: with accumulate the prior value heads the summation
+    // chain instead of being added last, so rounding differs slightly.
+    EXPECT_NEAR(acc[i], bias[i] + once[i],
+                1e-4f * (std::fabs(acc[i]) + 1.0f));
+  }
+}
+
+TEST(Ops, GemmBitwiseDeterministicAcrossCalls) {
+  // Fixed summation order: repeated evaluation is bit-identical (the
+  // property the runtime's parallel compute offload relies on).
+  const std::int64_t m = 33, k = 200, n = 300;
+  common::Rng rng(3);
+  Tensor a({m, k}), b({k, n});
+  fill_normal(a, rng, 1.0f);
+  fill_normal(b, rng, 1.0f);
+  Tensor c1({m, n}), c2({m, n});
+  matmul(a, b, c1);
+  matmul(a, b, c2);
+  for (std::int64_t i = 0; i < c1.numel(); ++i) EXPECT_EQ(c1[i], c2[i]);
+}
+
+TEST(Tensor, EnsureShapeReusesStorage) {
+  Tensor t({4, 8});
+  const float* before = t.data().data();
+  t.ensure_shape({2, 8});  // shrink: same allocation
+  EXPECT_EQ(t.data().data(), before);
+  EXPECT_EQ(t.numel(), 16);
+  t.ensure_shape({4, 8});  // regrow within capacity: same allocation
+  EXPECT_EQ(t.data().data(), before);
+  EXPECT_EQ(t.shape(), (Shape{4, 8}));
+}
 
 TEST(Ops, AddRowBiasAndSumRows) {
   Tensor x({2, 3}, {1, 2, 3, 4, 5, 6});
