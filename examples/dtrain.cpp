@@ -59,9 +59,24 @@ compute_threads = 0       ; host threads for compute offload: 0 = auto
                           ; results are identical at any value
 host_metrics = false      ; emit host.wall_seconds / host.compute_threads
 
-[failures]
-straggler_rank = -1       ; -1 = no straggler
+[failures]                ; deterministic fault plan (docs/faults.md)
+straggler_rank = -1       ; -1 = no straggler (alias for slow_ranks)
 straggler_slowdown = 1.0
+slow_ranks =              ; rank:factor, rank:factor, ... (persistent)
+transient_rank = -1       ; -1 = off: seeded transient slowdown windows
+transient_rate = 0.05     ; expected windows per virtual second
+transient_factor = 4.0    ; compute multiplier inside a window
+transient_duration_mu = 0.0     ; lognormal log-median duration (seconds)
+transient_duration_sigma = 0.5
+transient_horizon = 600   ; generate windows up to this virtual time
+link_windows =            ; machine:start:end:bw_mult[:lat_mult], ...
+crashes =                 ; rank:at:downtime, ...
+crash_rank = -1           ; singular spelling of one crash
+crash_time = 0.0
+crash_downtime = 1.0
+sync_policy = stall       ; stall | drop (BSP round handling)
+recovery = pull           ; pull | checkpoint
+checkpoint_period = 0     ; virtual seconds between snapshots
 
 [output]
 trace =                   ; optional Chrome-tracing JSON path

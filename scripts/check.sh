@@ -9,6 +9,10 @@
 #                                    # and compute-offload tests only (the
 #                                    # targeted race check for the
 #                                    # advance_compute thread pool)
+#   scripts/check.sh faults          # fault-injection smoke: the ctest
+#                                    # label `faults` (tests/test_faults)
+#                                    # under AddressSanitizer, then
+#                                    # ThreadSanitizer
 #
 # Sanitized builds go to build-<sanitizer>/ so they never pollute the plain
 # build tree.
@@ -17,6 +21,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZER="${1:-}"
+
+if [[ "$SANITIZER" == "faults" ]]; then
+  # Fault-injection smoke: build only the labeled fault suite under both
+  # sanitizers (shares the build-address/ and build-thread/ trees).
+  for SAN in address thread; do
+    DIR="build-$SAN"
+    cmake -B "$DIR" -S . "-DDT_SANITIZE=$SAN"
+    cmake --build "$DIR" -j "$(nproc)" --target test_faults
+    ctest --test-dir "$DIR" --output-on-failure -j "$(nproc)" -L faults
+  done
+  exit 0
+fi
+
 BUILD_DIR=build
 CMAKE_ARGS=()
 TEST_ARGS=()

@@ -32,9 +32,18 @@ IniConfig IniConfig::parse(std::istream& in) {
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    // Strip comments (both styles), then whitespace.
-    const std::size_t hash = line.find_first_of("#;");
-    if (hash != std::string::npos) line.erase(hash);
+    // Strip comments (both styles), then whitespace. A '#' or ';' starts a
+    // comment only at the beginning of the line or when preceded by
+    // whitespace, so values containing the characters (URLs with
+    // fragments, "a;b" tokens) survive intact.
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if ((c == '#' || c == ';') &&
+          (i == 0 || std::isspace(static_cast<unsigned char>(line[i - 1])))) {
+        line.erase(i);
+        break;
+      }
+    }
     line = trim(line);
     if (line.empty()) continue;
 

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -115,11 +116,11 @@ double compute_iteration(
     metrics::WorkerMetrics& wm,
     const std::function<void(std::size_t)>& on_slot_ready) {
   PhaseTimer timer(self, wm, Phase::compute);
-  const double cs = s.compute_scale(rank);
   // The forward-time draw must happen on the simulated thread, before the
   // closure is submitted, so the RNG stream order is independent of the
-  // compute_threads setting.
-  const double fwd = s.wl.forward_time(rng) * cs;
+  // compute_threads setting. fault_stretch applies the rank's persistent
+  // straggler factor and any transient slowdown windows.
+  const double fwd = s.fault_stretch(self, rank, s.wl.forward_time(rng));
   double loss = 0.0;
   if (s.wl.functional()) {
     // Forward+backward touches only worker-`rank` state (its model replica,
@@ -135,14 +136,15 @@ double compute_iteration(
 
   const std::size_t n = s.wl.num_slots();
   if (!s.cfg.opt.wait_free_bp || !on_slot_ready) {
-    self.advance(s.wl.backward_time(rng) * cs);
+    self.advance(s.fault_stretch(self, rank, s.wl.backward_time(rng)));
     if (on_slot_ready) {
       for (std::size_t i = n; i-- > 0;) on_slot_ready(i);
     }
   } else {
     double nominal = 0.0;
     for (std::size_t i = 0; i < n; ++i) nominal += s.wl.backward_slot_time(i);
-    const double total = s.wl.backward_time(rng) * cs;
+    const double total =
+        s.fault_stretch(self, rank, s.wl.backward_time(rng));
     const double scale = nominal > 0.0 ? total / nominal : 0.0;
     for (std::size_t i = n; i-- > 0;) {
       self.advance(s.wl.backward_slot_time(i) * scale);
@@ -284,6 +286,67 @@ void send_param_reply(Session& s, runtime::Process& self, int shard,
                   std::move(reply));
 }
 
+// ---- crash recovery (see docs/faults.md) ----------------------------------
+
+/// Periodic crash-recovery snapshot state for one worker. Only armed when
+/// the fault plan has crashes, recovery mode is `checkpoint`, and a period
+/// is configured; otherwise every call is a cheap no-op.
+struct CrashCheckpoint {
+  double period = 0.0;  // 0 => disabled
+  double next = 0.0;
+  bool have = false;
+  std::string blob;  // empty in cost-only mode (only the I/O cost matters)
+
+  static CrashCheckpoint make(const Session& s) {
+    CrashCheckpoint ck;
+    if (s.fault_plan.has_crashes() &&
+        s.fault_plan.recovery() == faults::RecoveryMode::checkpoint &&
+        s.fault_plan.config().checkpoint_period > 0.0) {
+      ck.period = s.fault_plan.config().checkpoint_period;
+      ck.next = ck.period;
+    }
+    return ck;
+  }
+
+  /// Snapshots the worker replica when the period has elapsed; the write is
+  /// charged as one full-model aggregation-rate I/O pass.
+  void maybe_snapshot(Session& s, runtime::Process& self, int rank) {
+    if (period <= 0.0 || self.now() < next) return;
+    if (s.wl.functional()) blob = s.wl.save_worker_checkpoint(rank);
+    have = true;
+    self.advance(s.wl.agg_time(s.wl.total_wire_bytes()));
+    while (next <= self.now()) next += period;
+  }
+
+  /// Restores the replica from the last snapshot. Returns false when no
+  /// snapshot exists yet (caller falls back to a parameter pull).
+  bool restore(Session& s, runtime::Process& self, int rank) {
+    if (!have) return false;
+    if (s.wl.functional()) s.wl.load_worker_checkpoint(rank, blob);
+    self.advance(s.wl.agg_time(s.wl.total_wire_bytes()));
+    return true;
+  }
+};
+
+/// Post-reboot recovery against the PS: discard the dead incarnation's
+/// mailbox (stale parameter replies), then either restore the last local
+/// checkpoint or pull fresh parameters from every shard. Either way the
+/// worker resumes with a coherent replica and a fresh staleness basis.
+void recover_from_ps(Session& s, runtime::Process& self, int rank, int wep,
+                     std::vector<std::int64_t>* basis, CrashCheckpoint& ck) {
+  s.network->drain(wep);
+  if (ck.restore(s, self, rank)) return;
+  for (int shard = 0; shard < s.num_shards(); ++shard) {
+    Packet pull;
+    pull.tag = kTagPull;
+    pull.a = rank;
+    pull.wire_bytes = net::kControlBytes;
+    s.network->send(self, wep, s.ps_ep[static_cast<std::size_t>(shard)],
+                    std::move(pull));
+  }
+  await_params(s, self, rank, wep, s.wl.num_slots(), basis);
+}
+
 // ======================== BSP ==============================================
 
 void launch_bsp(Session& s, bool local_agg_enabled) {
@@ -309,12 +372,67 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
           s.network->bind(ep, self);
           auto& st = *s.shards[static_cast<std::size_t>(shard)];
           const PsProbes probes = PsProbes::make(s, shard);
+          // `drop` policy: a round closes once every *alive* pusher
+          // contributed, rescaled by the actual contributor count. Crash
+          // detection is message-driven (no timers), so a round whose
+          // surviving pushes all arrived before the crash instant closes at
+          // the crashed rank's next message instead (see docs/faults.md).
+          const bool drop_mode =
+              s.fault_plan.has_crashes() &&
+              s.fault_plan.sync_policy() == faults::SyncPolicy::drop;
           std::vector<int> count(st.num_local(), 0);
+          std::vector<float> lr_latest(st.num_local(), 0.0f);
+          auto try_apply = [&](std::size_t slot) {
+            const std::size_t local = st.local_index(slot);
+            int needed = expected;
+            if (drop_mode) {
+              needed = 0;
+              for (int r : pusher_ranks) {
+                if (!s.rank_down(r, self.now()) && !s.rank_finished(r)) {
+                  ++needed;
+                }
+              }
+              needed = std::max(1, needed);
+            }
+            if (count[local] < needed) return;
+            const float scale =
+                drop_mode ? 1.0f / static_cast<float>(count[local]) : inv_n;
+            count[local] = 0;
+            if (s.wl.functional()) {
+              const tensor::Tensor sum = st.take_accumulated(local);
+              st.apply_dense(local, sum.data(), lr_latest[local], scale);
+            } else {
+              self.advance(s.wl.agg_time(s.wl.slot_wire_bytes(slot)));
+            }
+            st.bump_version(local);
+            for (int r : pusher_ranks) {
+              if (drop_mode &&
+                  (s.rank_down(r, self.now()) || s.rank_finished(r))) {
+                continue;
+              }
+              send_param_reply(s, self, shard, slot,
+                               s.worker_ep[static_cast<std::size_t>(r)],
+                               &probes);
+            }
+          };
           for (;;) {
             Packet pkt = s.network->recv(self, ep);
+            probes.on_request(s, ep);
+            if (pkt.tag == kTagPull) {
+              // Crash-recovery pull: serve current params, then re-check
+              // rounds that were waiting on the (now rebooted) rank.
+              for (std::size_t slot : st.slots()) {
+                send_param_reply(
+                    s, self, shard, slot,
+                    s.worker_ep[static_cast<std::size_t>(pkt.a)], &probes);
+              }
+              if (drop_mode) {
+                for (std::size_t slot : st.slots()) try_apply(slot);
+              }
+              continue;
+            }
             common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
                           "BSP PS: unexpected tag");
-            probes.on_request(s, ep);
             const auto slot = static_cast<std::size_t>(pkt.b);
             const std::size_t local = st.local_index(slot);
             // BSP applies round t only after every round-t push arrived, so
@@ -330,21 +448,9 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
                                      pkt.sparse_values.at(0));
               }
             }
-            if (++count[local] < expected) continue;
-            count[local] = 0;
-            if (s.wl.functional()) {
-              const tensor::Tensor sum = st.take_accumulated(local);
-              st.apply_dense(local, sum.data(), static_cast<float>(pkt.x),
-                             inv_n);
-            } else {
-              self.advance(s.wl.agg_time(s.wl.slot_wire_bytes(slot)));
-            }
-            st.bump_version(local);
-            for (int r : pusher_ranks) {
-              send_param_reply(s, self, shard, slot,
-                               s.worker_ep[static_cast<std::size_t>(r)],
-                               &probes);
-            }
+            lr_latest[local] = static_cast<float>(pkt.x);
+            ++count[local];
+            try_apply(slot);
           }
         },
         /*daemon=*/true);
@@ -370,8 +476,14 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
           const std::size_t n_slots = s.wl.num_slots();
           const std::int64_t iters = s.iterations_per_worker();
           std::vector<std::int64_t> basis(n_slots, 0);
+          CrashCheckpoint ck = CrashCheckpoint::make(s);
 
           for (std::int64_t it = 0; it < iters; ++it) {
+            if (s.fault_plan.has_crashes() &&
+                s.crash_pending(rank, self.now())) {
+              s.take_crash(self, rank);
+              recover_from_ps(s, self, rank, wep, &basis, ck);
+            }
             const double epoch = s.epoch_of(it);
             const double lr = s.lr_at(epoch);
 
@@ -460,7 +572,11 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
 
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
+            ck.maybe_snapshot(s, self, rank);
           }
+          // Drop-mode membership: a worker that ran out of iterations has
+          // left the cluster; remaining rounds close without it.
+          s.mark_finished(rank);
         });
   }
 }
@@ -480,9 +596,26 @@ void launch_asp_impl(Session& s) {
           const PsProbes probes = PsProbes::make(s, shard);
           for (;;) {
             Packet pkt = s.network->recv(self, ep);
+            probes.on_request(s, ep);
+            if (pkt.tag == kTagPull) {
+              for (std::size_t slot : st.slots()) {
+                send_param_reply(
+                    s, self, shard, slot,
+                    s.worker_ep[static_cast<std::size_t>(pkt.a)], &probes);
+              }
+              continue;
+            }
             common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
                           "ASP PS: unexpected tag");
-            probes.on_request(s, ep);
+            if (s.fault_plan.has_crashes() &&
+                s.rank_down(static_cast<int>(pkt.a), self.now())) {
+              // In-flight push from a crashed incarnation: discard it and
+              // send no reply (the rank re-syncs with a pull on rejoin).
+              if (s.fprobes.dropped_pushes != nullptr) {
+                s.fprobes.dropped_pushes->inc();
+              }
+              continue;
+            }
             const auto slot = static_cast<std::size_t>(pkt.b);
             const std::size_t local = st.local_index(slot);
             // Every update applied since this worker's last pull makes its
@@ -521,6 +654,7 @@ void launch_asp_impl(Session& s) {
           const std::size_t n_slots = s.wl.num_slots();
           const std::int64_t iters = s.iterations_per_worker();
           std::vector<std::int64_t> basis(n_slots, 0);
+          CrashCheckpoint ck = CrashCheckpoint::make(s);
 
           for (std::int64_t it = 0; it < iters; ++it) {
             const double epoch = s.epoch_of(it);
@@ -535,12 +669,22 @@ void launch_asp_impl(Session& s) {
             };
             const double loss = compute_iteration(s, self, rank, rng, wm,
                                                   push);
-            const double t0 = self.now();
-            await_params(s, self, rank, wep, n_slots, &basis);
-            account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
-                           sync);
+            if (s.fault_plan.has_crashes() &&
+                s.crash_pending(rank, self.now())) {
+              // Crash point: this iteration's pushes are in flight but the
+              // PS discards them (rank is down), so no replies are owed —
+              // re-sync with a recovery pull instead of awaiting them.
+              s.take_crash(self, rank);
+              recover_from_ps(s, self, rank, wep, &basis, ck);
+            } else {
+              const double t0 = self.now();
+              await_params(s, self, rank, wep, n_slots, &basis);
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
+                             sync);
+            }
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
+            ck.maybe_snapshot(s, self, rank);
           }
         });
   }
@@ -572,6 +716,13 @@ void launch_ssp_impl(Session& s) {
             }
             common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
                           "SSP PS: unexpected tag");
+            if (s.fault_plan.has_crashes() &&
+                s.rank_down(static_cast<int>(pkt.a), self.now())) {
+              if (s.fprobes.dropped_pushes != nullptr) {
+                s.fprobes.dropped_pushes->inc();
+              }
+              continue;
+            }
             const auto slot = static_cast<std::size_t>(pkt.b);
             const std::size_t local = st.local_index(slot);
             probes.staleness->observe(
@@ -610,6 +761,7 @@ void launch_ssp_impl(Session& s) {
           const std::size_t n_slots = s.wl.num_slots();
           const std::int64_t iters = s.iterations_per_worker();
           std::vector<std::int64_t> basis(n_slots, 0);
+          CrashCheckpoint ck = CrashCheckpoint::make(s);
           int staleness = 0;
 
           for (std::int64_t it = 0; it < iters; ++it) {
@@ -625,6 +777,19 @@ void launch_ssp_impl(Session& s) {
             };
             const double loss = compute_iteration(s, self, rank, rng, wm,
                                                   push);
+            if (s.fault_plan.has_crashes() &&
+                s.crash_pending(rank, self.now())) {
+              // SSP pushes never generate replies (workers pull explicitly),
+              // so a crash here only loses the in-flight gradients. The
+              // recovery pull counts as the global sync.
+              s.take_crash(self, rank);
+              recover_from_ps(s, self, rank, wep, &basis, ck);
+              staleness = 0;
+              wm.count_iteration(s.wl.batch_size());
+              curve.maybe_record(self, it + 1, loss);
+              ck.maybe_snapshot(s, self, rank);
+              continue;
+            }
             // Local clock distance from the last global sync — bounded by
             // the configured SSP staleness s by construction.
             local_staleness.observe(static_cast<double>(staleness));
@@ -655,6 +820,7 @@ void launch_ssp_impl(Session& s) {
             }
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
+            ck.maybe_snapshot(s, self, rank);
           }
         });
   }
@@ -678,8 +844,27 @@ void launch_easgd_impl(Session& s) {
           auto& st = *s.shards[static_cast<std::size_t>(shard)];
           const PsProbes probes = PsProbes::make(s, shard);
           for (;;) {
-            Packet pkt = s.network->recv(self, ep, kTagEasgdPush);
+            Packet pkt = s.network->recv(self, ep);
             probes.on_request(s, ep);
+            if (pkt.tag == kTagPull) {
+              // Crash-recovery pull: the rejoined worker re-seeds its
+              // replica from the center variable.
+              for (std::size_t slot : st.slots()) {
+                send_param_reply(
+                    s, self, shard, slot,
+                    s.worker_ep[static_cast<std::size_t>(pkt.a)], &probes);
+              }
+              continue;
+            }
+            common::check(pkt.tag == kTagEasgdPush,
+                          "EASGD PS: unexpected tag");
+            if (s.fault_plan.has_crashes() &&
+                s.rank_down(static_cast<int>(pkt.a), self.now())) {
+              if (s.fprobes.dropped_pushes != nullptr) {
+                s.fprobes.dropped_pushes->inc();
+              }
+              continue;
+            }
             const auto slot = static_cast<std::size_t>(pkt.b);
             const std::size_t local = st.local_index(slot);
             // Center updates since the worker's previous exchange of this
@@ -722,9 +907,15 @@ void launch_easgd_impl(Session& s) {
           const std::size_t n_slots = s.wl.num_slots();
           const std::int64_t iters = s.iterations_per_worker();
           std::vector<std::int64_t> basis(n_slots, 0);
+          CrashCheckpoint ck = CrashCheckpoint::make(s);
           const int tau = std::max(1, s.cfg.easgd_tau);
 
           for (std::int64_t it = 0; it < iters; ++it) {
+            if (s.fault_plan.has_crashes() &&
+                s.crash_pending(rank, self.now())) {
+              s.take_crash(self, rank);
+              recover_from_ps(s, self, rank, wep, &basis, ck);
+            }
             const double epoch = s.epoch_of(it);
             const double lr = s.lr_at(epoch);
             const double loss = compute_iteration(s, self, rank, rng, wm,
@@ -758,6 +949,7 @@ void launch_easgd_impl(Session& s) {
             }
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
+            ck.maybe_snapshot(s, self, rank);
           }
         });
   }
@@ -766,9 +958,13 @@ void launch_easgd_impl(Session& s) {
 }  // namespace
 
 void launch_bsp(Session& s) {
+  // Crash plans disable local aggregation: a dead machine leader would
+  // orphan its whole machine's round, and the leader-gather counts assume
+  // a fixed co-located worker set.
   const bool local_agg = s.cfg.opt.local_aggregation && !use_dgc(s) &&
                          s.cfg.cluster.workers_per_machine > 1 &&
-                         s.cfg.num_workers > 1;
+                         s.cfg.num_workers > 1 &&
+                         !s.fault_plan.has_crashes();
   launch_bsp(s, local_agg);
 }
 

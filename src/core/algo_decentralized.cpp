@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "compress/dgc.hpp"
 #include "core/protocol.hpp"
 #include "core/session.hpp"
@@ -86,6 +88,64 @@ void account_window(runtime::Process& self, metrics::WorkerMetrics& wm,
   probes.wait->observe(elapsed - comm);
 }
 
+// ---- crash recovery (see docs/faults.md); mirrors algo_centralized.cpp ----
+
+struct CrashCheckpoint {
+  double period = 0.0;  // 0 => disabled
+  double next = 0.0;
+  bool have = false;
+  std::string blob;
+
+  static CrashCheckpoint make(const Session& s) {
+    CrashCheckpoint ck;
+    if (s.fault_plan.has_crashes() &&
+        s.fault_plan.recovery() == faults::RecoveryMode::checkpoint &&
+        s.fault_plan.config().checkpoint_period > 0.0) {
+      ck.period = s.fault_plan.config().checkpoint_period;
+      ck.next = ck.period;
+    }
+    return ck;
+  }
+
+  void maybe_snapshot(Session& s, runtime::Process& self, int rank) {
+    if (period <= 0.0 || self.now() < next) return;
+    if (s.wl.functional()) blob = s.wl.save_worker_checkpoint(rank);
+    have = true;
+    self.advance(s.wl.agg_time(s.wl.total_wire_bytes()));
+    while (next <= self.now()) next += period;
+  }
+
+  bool restore(Session& s, runtime::Process& self, int rank) {
+    if (!have) return false;
+    if (s.wl.functional()) s.wl.load_worker_checkpoint(rank, blob);
+    self.advance(s.wl.agg_time(s.wl.total_wire_bytes()));
+    return true;
+  }
+};
+
+/// Post-reboot recovery for peer-to-peer algorithms: restore the last local
+/// checkpoint, or copy the replica of the nearest alive peer. The copy is a
+/// modeled out-of-band transfer (Network::transfer), so no packet lands in
+/// any mailbox and the normal message protocol is undisturbed.
+void recover_from_peer(Session& s, runtime::Process& self, int rank,
+                       CrashCheckpoint& ck) {
+  if (ck.restore(s, self, rank)) return;
+  const int n = s.cfg.num_workers;
+  int src = -1;
+  for (int d = 1; d < n; ++d) {
+    const int cand = (rank + d) % n;
+    if (!s.rank_down(cand, self.now())) {
+      src = cand;
+      break;
+    }
+  }
+  if (src < 0) return;  // no alive peer: resume from reboot-local state
+  s.network->transfer(self, s.worker_ep[static_cast<std::size_t>(src)],
+                      s.worker_ep[static_cast<std::size_t>(rank)],
+                      model_wire_bytes(s));
+  if (s.wl.functional()) s.wl.set_params(rank, s.wl.params(src));
+}
+
 // ======================== AR-SGD ===========================================
 //
 // Synchronous ring AllReduce of gradients every iteration (Reduce-Scatter +
@@ -129,6 +189,12 @@ void launch_arsgd_impl(Session& s) {
   const int n = s.cfg.num_workers;
   const float inv_n = 1.0f / static_cast<float>(n);
   const bool dgc_on = s.cfg.opt.dgc;
+  if (s.fault_plan.has_crashes() &&
+      s.fault_plan.sync_policy() == faults::SyncPolicy::drop) {
+    common::log_warn(
+        "AR-SGD cannot drop ring members; crashed ranks stall the ring "
+        "until they rejoin (sync_policy=drop ignored)");
+  }
   const double dgc_density =
       1.0 - compress::DgcCompressor::sparsity_at(s.cfg.opt.dgc_config, 1e9);
 
@@ -168,10 +234,26 @@ void launch_arsgd_impl(Session& s) {
           const bool fn = s.wl.functional();
 
           for (std::int64_t it = 0; it < iters; ++it) {
+            if (s.fault_plan.has_crashes() &&
+                s.crash_pending(rank, self.now())) {
+              s.take_crash(self, rank);
+              // The ring stalls while this rank is down (no bucket's
+              // collective can complete without it), so every peer replica
+              // is frozen at this rank's own step — copy the right
+              // neighbor's. Checkpoint restore is never used: resuming an
+              // older step would desynchronize the ring. The mailbox is NOT
+              // drained; it may hold valid in-step ring chunks.
+              if (n > 1) {
+                const int src = (rank + 1) % n;
+                s.network->transfer(
+                    self, s.worker_ep[static_cast<std::size_t>(src)], wep,
+                    model_wire_bytes(s));
+                if (fn) s.wl.set_params(rank, s.wl.params(src));
+              }
+            }
             const double epoch = s.epoch_of(it);
             const float lr = s.lr_at(epoch);
 
-            const double cs = s.compute_scale(rank);
             double loss = 0.0;
             {
               PhaseTimer t(self, wm, Phase::compute);
@@ -180,7 +262,8 @@ void launch_arsgd_impl(Session& s) {
               // pool over the modeled forward interval (see
               // Process::advance_compute; the RNG draw stays on the
               // simulated thread).
-              const double fwd = s.wl.forward_time(rng) * cs;
+              const double fwd =
+                  s.fault_stretch(self, rank, s.wl.forward_time(rng));
               if (fn) {
                 self.advance_compute(
                     fwd, [&s, &loss, rank] { loss = s.wl.compute_gradients(rank); });
@@ -188,7 +271,8 @@ void launch_arsgd_impl(Session& s) {
                 self.advance(fwd);
               }
               if (!s.cfg.opt.wait_free_bp) {
-                self.advance(s.wl.backward_time(rng) * cs);
+                self.advance(
+                    s.fault_stretch(self, rank, s.wl.backward_time(rng)));
               }
             }
 
@@ -198,7 +282,9 @@ void launch_arsgd_impl(Session& s) {
             double nominal_bwd = 0.0;
             for (const auto& b : buckets) nominal_bwd += b.bwd_time;
             const double total_bwd =
-                s.cfg.opt.wait_free_bp ? s.wl.backward_time(rng) * cs : 0.0;
+                s.cfg.opt.wait_free_bp
+                    ? s.fault_stretch(self, rank, s.wl.backward_time(rng))
+                    : 0.0;
             const double bwd_scale =
                 nominal_bwd > 0.0 ? total_bwd / nominal_bwd : 0.0;
 
@@ -302,6 +388,15 @@ void launch_gosgd_impl(Session& s) {
             Packet pkt = s.network->recv(self, wep, kTagGossip);
             recvs.inc();
             self.advance(s.wl.agg_time(pkt.wire_bytes));
+            if (s.fault_plan.has_crashes() &&
+                s.rank_down(rank, self.now())) {
+              // Push addressed to a crashed incarnation: the parameters and
+              // their gossip weight are lost (the sender already halved).
+              if (s.fprobes.dropped_pushes != nullptr) {
+                s.fprobes.dropped_pushes->inc();
+              }
+              continue;
+            }
             auto& w = *weights;
             const double w_self = w[static_cast<std::size_t>(rank)];
             const double w_in = pkt.x;
@@ -327,22 +422,29 @@ void launch_gosgd_impl(Session& s) {
               "gossip.sends_total", {{"worker", std::to_string(rank)}});
           const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
           const std::int64_t iters = s.iterations_per_worker();
+          CrashCheckpoint ck = CrashCheckpoint::make(s);
 
           for (std::int64_t it = 0; it < iters; ++it) {
+            if (s.fault_plan.has_crashes() &&
+                s.crash_pending(rank, self.now())) {
+              s.take_crash(self, rank);
+              recover_from_peer(s, self, rank, ck);
+            }
             const double epoch = s.epoch_of(it);
             const float lr = s.lr_at(epoch);
 
             double loss = 0.0;
             {
               PhaseTimer t(self, wm, Phase::compute);
-              const double cs = s.compute_scale(rank);
               // NOT offloaded (advance_compute): the gossip rx daemon may
               // blend incoming parameters into this worker's replica at any
               // virtual instant of the compute interval, so the replica is
               // not private to the closure.
               if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
-              self.advance(s.wl.forward_time(rng) * cs);
-              self.advance(s.wl.backward_time(rng) * cs);
+              self.advance(
+                  s.fault_stretch(self, rank, s.wl.forward_time(rng)));
+              self.advance(
+                  s.fault_stretch(self, rank, s.wl.backward_time(rng)));
             }
             if (s.wl.functional()) {
               s.wl.apply_gradients(rank, s.wl.gradients(rank), lr);
@@ -353,19 +455,29 @@ void launch_gosgd_impl(Session& s) {
               int target = static_cast<int>(
                   rng.uniform_u64(static_cast<std::uint64_t>(n - 1)));
               if (target >= rank) ++target;
-              auto& w = *weights;
-              w[static_cast<std::size_t>(rank)] /= 2.0;
-              Packet pkt = param_packet(s, rank, kTagGossip);
-              pkt.x = w[static_cast<std::size_t>(rank)];
-              // Fire-and-forget: only the send overhead blocks the sender.
-              s.network->send(
-                  self, wep, s.worker_ep[static_cast<std::size_t>(target)],
-                  std::move(pkt));
-              sends.inc();
+              // Peer-selection check AFTER the draws so the RNG stream is
+              // identical with and without live crashes.
+              if (s.fault_plan.has_crashes() &&
+                  s.rank_down(target, self.now())) {
+                if (s.fprobes.skipped_peers != nullptr) {
+                  s.fprobes.skipped_peers->inc();
+                }
+              } else {
+                auto& w = *weights;
+                w[static_cast<std::size_t>(rank)] /= 2.0;
+                Packet pkt = param_packet(s, rank, kTagGossip);
+                pkt.x = w[static_cast<std::size_t>(rank)];
+                // Fire-and-forget: only the send overhead blocks the sender.
+                s.network->send(
+                    self, wep, s.worker_ep[static_cast<std::size_t>(target)],
+                    std::move(pkt));
+                sends.inc();
+              }
             }
 
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
+            ck.maybe_snapshot(s, self, rank);
           }
         });
   }
@@ -400,10 +512,18 @@ void launch_adpsgd_impl(Session& s) {
             serves.inc();
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             // Reply with the pre-blend parameters so both sides end at the
-            // same average, then blend locally.
+            // same average, then blend locally. The reply is UNCONDITIONAL
+            // — even while this rank is down — so an active whose request
+            // raced the crash is never left blocking (deadlock freedom);
+            // only the local blend is skipped for a dead incarnation.
             Packet reply = param_packet(s, rank, kTagAdpsgdReply);
             s.network->send(self, wep, pkt.src_endpoint, std::move(reply));
-            if (s.wl.functional()) {
+            if (s.fault_plan.has_crashes() &&
+                s.rank_down(rank, self.now())) {
+              if (s.fprobes.dropped_pushes != nullptr) {
+                s.fprobes.dropped_pushes->inc();
+              }
+            } else if (s.wl.functional()) {
               s.wl.blend_params(rank, pkt.tensors, 0.5f);
             }
           }
@@ -425,8 +545,14 @@ void launch_adpsgd_impl(Session& s) {
           metrics::Counter& exchanges = s.registry.counter(
               "adpsgd.exchanges_total", {{"worker", std::to_string(rank)}});
           const std::int64_t iters = s.iterations_per_worker();
+          CrashCheckpoint ck = CrashCheckpoint::make(s);
 
           for (std::int64_t it = 0; it < iters; ++it) {
+            if (s.fault_plan.has_crashes() &&
+                s.crash_pending(rank, self.now())) {
+              s.take_crash(self, rank);
+              recover_from_peer(s, self, rank, ck);
+            }
             const double epoch = s.epoch_of(it);
             const float lr = s.lr_at(epoch);
 
@@ -436,25 +562,36 @@ void launch_adpsgd_impl(Session& s) {
               PhaseTimer t(self, wm, Phase::comm);
               const int peer = passives[static_cast<std::size_t>(
                   rng.uniform_u64(passives.size()))];
-              peer_ep = s.worker_ep[static_cast<std::size_t>(peer)];
-              Packet pkt = param_packet(s, rank, kTagAdpsgdReq);
-              s.network->send(self, wep, peer_ep, std::move(pkt));
+              // Down-check AFTER the draw: RNG stream identical with and
+              // without live crashes. A down peer skips the whole exchange
+              // this iteration (its responder only answers raced requests).
+              if (s.fault_plan.has_crashes() &&
+                  s.rank_down(peer, self.now())) {
+                if (s.fprobes.skipped_peers != nullptr) {
+                  s.fprobes.skipped_peers->inc();
+                }
+              } else {
+                peer_ep = s.worker_ep[static_cast<std::size_t>(peer)];
+                Packet pkt = param_packet(s, rank, kTagAdpsgdReq);
+                s.network->send(self, wep, peer_ep, std::move(pkt));
+              }
             }
 
             double loss = 0.0;
             {
               PhaseTimer t(self, wm, Phase::compute);
-              const double cs = s.compute_scale(rank);
               // NOT offloaded (advance_compute): passive ranks run a
               // responder daemon that blends a peer's parameters into this
               // replica mid-interval, so the replica is not private to the
               // closure. Active ranks share this code path.
               if (s.wl.functional()) loss = s.wl.compute_gradients(rank);
-              self.advance(s.wl.forward_time(rng) * cs);
-              self.advance(s.wl.backward_time(rng) * cs);
+              self.advance(
+                  s.fault_stretch(self, rank, s.wl.forward_time(rng)));
+              self.advance(
+                  s.fault_stretch(self, rank, s.wl.backward_time(rng)));
             }
 
-            if (active) {
+            if (active && peer_ep >= 0) {
               const double t0 = self.now();
               Packet reply = s.network->recv(self, wep, kTagAdpsgdReply);
               const double est =
@@ -472,6 +609,7 @@ void launch_adpsgd_impl(Session& s) {
 
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
+            ck.maybe_snapshot(s, self, rank);
           }
         });
   }
@@ -506,8 +644,17 @@ void launch_dpsgd_impl(Session& s) {
           std::vector<int> neighbors;
           if (n > 1) neighbors.push_back((rank + 1) % n);
           if (n > 2) neighbors.push_back((rank + n - 1) % n);
+          CrashCheckpoint ck = CrashCheckpoint::make(s);
 
           for (std::int64_t it = 0; it < iters; ++it) {
+            if (s.fault_plan.has_crashes() &&
+                s.crash_pending(rank, self.now())) {
+              // Neighbors stall in their recv of this iteration's parity
+              // tag until the rejoined rank re-sends below. The mailbox is
+              // NOT drained; it holds their valid in-iteration packets.
+              s.take_crash(self, rank);
+              recover_from_peer(s, self, rank, ck);
+            }
             const double epoch = s.epoch_of(it);
             const float lr = s.lr_at(epoch);
             const int tag = kTagDpsgd + static_cast<int>(it % 2);
@@ -525,18 +672,19 @@ void launch_dpsgd_impl(Session& s) {
             double loss = 0.0;
             {
               PhaseTimer t(self, wm, Phase::compute);
-              const double cs = s.compute_scale(rank);
               // Neighbor parameters are blended only on this process's own
               // thread (after the recv below), so the replica is private for
               // the whole compute interval and the numerics can be offloaded.
-              const double fwd = s.wl.forward_time(rng) * cs;
+              const double fwd =
+                  s.fault_stretch(self, rank, s.wl.forward_time(rng));
               if (s.wl.functional()) {
                 self.advance_compute(
                     fwd, [&s, &loss, rank] { loss = s.wl.compute_gradients(rank); });
               } else {
                 self.advance(fwd);
               }
-              self.advance(s.wl.backward_time(rng) * cs);
+              self.advance(
+                  s.fault_stretch(self, rank, s.wl.backward_time(rng)));
             }
 
             if (!neighbors.empty()) {
@@ -570,6 +718,7 @@ void launch_dpsgd_impl(Session& s) {
 
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
+            ck.maybe_snapshot(s, self, rank);
           }
         });
   }

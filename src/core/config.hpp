@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "compress/dgc.hpp"
+#include "faults/faults.hpp"
 #include "net/network.hpp"
 #include "nn/optimizer.hpp"
 #include "ps/sharding.hpp"
@@ -94,11 +95,16 @@ struct TrainConfig {
   /// many iterations instead of `epochs` worth of data.
   std::int64_t iterations = 60;
 
-  // --- failure / heterogeneity injection ---
-  /// When >= 0, that worker computes `straggler_slowdown` times slower
-  /// than the rest (a persistent straggler: thermal throttling, noisy
-  /// neighbor, degraded GPU). Synchronous algorithms pay for it every
-  /// round; asynchronous ones only lose that worker's contribution rate.
+  // --- failure / heterogeneity injection (see docs/faults.md) ---
+  /// Full fault-injection knobs: persistent/transient compute slowdowns,
+  /// link degradation windows, worker crashes + recovery policy. The
+  /// Session materializes these into a deterministic faults::FaultPlan
+  /// seeded by `seed`.
+  faults::FaultConfig faults;
+  /// Legacy single-straggler aliases: when straggler_rank >= 0, the rank
+  /// is merged into faults.slow_ranks as a persistent slowdown.
+  /// Synchronous algorithms pay for it every round; asynchronous ones only
+  /// lose that worker's contribution rate.
   int straggler_rank = -1;
   double straggler_slowdown = 1.0;
 

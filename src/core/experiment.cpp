@@ -2,12 +2,148 @@
 
 #include <algorithm>
 #include <cctype>
+#include <stdexcept>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/trainer.hpp"
 
 namespace dt::core {
+
+namespace {
+
+/// Splits `s` on `sep`, trimming whitespace; empty fields are dropped so
+/// trailing separators are harmless.
+std::vector<std::string> split_list(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    std::size_t end = s.find(sep, begin);
+    if (end == std::string::npos) end = s.size();
+    std::size_t b = begin, e = end;
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    if (e > b) out.push_back(s.substr(b, e - b));
+    begin = end + 1;
+  }
+  return out;
+}
+
+double parse_double(const std::string& v, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    common::check(pos == v.size(),
+                  "failures: trailing characters in " + what + ": " + v);
+    return out;
+  } catch (const std::invalid_argument&) {
+    common::fail("failures: not a number in " + what + ": " + v);
+  } catch (const std::out_of_range&) {
+    common::fail("failures: number out of range in " + what + ": " + v);
+  }
+}
+
+int parse_int(const std::string& v, const std::string& what) {
+  const double d = parse_double(v, what);
+  const int i = static_cast<int>(d);
+  common::check(static_cast<double>(i) == d,
+                "failures: expected an integer in " + what + ": " + v);
+  return i;
+}
+
+/// Parses the `[failures]` section into cfg.faults (plus the legacy
+/// straggler aliases into their TrainConfig knobs). List syntax uses ','
+/// between entries and ':' within one — ';' would start an INI comment.
+void parse_failures(const common::IniConfig& ini, TrainConfig& cfg) {
+  // Legacy single-straggler aliases (merged into slow_ranks by Session).
+  cfg.straggler_rank =
+      static_cast<int>(ini.get_int("failures", "straggler_rank", -1));
+  cfg.straggler_slowdown =
+      ini.get_double("failures", "straggler_slowdown", 1.0);
+
+  faults::FaultConfig& fc = cfg.faults;
+
+  // slow_ranks = rank:factor, rank:factor, ...
+  for (const std::string& entry :
+       split_list(ini.get("failures", "slow_ranks", ""), ',')) {
+    const auto fields = split_list(entry, ':');
+    common::check(fields.size() == 2,
+                  "failures: slow_ranks entries are rank:factor, got: " +
+                      entry);
+    fc.slow_ranks.emplace_back(parse_int(fields[0], "slow_ranks"),
+                               parse_double(fields[1], "slow_ranks"));
+  }
+
+  fc.transient_rank =
+      static_cast<int>(ini.get_int("failures", "transient_rank", -1));
+  fc.transient_rate =
+      ini.get_double("failures", "transient_rate", fc.transient_rate);
+  fc.transient_factor =
+      ini.get_double("failures", "transient_factor", fc.transient_factor);
+  fc.transient_duration_mu = ini.get_double(
+      "failures", "transient_duration_mu", fc.transient_duration_mu);
+  fc.transient_duration_sigma = ini.get_double(
+      "failures", "transient_duration_sigma", fc.transient_duration_sigma);
+  fc.transient_horizon =
+      ini.get_double("failures", "transient_horizon", fc.transient_horizon);
+
+  // link_windows = machine:start:end:bw_mult[:lat_mult], ...
+  for (const std::string& entry :
+       split_list(ini.get("failures", "link_windows", ""), ',')) {
+    const auto fields = split_list(entry, ':');
+    common::check(
+        fields.size() == 4 || fields.size() == 5,
+        "failures: link_windows entries are "
+        "machine:start:end:bw_mult[:lat_mult], got: " +
+            entry);
+    faults::LinkWindow w;
+    w.machine = parse_int(fields[0], "link_windows");
+    w.start = parse_double(fields[1], "link_windows");
+    w.end = parse_double(fields[2], "link_windows");
+    w.bw_mult = parse_double(fields[3], "link_windows");
+    if (fields.size() == 5) {
+      w.lat_mult = parse_double(fields[4], "link_windows");
+    }
+    fc.link_windows.push_back(w);
+  }
+
+  // crashes = rank:at:downtime, ... (plus a singular spelling for the
+  // common one-crash case).
+  for (const std::string& entry :
+       split_list(ini.get("failures", "crashes", ""), ',')) {
+    const auto fields = split_list(entry, ':');
+    common::check(fields.size() == 3,
+                  "failures: crashes entries are rank:at:downtime, got: " +
+                      entry);
+    fc.crashes.push_back(faults::Crash{
+        parse_int(fields[0], "crashes"), parse_double(fields[1], "crashes"),
+        parse_double(fields[2], "crashes")});
+  }
+  const int crash_rank =
+      static_cast<int>(ini.get_int("failures", "crash_rank", -1));
+  if (crash_rank >= 0) {
+    fc.crashes.push_back(faults::Crash{
+        crash_rank, ini.get_double("failures", "crash_time", 0.0),
+        ini.get_double("failures", "crash_downtime", 1.0)});
+  }
+
+  const std::string policy = ini.get("failures", "sync_policy", "stall");
+  common::check(policy == "stall" || policy == "drop",
+                "failures: sync_policy must be stall or drop");
+  fc.sync_policy = policy == "drop" ? faults::SyncPolicy::drop
+                                    : faults::SyncPolicy::stall;
+
+  const std::string recovery = ini.get("failures", "recovery", "pull");
+  common::check(recovery == "pull" || recovery == "checkpoint",
+                "failures: recovery must be pull or checkpoint");
+  fc.recovery = recovery == "checkpoint" ? faults::RecoveryMode::checkpoint
+                                         : faults::RecoveryMode::pull;
+  fc.checkpoint_period =
+      ini.get_double("failures", "checkpoint_period", fc.checkpoint_period);
+}
+
+}  // namespace
 
 Algo algo_from_name(const std::string& name) {
   std::string n;
@@ -105,10 +241,7 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
   cfg.host_metrics = ini.get_bool("runtime", "host_metrics", false);
 
   // [failures]
-  cfg.straggler_rank =
-      static_cast<int>(ini.get_int("failures", "straggler_rank", -1));
-  cfg.straggler_slowdown =
-      ini.get_double("failures", "straggler_slowdown", 1.0);
+  parse_failures(ini, cfg);
 
   // [output]
   cfg.trace_path = ini.get("output", "trace", "");

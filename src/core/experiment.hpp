@@ -39,9 +39,24 @@
 //                             ; never changes simulated results)
 //   host_metrics = false
 //
-//   [failures]
-//   straggler_rank = -1
+//   [failures]                ; deterministic fault plan (docs/faults.md)
+//   straggler_rank = -1       ; legacy alias for slow_ranks = R:F
 //   straggler_slowdown = 1.0
+//   slow_ranks =              ; rank:factor, rank:factor, ...
+//   transient_rank = -1       ; seeded transient slowdown windows
+//   transient_rate = 0.05     ; expected windows per virtual second
+//   transient_factor = 4.0    ; compute multiplier inside a window
+//   transient_duration_mu = 0.0     ; lognormal log-median duration
+//   transient_duration_sigma = 0.5
+//   transient_horizon = 600   ; generate windows up to this vtime
+//   link_windows =            ; machine:start:end:bw_mult[:lat_mult], ...
+//   crashes =                 ; rank:at:downtime, ...
+//   crash_rank = -1           ; singular spelling of one crash
+//   crash_time = 0.0
+//   crash_downtime = 1.0
+//   sync_policy = stall       ; stall | drop (BSP round handling)
+//   recovery = pull           ; pull | checkpoint
+//   checkpoint_period = 0     ; vseconds between snapshots (checkpoint)
 //
 //   [output]
 //   trace = /tmp/run.trace.json

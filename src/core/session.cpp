@@ -15,7 +15,70 @@ Session::Session(TrainConfig config, Workload& workload)
   common::check(cfg.num_workers >= 1, "Session: need at least one worker");
   common::check(!wl.functional() || wl.num_workers() == cfg.num_workers,
                 "Session: workload built for a different worker count");
+  build_fault_plan();
   build_cluster();
+}
+
+void Session::build_fault_plan() {
+  faults::FaultConfig merged = cfg.faults;
+  // Legacy straggler aliases fold into the persistent slow-rank table
+  // (explicit slow_ranks entries for the same rank win).
+  if (cfg.straggler_rank >= 0 && cfg.straggler_slowdown > 0.0) {
+    bool already = false;
+    for (const auto& [rank, _] : merged.slow_ranks) {
+      if (rank == cfg.straggler_rank) already = true;
+    }
+    if (!already) {
+      merged.slow_ranks.emplace_back(cfg.straggler_rank,
+                                     cfg.straggler_slowdown);
+    }
+  }
+  fault_plan = faults::FaultPlan(merged, cfg.seed, cfg.num_workers);
+  crash_taken_.assign(static_cast<std::size_t>(cfg.num_workers), 0);
+  down_until_.assign(static_cast<std::size_t>(cfg.num_workers), -1.0);
+  finished_.assign(static_cast<std::size_t>(cfg.num_workers), 0);
+}
+
+bool Session::crash_pending(int rank, double now) const {
+  const faults::Crash* c = fault_plan.crash_of(rank);
+  return c != nullptr && crash_taken_[static_cast<std::size_t>(rank)] == 0 &&
+         now >= c->at;
+}
+
+bool Session::rank_down(int rank, double now) const {
+  return now < down_until_[static_cast<std::size_t>(rank)];
+}
+
+void Session::mark_finished(int rank) {
+  finished_[static_cast<std::size_t>(rank)] = 1;
+}
+
+bool Session::rank_finished(int rank) const {
+  return finished_[static_cast<std::size_t>(rank)] != 0;
+}
+
+void Session::take_crash(runtime::Process& self, int rank) {
+  const faults::Crash* c = fault_plan.crash_of(rank);
+  common::check(c != nullptr, "take_crash: no crash scheduled for rank");
+  crash_taken_[static_cast<std::size_t>(rank)] = 1;
+  down_until_[static_cast<std::size_t>(rank)] = self.now() + c->downtime;
+  if (fprobes.crashes != nullptr) {
+    fprobes.crashes->inc();
+    fprobes.dead_workers->add(1.0);
+  }
+  if (trace_) {
+    trace_->instant("worker" + std::to_string(rank), "crash", self.now());
+  }
+  // The downtime is a busy advance, not a blocking wait: senders that
+  // wake() this process meanwhile cannot shorten it (see runtime/sim.cpp).
+  self.advance(c->downtime);
+  if (fprobes.rejoins != nullptr) {
+    fprobes.rejoins->inc();
+    fprobes.dead_workers->add(-1.0);
+  }
+  if (trace_) {
+    trace_->instant("worker" + std::to_string(rank), "rejoin", self.now());
+  }
 }
 
 void Session::build_cluster() {
@@ -127,12 +190,22 @@ metrics::RunResult Session::run() {
   common::check(!ran_, "Session::run called twice");
   ran_ = true;
 
+  // set_faults before set_metrics: the network registers its degraded-send
+  // counter only when the plan has link windows.
+  network->set_faults(&fault_plan);
   network->set_metrics(&registry);
   for (int r = 0; r < cfg.num_workers; ++r) {
     const metrics::Labels labels{{"worker", std::to_string(r)}};
     wmetrics[static_cast<std::size_t>(r)].bind_counters(
         &registry.counter("worker.iterations_total", labels),
         &registry.counter("worker.samples_total", labels));
+  }
+  if (!fault_plan.empty()) {
+    fprobes.crashes = &registry.counter("faults.crashes_total");
+    fprobes.rejoins = &registry.counter("faults.rejoins_total");
+    fprobes.dropped_pushes = &registry.counter("faults.dropped_pushes_total");
+    fprobes.skipped_peers = &registry.counter("faults.skipped_peers_total");
+    fprobes.dead_workers = &registry.gauge("faults.dead_workers");
   }
 
   if (!cfg.trace_path.empty()) {
@@ -141,6 +214,21 @@ metrics::RunResult Session::run() {
     for (int r = 0; r < cfg.num_workers; ++r) {
       wmetrics[static_cast<std::size_t>(r)].set_trace(
           trace_.get(), "worker" + std::to_string(r));
+    }
+    // Planned fault windows as slices on a dedicated track, so injected
+    // events line up visually with the worker tracks they perturb.
+    for (int r = 0; r < cfg.num_workers; ++r) {
+      for (const auto& w : fault_plan.windows(r)) {
+        trace_->record("faults",
+                       "slow worker" + std::to_string(r) + " x" +
+                           std::to_string(w.factor),
+                       w.start, w.end);
+      }
+    }
+    for (const auto& w : fault_plan.config().link_windows) {
+      trace_->record("faults",
+                     "link machine" + std::to_string(w.machine), w.start,
+                     w.end);
     }
   }
   if (!cfg.timeseries_csv.empty()) {

@@ -87,16 +87,65 @@ class Session {
   /// Per-worker RNG stream (deterministic in cfg.seed and rank).
   [[nodiscard]] common::Rng worker_rng(int rank) const;
 
-  /// Compute-time multiplier for `rank` (straggler injection; 1.0 normally).
+  // ---- fault injection (see docs/faults.md) ------------------------------
+  /// Deterministic fault timeline for this run: cfg.faults merged with the
+  /// legacy straggler aliases, materialized with cfg.seed.
+  faults::FaultPlan fault_plan;
+
+  /// Persistent compute-time multiplier for `rank` (1.0 normally).
   [[nodiscard]] double compute_scale(int rank) const noexcept {
-    return rank == cfg.straggler_rank && cfg.straggler_slowdown > 0.0
-               ? cfg.straggler_slowdown
-               : 1.0;
+    return fault_plan.persistent_factor(rank);
   }
+
+  /// Virtual duration of a `nominal`-second compute block started now by
+  /// `rank`, stretched through the rank's persistent factor and any
+  /// transient slowdown windows.
+  [[nodiscard]] double fault_stretch(const runtime::Process& self, int rank,
+                                     double nominal) const {
+    return fault_plan.stretch(rank, self.now(), nominal);
+  }
+
+  /// True when `rank` has a scheduled crash it has not yet taken whose
+  /// time has come. Algorithm loops call this at their crash-safe points.
+  [[nodiscard]] bool crash_pending(int rank, double now) const;
+
+  /// Executes the crash for `rank`: records it, marks the rank down, and
+  /// advances `self` through the downtime; on return the worker has
+  /// rebooted (state restoration is the caller's per-algorithm job).
+  void take_crash(runtime::Process& self, int rank);
+
+  /// True when `rank` is inside its crash downtime at virtual time `now` —
+  /// the liveness check used by PS shards and peer selection. Deadness is
+  /// live state (set when the crash is actually taken), so a push sent
+  /// just before the crash point is never orphaned by plan lookahead.
+  [[nodiscard]] bool rank_down(int rank, double now) const;
+
+  /// Records that `rank`'s worker process has completed every iteration
+  /// and is about to exit. Drop-mode BSP treats finished workers as
+  /// departed members so a rejoined straggler can close its remaining
+  /// rounds alone instead of waiting on peers that already left.
+  void mark_finished(int rank);
+  [[nodiscard]] bool rank_finished(int rank) const;
+
+  /// Fault observability instruments (registered only for runs with a
+  /// non-empty fault plan, keeping fault-free metric dumps byte-identical
+  /// with pre-fault builds).
+  struct FaultProbes {
+    metrics::Counter* crashes = nullptr;         // faults.crashes_total
+    metrics::Counter* rejoins = nullptr;         // faults.rejoins_total
+    metrics::Counter* dropped_pushes = nullptr;  // faults.dropped_pushes_total
+    metrics::Counter* skipped_peers = nullptr;   // faults.skipped_peers_total
+    metrics::Gauge* dead_workers = nullptr;      // faults.dead_workers
+  };
+  FaultProbes fprobes;
 
  private:
   void build_cluster();
+  void build_fault_plan();
   void launch();  // dispatch to per-algorithm launcher
+  std::vector<char> crash_taken_;   // per rank
+  std::vector<double> down_until_;  // per rank; rejoin time once taken
+  std::vector<char> finished_;      // per rank; worker ran out of iterations
   bool ran_ = false;
   std::unique_ptr<metrics::TraceLog> trace_;
   std::unique_ptr<metrics::TimeSeriesSampler> sampler_;

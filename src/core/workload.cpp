@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "nn/layers.hpp"
+#include "nn/serialize.hpp"
 #include "tensor/ops.hpp"
 
 namespace dt::core {
@@ -304,6 +306,20 @@ std::vector<Tensor> Workload::average_worker_params() const {
   const float inv = 1.0f / static_cast<float>(workers_.size());
   for (auto& t : avg) tensor::scale(t.data(), inv);
   return avg;
+}
+
+std::string Workload::save_worker_checkpoint(int w) const {
+  if (!functional()) return {};
+  std::ostringstream os(std::ios::binary);
+  nn::save_checkpoint(worker(w).model, os);
+  return os.str();
+}
+
+void Workload::load_worker_checkpoint(int w, const std::string& blob) {
+  if (blob.empty()) return;
+  check_functional();
+  std::istringstream is(blob, std::ios::binary);
+  nn::load_checkpoint(worker(w).model, is);
 }
 
 Workload make_functional_workload(const FunctionalWorkloadSpec& spec) {

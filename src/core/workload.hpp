@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -148,6 +149,16 @@ class Workload {
   [[nodiscard]] const std::vector<tensor::Tensor>& initial_params() const {
     return initial_params_;
   }
+
+  /// Serializes worker `worker`'s replica to an in-memory nn::serialize
+  /// checkpoint blob (crash-recovery snapshots; functional mode only —
+  /// returns an empty blob in cost-only mode, where a snapshot carries no
+  /// state and only its modeled I/O cost matters).
+  [[nodiscard]] std::string save_worker_checkpoint(int worker) const;
+
+  /// Restores worker `worker`'s replica from a save_worker_checkpoint
+  /// blob. No-op for empty blobs (cost-only mode).
+  void load_worker_checkpoint(int worker, const std::string& blob);
 
  private:
   struct WorkerState {

@@ -239,8 +239,11 @@ void BatchIterator::reshuffle() {
 
 BatchIterator::Batch BatchIterator::next() {
   const std::int64_t n = dataset_->size();
-  const std::int64_t take = std::min(batch_size_, n);
-  if (cursor_ + take > n) reshuffle();
+  if (cursor_ >= n) reshuffle();
+  // The final batch of an epoch may be short (n mod batch_size samples):
+  // every sample is visited exactly once per epoch instead of silently
+  // dropping the tail whenever batch_size does not divide the dataset.
+  const std::int64_t take = std::min(batch_size_, n - cursor_);
   std::span<const std::int64_t> rows(order_.data() + cursor_,
                                      static_cast<std::size_t>(take));
   cursor_ += take;
@@ -254,7 +257,8 @@ BatchIterator::Batch BatchIterator::next() {
 }
 
 std::int64_t BatchIterator::batches_per_epoch() const noexcept {
-  return std::max<std::int64_t>(1, dataset_->size() / batch_size_);
+  // Ceiling division, consistent with next()'s short final batch.
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
 }
 
 }  // namespace dt::data

@@ -1,0 +1,163 @@
+// Deterministic fault injection for distributed-training experiments.
+//
+// A FaultPlan is built once per run from a FaultConfig (the `[failures]`
+// INI section) and the experiment seed. All stochastic material — the
+// transient slowdown windows with lognormal durations — is pre-generated at
+// construction time from a dedicated RNG stream, so the plan is a pure
+// function of (config, seed): the same run is byte-identical at any
+// compute_threads setting, and two algorithms fed the same plan see the
+// exact same fault timeline.
+//
+// Three fault classes (paper Section VI motivation — heterogeneity and
+// failures are what separate synchronous from asynchronous algorithms):
+//
+//  * compute slowdowns: per-rank persistent multipliers (the classic
+//    straggler) plus transient windows during which one rank's compute is
+//    further multiplied — modeling thermal throttling, noisy neighbors,
+//    background jobs;
+//  * link degradation: virtual-time windows during which one machine's NIC
+//    bandwidth and latency are scaled — modeling congestion or a flapping
+//    link (applied inside net::Network::send);
+//  * worker crashes: at virtual time T a rank stops for `downtime` seconds
+//    and then rejoins, restoring state by pulling parameters from the
+//    PS / a peer or from a periodic checkpoint (per-algorithm semantics
+//    live in the algorithm launchers; see docs/faults.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dt::faults {
+
+/// How synchronous algorithms treat a crashed member.
+///  * stall: the barrier waits for the crashed rank to rejoin (the paper's
+///    fail-stop worst case for BSP/AR-SGD).
+///  * drop: the aggregation proceeds with the surviving members and
+///    rescales by the actual contributor count (membership-timeout
+///    recovery). AR-SGD cannot re-form its ring deterministically
+///    mid-flight and always stalls (documented in docs/faults.md).
+enum class SyncPolicy { stall, drop };
+
+/// How a rejoining worker restores its replica.
+///  * pull: fetch current parameters from the PS (centralized) or copy a
+///    peer's replica (decentralized), paying the transfer cost.
+///  * checkpoint: restore the worker's own latest periodic nn::serialize
+///    snapshot; falls back to `pull` when no snapshot exists yet.
+enum class RecoveryMode { pull, checkpoint };
+
+/// One transient compute-slowdown interval for a rank.
+struct SlowWindow {
+  double start = 0.0;
+  double end = 0.0;
+  double factor = 1.0;  // compute-time multiplier while active (> 1 = slower)
+};
+
+/// One link-degradation interval for a machine's NIC.
+struct LinkWindow {
+  int machine = 0;
+  double start = 0.0;
+  double end = 0.0;
+  double bw_mult = 1.0;   // bandwidth multiplier in (0, 1]
+  double lat_mult = 1.0;  // latency multiplier (>= 1)
+};
+
+/// One fail-stop crash: `rank` halts at virtual time `at` (checked at its
+/// next iteration boundary) and rejoins `downtime` seconds later. At most
+/// one crash per rank.
+struct Crash {
+  int rank = 0;
+  double at = 0.0;
+  double downtime = 0.0;
+};
+
+/// Raw `[failures]` knobs (see core/experiment.hpp for the key reference).
+struct FaultConfig {
+  /// Per-rank persistent compute multipliers (rank, factor). The legacy
+  /// straggler_rank/straggler_slowdown pair is merged in as an alias by
+  /// the Session.
+  std::vector<std::pair<int, double>> slow_ranks;
+
+  // Seeded transient slowdown windows for one rank: windows arrive with
+  // exponential gaps (mean 1/rate) and lognormal(mu, sigma) durations,
+  // generated up to `horizon` virtual seconds.
+  int transient_rank = -1;       // -1 = off
+  double transient_rate = 0.05;  // expected windows per virtual second
+  double transient_factor = 4.0;
+  double transient_duration_mu = 0.0;  // lognormal log-median (e^0 = 1 s)
+  double transient_duration_sigma = 0.5;
+  double transient_horizon = 600.0;
+
+  std::vector<LinkWindow> link_windows;
+
+  std::vector<Crash> crashes;
+  SyncPolicy sync_policy = SyncPolicy::stall;
+  RecoveryMode recovery = RecoveryMode::pull;
+  /// Virtual seconds between worker snapshots (checkpoint recovery mode);
+  /// <= 0 disables periodic snapshots (recovery falls back to pull).
+  double checkpoint_period = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return slow_ranks.empty() && transient_rank < 0 && link_windows.empty() &&
+           crashes.empty();
+  }
+};
+
+/// The fully materialized, deterministic fault timeline for one run.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultConfig& config, std::uint64_t seed, int num_workers);
+
+  [[nodiscard]] bool empty() const noexcept { return cfg_.empty(); }
+  [[nodiscard]] bool has_crashes() const noexcept {
+    return !cfg_.crashes.empty();
+  }
+  [[nodiscard]] bool has_link_windows() const noexcept {
+    return !cfg_.link_windows.empty();
+  }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] SyncPolicy sync_policy() const noexcept {
+    return cfg_.sync_policy;
+  }
+  [[nodiscard]] RecoveryMode recovery() const noexcept {
+    return cfg_.recovery;
+  }
+
+  /// Persistent compute multiplier for `rank` (1.0 when unaffected).
+  [[nodiscard]] double persistent_factor(int rank) const noexcept;
+
+  /// Instantaneous compute multiplier at virtual time `t` (persistent
+  /// factor times the transient window factor if one is active).
+  [[nodiscard]] double factor_at(int rank, double t) const noexcept;
+
+  /// Virtual seconds a compute block of `nominal` fault-free seconds takes
+  /// for `rank` when started at `start`: piecewise integration through the
+  /// transient windows. Reduces to `nominal * persistent_factor(rank)`
+  /// when the rank has no windows (bit-compatible with the legacy
+  /// straggler multiplication).
+  [[nodiscard]] double stretch(int rank, double start, double nominal) const;
+
+  /// Aggregate link multipliers for a transfer at time `t` between
+  /// `src_machine` and `dst_machine`. Returns true when any window is
+  /// active (multipliers from windows on both endpoints compose).
+  bool link_multipliers(double t, int src_machine, int dst_machine,
+                        double* bw_mult, double* lat_mult) const noexcept;
+
+  /// The crash scheduled for `rank`, if any.
+  [[nodiscard]] const Crash* crash_of(int rank) const noexcept;
+
+  /// Pre-generated transient windows of `rank` (sorted, non-overlapping).
+  [[nodiscard]] const std::vector<SlowWindow>& windows(int rank) const;
+
+ private:
+  FaultConfig cfg_;
+  std::vector<double> persistent_;               // per rank
+  std::vector<std::vector<SlowWindow>> windows_;  // per rank, sorted
+  std::vector<std::optional<Crash>> crash_;       // per rank
+};
+
+}  // namespace dt::faults

@@ -20,6 +20,11 @@ void TraceLog::counter(const std::string& track, const std::string& name,
   counter_events_.push_back(CounterEvent{track, name, t, value});
 }
 
+void TraceLog::instant(const std::string& track, const std::string& name,
+                       double t) {
+  instant_events_.push_back(InstantEvent{track, name, t});
+}
+
 void TraceLog::flow(const std::string& src_track, const std::string& dst_track,
                     const std::string& name, double sent, double arrival,
                     std::uint64_t id) {
@@ -68,6 +73,7 @@ void TraceLog::write_chrome_json(std::ostream& os) const {
     tid_of(e.src_track);
     tid_of(e.dst_track);
   }
+  for (const InstantEvent& e : instant_events_) tid_of(e.track);
 
   os << "[\n";
   bool first = true;
@@ -93,6 +99,12 @@ void TraceLog::write_chrome_json(std::ostream& os) const {
     os << R"({"ph":"C","pid":0,"tid":)" << tids[e.track] << R"(,"name":")"
        << escape(e.name) << R"(","ts":)" << e.t * 1e6
        << R"(,"args":{"value":)" << e.value << "}}";
+  }
+  for (const InstantEvent& e : instant_events_) {
+    sep();
+    os << R"({"ph":"i","s":"t","pid":0,"tid":)" << tids[e.track]
+       << R"(,"name":")" << escape(e.name) << R"(","ts":)" << e.t * 1e6
+       << "}";
   }
   for (const FlowEvent& e : flow_events_) {
     sep();

@@ -33,6 +33,10 @@ class TraceLog {
   void counter(const std::string& track, const std::string& name, double t,
                double value);
 
+  /// Records a zero-duration instant event (Chrome "i" phase, rendered as
+  /// a vertical marker) — used for injected faults (crash/rejoin).
+  void instant(const std::string& track, const std::string& name, double t);
+
   /// Records one message flow: sent from `src_track` at `sent` (virtual
   /// seconds), delivered on `dst_track` at `arrival`. `id` pairs the two
   /// ends; use a fresh id per message.
@@ -40,9 +44,10 @@ class TraceLog {
             const std::string& name, double sent, double arrival,
             std::uint64_t id);
 
-  /// Total recorded events (slices + counter samples + flows).
+  /// Total recorded events (slices + counters + flows + instants).
   [[nodiscard]] std::size_t size() const noexcept {
-    return events_.size() + counter_events_.size() + flow_events_.size();
+    return events_.size() + counter_events_.size() + flow_events_.size() +
+           instant_events_.size();
   }
 
   /// Chrome-tracing JSON array; pid 0, one tid per distinct track (in
@@ -73,6 +78,11 @@ class TraceLog {
     double arrival;
     std::uint64_t id;
   };
+  struct InstantEvent {
+    std::string track;
+    std::string name;
+    double t;
+  };
   [[nodiscard]] const std::vector<Event>& events() const noexcept {
     return events_;
   }
@@ -83,11 +93,16 @@ class TraceLog {
   [[nodiscard]] const std::vector<FlowEvent>& flow_events() const noexcept {
     return flow_events_;
   }
+  [[nodiscard]] const std::vector<InstantEvent>& instant_events()
+      const noexcept {
+    return instant_events_;
+  }
 
  private:
   std::vector<Event> events_;
   std::vector<CounterEvent> counter_events_;
   std::vector<FlowEvent> flow_events_;
+  std::vector<InstantEvent> instant_events_;
 };
 
 }  // namespace dt::metrics

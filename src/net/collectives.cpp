@@ -24,6 +24,16 @@ ChunkRange chunk_range(std::size_t n, int parts, int index) {
   return {begin, begin + len};
 }
 
+/// Wire bytes of chunk `index`: its chunk_range share of the total, so the
+/// per-chunk bills sum to exactly total_wire_bytes when it is >= parts
+/// (a uniform total/n would undercount by up to n-1 bytes per ring lap
+/// whenever parts does not divide the total).
+std::uint64_t chunk_wire_bytes(std::uint64_t total, int parts, int index) {
+  const ChunkRange r =
+      chunk_range(static_cast<std::size_t>(total), parts, index);
+  return std::max<std::uint64_t>(1, r.size());
+}
+
 }  // namespace
 
 void ring_allreduce(runtime::Process& self, const Communicator& comm,
@@ -36,8 +46,6 @@ void ring_allreduce(runtime::Process& self, const Communicator& comm,
   Network& net = *comm.net;
   const int me = comm.my_rank;
   const int right = (me + 1) % n;
-  const std::uint64_t chunk_bytes =
-      std::max<std::uint64_t>(1, total_wire_bytes / static_cast<std::uint64_t>(n));
 
   const int rs_tag = tag_base;      // reduce-scatter phase
   const int ag_tag = tag_base + 1;  // all-gather phase
@@ -51,7 +59,7 @@ void ring_allreduce(runtime::Process& self, const Communicator& comm,
 
     Packet out;
     out.tag = rs_tag;
-    out.wire_bytes = chunk_bytes;
+    out.wire_bytes = chunk_wire_bytes(total_wire_bytes, n, send_chunk);
     out.a = send_chunk;
     if (!data.empty()) {
       const ChunkRange r = chunk_range(data.size(), n, send_chunk);
@@ -80,7 +88,7 @@ void ring_allreduce(runtime::Process& self, const Communicator& comm,
 
     Packet out;
     out.tag = ag_tag;
-    out.wire_bytes = chunk_bytes;
+    out.wire_bytes = chunk_wire_bytes(total_wire_bytes, n, send_chunk);
     out.a = send_chunk;
     if (!data.empty()) {
       const ChunkRange r = chunk_range(data.size(), n, send_chunk);

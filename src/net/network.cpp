@@ -63,6 +63,9 @@ void Network::set_metrics(metrics::MetricRegistry* registry) {
   ctr_msgs_intra_ =
       &registry->counter("net.messages_total", {{"scope", "intra"}});
   in_flight_ = &registry->gauge("net.in_flight");
+  if (faults_ != nullptr && faults_->has_link_windows()) {
+    ctr_degraded_ = &registry->counter("net.degraded_sends_total");
+  }
   ctr_tx_busy_.clear();
   ctr_rx_busy_.clear();
   ctr_bus_busy_.clear();
@@ -77,26 +80,30 @@ void Network::set_metrics(metrics::MetricRegistry* registry) {
   }
 }
 
-void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
-                   Packet pkt) {
-  Endpoint& dst = endpoint(dst_endpoint);
-  const int src_machine = endpoint(src_endpoint).machine;
-  const int dst_machine = dst.machine;
-
-  if (spec_.send_overhead > 0.0) self.advance(spec_.send_overhead);
-  const double now = engine_.now();
+double Network::model_transfer(int src_machine, int dst_machine,
+                               std::uint64_t wire_bytes, double now) {
+  // Link degradation: a window on either endpoint's machine scales this
+  // transfer's bandwidth down and latency up for its whole duration
+  // (evaluated at the send instant — virtual time, hence deterministic).
+  double bw_mult = 1.0;
+  double lat_mult = 1.0;
+  if (faults_ != nullptr && faults_->has_link_windows() &&
+      faults_->link_multipliers(now, src_machine, dst_machine, &bw_mult,
+                                &lat_mult)) {
+    if (ctr_degraded_ != nullptr) ctr_degraded_->inc();
+  }
 
   double arrival;
   if (src_machine == dst_machine) {
     double& bus = bus_busy_[static_cast<std::size_t>(src_machine)];
     const double start = std::max(now, bus);
-    const double serialization =
-        static_cast<double>(pkt.wire_bytes) / spec_.local_bus_bandwidth;
+    const double serialization = static_cast<double>(wire_bytes) /
+                                 (spec_.local_bus_bandwidth * bw_mult);
     const double finish = start + serialization;
     bus = finish;
-    arrival = finish + spec_.local_latency;
+    arrival = finish + spec_.local_latency * lat_mult;
     if (ctr_bytes_intra_ != nullptr) {
-      ctr_bytes_intra_->inc(static_cast<double>(pkt.wire_bytes));
+      ctr_bytes_intra_->inc(static_cast<double>(wire_bytes));
       ctr_msgs_intra_->inc();
       ctr_bus_busy_[static_cast<std::size_t>(src_machine)]->inc(serialization);
     }
@@ -110,23 +117,37 @@ void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
     double& tx = tx_busy_[static_cast<std::size_t>(src_machine)];
     double& rx = rx_busy_[static_cast<std::size_t>(dst_machine)];
     const double serialization =
-        static_cast<double>(pkt.wire_bytes) / spec_.nic_bandwidth;
+        static_cast<double>(wire_bytes) / (spec_.nic_bandwidth * bw_mult);
     const double tx_start = std::max(now, tx);
     tx = tx_start + serialization;
     const double rx_start = std::max(tx_start, rx);
     rx = rx_start + serialization;
-    arrival = rx_start + serialization + spec_.latency;
+    arrival = rx_start + serialization + spec_.latency * lat_mult;
     ++stats_.inter_machine_messages;
-    stats_.inter_machine_bytes += pkt.wire_bytes;
+    stats_.inter_machine_bytes += wire_bytes;
     if (ctr_bytes_inter_ != nullptr) {
-      ctr_bytes_inter_->inc(static_cast<double>(pkt.wire_bytes));
+      ctr_bytes_inter_->inc(static_cast<double>(wire_bytes));
       ctr_msgs_inter_->inc();
       ctr_tx_busy_[static_cast<std::size_t>(src_machine)]->inc(serialization);
       ctr_rx_busy_[static_cast<std::size_t>(dst_machine)]->inc(serialization);
     }
   }
   ++stats_.messages;
-  stats_.bytes += pkt.wire_bytes;
+  stats_.bytes += wire_bytes;
+  return arrival;
+}
+
+void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
+                   Packet pkt) {
+  Endpoint& dst = endpoint(dst_endpoint);
+  const int src_machine = endpoint(src_endpoint).machine;
+  const int dst_machine = dst.machine;
+
+  if (spec_.send_overhead > 0.0) self.advance(spec_.send_overhead);
+  const double now = engine_.now();
+
+  const double arrival =
+      model_transfer(src_machine, dst_machine, pkt.wire_bytes, now);
   if (in_flight_ != nullptr) in_flight_->add(1.0);
   if (trace_ != nullptr) {
     trace_->flow(endpoint_name(src_endpoint), endpoint_name(dst_endpoint),
@@ -148,6 +169,32 @@ void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
   if (dst.owner != nullptr && dst.owner != &self) {
     engine_.wake(*dst.owner, arrival);
   }
+}
+
+std::size_t Network::drain(int endpoint_id) {
+  Endpoint& ep = endpoint(endpoint_id);
+  const std::size_t dropped = ep.queue.size();
+  ep.queue.clear();
+  if (in_flight_ != nullptr && dropped > 0) {
+    in_flight_->add(-static_cast<double>(dropped));
+  }
+  return dropped;
+}
+
+void Network::transfer(runtime::Process& self, int src_endpoint,
+                       int dst_endpoint, std::uint64_t bytes) {
+  const int src_machine = endpoint(src_endpoint).machine;
+  const int dst_machine = endpoint(dst_endpoint).machine;
+  if (spec_.send_overhead > 0.0) self.advance(spec_.send_overhead);
+  const double now = engine_.now();
+  const double arrival = model_transfer(src_machine, dst_machine, bytes, now);
+  if (trace_ != nullptr) {
+    trace_->flow(endpoint_name(src_endpoint), endpoint_name(dst_endpoint),
+                 "recover " + endpoint_name(src_endpoint) + "->" +
+                     endpoint_name(dst_endpoint),
+                 now, arrival, ++flow_seq_);
+  }
+  if (arrival > now) self.advance(arrival - now);
 }
 
 bool Network::poll(const runtime::Process& self, int endpoint_id,

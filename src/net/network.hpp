@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/faults.hpp"
 #include "metrics/registry.hpp"
 #include "net/packet.hpp"
 #include "runtime/sim.hpp"
@@ -106,6 +107,28 @@ class Network {
   /// endpoint's track to the destination's (arrows in Perfetto).
   void set_trace(metrics::TraceLog* trace) noexcept { trace_ = trace; }
 
+  /// Attaches a fault plan: sends whose virtual time falls inside a link
+  /// degradation window of either endpoint's machine see their bandwidth
+  /// and latency scaled by the window multipliers. Must be called before
+  /// set_metrics so the `net.degraded_sends_total` counter is registered
+  /// only for runs that can produce it (metric dumps of fault-free runs
+  /// stay byte-identical with pre-fault builds).
+  void set_faults(const faults::FaultPlan* plan) noexcept { faults_ = plan; }
+
+  /// Drops every packet queued at `endpoint` — delivered and in flight.
+  /// Models a crashed machine's NIC: connections to the dead incarnation
+  /// are gone when the worker rejoins. Returns the number dropped.
+  std::size_t drain(int endpoint);
+
+  /// Models a blocking bulk fetch of `bytes` from `src_endpoint` into
+  /// `dst_endpoint` without enqueuing a packet: the transfer occupies the
+  /// NIC/bus queues and counts in the traffic stats exactly like send(),
+  /// and `self` (the receiver driving the fetch) advances to the arrival
+  /// time. Used for crash-recovery state pulls, whose payload is copied
+  /// directly on the simulated thread rather than through a mailbox.
+  void transfer(runtime::Process& self, int src_endpoint, int dst_endpoint,
+                std::uint64_t bytes);
+
   /// Messages queued at `endpoint` (delivered or still in flight) — the
   /// PS-side request-queue-depth probe.
   [[nodiscard]] std::size_t queue_depth(int endpoint) const;
@@ -132,8 +155,16 @@ class Network {
   std::vector<double> bus_busy_;    // per machine (intra-machine transfers)
   TrafficStats stats_;
 
+  /// Shared queue/stat accounting for send() and transfer(): consumes the
+  /// busy queues, applies any active link-degradation windows, bumps the
+  /// stats and counters, and returns the arrival time.
+  double model_transfer(int src_machine, int dst_machine,
+                        std::uint64_t wire_bytes, double now);
+
   // Observability sinks (optional; resolved once in set_metrics).
   metrics::TraceLog* trace_ = nullptr;
+  const faults::FaultPlan* faults_ = nullptr;
+  metrics::Counter* ctr_degraded_ = nullptr;
   std::uint64_t flow_seq_ = 0;
   metrics::Counter* ctr_bytes_inter_ = nullptr;
   metrics::Counter* ctr_bytes_intra_ = nullptr;

@@ -200,6 +200,33 @@ TEST(BatchIterator, CoversEverySampleOncePerEpoch) {
   for (int i = 0; i < 64; ++i) EXPECT_EQ(seen.count(i), 1u);
 }
 
+TEST(BatchIterator, ShortFinalBatchCoversTailSamples) {
+  // 10 samples, batch 4: epochs are 4+4+2, never 4+4 with a dropped tail.
+  common::Rng rng(11);
+  GaussianMixtureSpec spec;
+  spec.num_samples = 10;
+  spec.input_dim = 2;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    ds.inputs[static_cast<std::size_t>(i * 2)] = static_cast<float>(i);
+  }
+  BatchIterator it(ds, 4, common::Rng(5));
+  EXPECT_EQ(it.batches_per_epoch(), 3);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    std::multiset<int> seen;
+    const std::size_t expected_sizes[] = {4, 4, 2};
+    for (int b = 0; b < 3; ++b) {
+      auto batch = it.next();
+      EXPECT_EQ(batch.labels.size(), expected_sizes[b]);
+      for (std::size_t r = 0; r < batch.labels.size(); ++r) {
+        seen.insert(static_cast<int>(batch.inputs.at(static_cast<int>(r), 0)));
+      }
+    }
+    EXPECT_EQ(seen.size(), 10u);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u) << "sample " << i;
+  }
+}
+
 TEST(BatchIterator, ShufflesBetweenEpochs) {
   common::Rng rng(9);
   GaussianMixtureSpec spec;

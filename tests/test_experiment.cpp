@@ -46,6 +46,25 @@ TEST(Ini, BooleanSpellings) {
   EXPECT_FALSE(cfg.get_bool("s", "d", true));
 }
 
+TEST(Ini, CommentMarkersInsideValuesSurvive) {
+  // '#'/';' begin a comment only at line start or after whitespace; embedded
+  // markers (URL fragments, "a;b" tokens) are part of the value.
+  const auto cfg = common::IniConfig::parse_string(R"(
+[s]
+url = http://host/page#frag
+pair = a;b
+commented = value   # stripped here
+also = value2	; tab-preceded comment
+; full-line comment
+# another full-line comment
+)");
+  EXPECT_EQ(cfg.get("s", "url"), "http://host/page#frag");
+  EXPECT_EQ(cfg.get("s", "pair"), "a;b");
+  EXPECT_EQ(cfg.get("s", "commented"), "value");
+  EXPECT_EQ(cfg.get("s", "also"), "value2");
+  EXPECT_EQ(cfg.keys("s").size(), 4u);
+}
+
 TEST(Ini, MalformedInputThrows) {
   EXPECT_THROW(common::IniConfig::parse_string("[unterminated\n"),
                common::Error);
@@ -129,6 +148,86 @@ TEST(Experiment, RejectsBadValues) {
                common::Error);
   EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
                    "[experiment]\nworkers = 0\n")),
+               common::Error);
+}
+
+TEST(Experiment, ParsesFailuresSection) {
+  const auto ini = common::IniConfig::parse_string(R"(
+[experiment]
+workers = 8
+
+[failures]
+straggler_rank = 3
+straggler_slowdown = 2.5
+slow_ranks = 1:3.0, 5:1.5
+transient_rank = 2
+transient_rate = 0.1
+transient_factor = 6
+transient_duration_mu = 0.2
+transient_duration_sigma = 0.4
+transient_horizon = 120
+link_windows = 0:10:20:0.5, 1:5:9:0.25:4.0
+crashes = 4:30:15, 6:50:5
+crash_rank = 7
+crash_time = 12
+crash_downtime = 3
+sync_policy = drop
+recovery = checkpoint
+checkpoint_period = 25
+)");
+  const auto spec = core::ExperimentSpec::from_ini(ini);
+  const core::TrainConfig& cfg = spec.config;
+  EXPECT_EQ(cfg.straggler_rank, 3);
+  EXPECT_DOUBLE_EQ(cfg.straggler_slowdown, 2.5);
+  const faults::FaultConfig& fc = cfg.faults;
+  ASSERT_EQ(fc.slow_ranks.size(), 2u);
+  EXPECT_EQ(fc.slow_ranks[0].first, 1);
+  EXPECT_DOUBLE_EQ(fc.slow_ranks[0].second, 3.0);
+  EXPECT_EQ(fc.slow_ranks[1].first, 5);
+  EXPECT_DOUBLE_EQ(fc.slow_ranks[1].second, 1.5);
+  EXPECT_EQ(fc.transient_rank, 2);
+  EXPECT_DOUBLE_EQ(fc.transient_rate, 0.1);
+  EXPECT_DOUBLE_EQ(fc.transient_factor, 6.0);
+  EXPECT_DOUBLE_EQ(fc.transient_duration_mu, 0.2);
+  EXPECT_DOUBLE_EQ(fc.transient_duration_sigma, 0.4);
+  EXPECT_DOUBLE_EQ(fc.transient_horizon, 120.0);
+  ASSERT_EQ(fc.link_windows.size(), 2u);
+  EXPECT_EQ(fc.link_windows[0].machine, 0);
+  EXPECT_DOUBLE_EQ(fc.link_windows[0].bw_mult, 0.5);
+  EXPECT_DOUBLE_EQ(fc.link_windows[0].lat_mult, 1.0);  // default
+  EXPECT_EQ(fc.link_windows[1].machine, 1);
+  EXPECT_DOUBLE_EQ(fc.link_windows[1].lat_mult, 4.0);
+  ASSERT_EQ(fc.crashes.size(), 3u);  // two listed + the singular spelling
+  EXPECT_EQ(fc.crashes[0].rank, 4);
+  EXPECT_DOUBLE_EQ(fc.crashes[0].at, 30.0);
+  EXPECT_DOUBLE_EQ(fc.crashes[0].downtime, 15.0);
+  EXPECT_EQ(fc.crashes[2].rank, 7);
+  EXPECT_DOUBLE_EQ(fc.crashes[2].at, 12.0);
+  EXPECT_DOUBLE_EQ(fc.crashes[2].downtime, 3.0);
+  EXPECT_EQ(fc.sync_policy, faults::SyncPolicy::drop);
+  EXPECT_EQ(fc.recovery, faults::RecoveryMode::checkpoint);
+  EXPECT_DOUBLE_EQ(fc.checkpoint_period, 25.0);
+  EXPECT_FALSE(fc.empty());
+}
+
+TEST(Experiment, RejectsMalformedFailures) {
+  EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+                   "[failures]\nslow_ranks = 1\n")),
+               common::Error);
+  EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+                   "[failures]\nslow_ranks = 1:abc\n")),
+               common::Error);
+  EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+                   "[failures]\nlink_windows = 0:1:2\n")),
+               common::Error);
+  EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+                   "[failures]\ncrashes = 1:2\n")),
+               common::Error);
+  EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+                   "[failures]\nsync_policy = sometimes\n")),
+               common::Error);
+  EXPECT_THROW(core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+                   "[failures]\nrecovery = pray\n")),
                common::Error);
 }
 

@@ -394,5 +394,32 @@ TEST(RingAllReduce, CostOnlyModeMovesExpectedBytes) {
             static_cast<std::uint64_t>(n) * 2 * (n - 1) * (total / n));
 }
 
+TEST(RingAllReduce, BillsExactBytesWhenRanksDoNotDivideTotal) {
+  // 4 does not divide 4097: per-chunk bills must follow chunk_range (sizes
+  // 1025,1024,1024,1024), not a uniform total/n that undercounts 1 byte per
+  // lap. Every chunk index crosses the wire n-1 times per phase, so the
+  // grand total is exactly 2*(n-1)*total.
+  const int n = 4;
+  runtime::SimEngine engine;
+  ClusterSpec spec = two_machine_spec();
+  spec.num_machines = 4;
+  Network net(engine, spec);
+  std::vector<int> eps;
+  for (int r = 0; r < n; ++r) eps.push_back(net.add_endpoint(r));
+
+  const std::uint64_t total = 4097;
+  for (int r = 0; r < n; ++r) {
+    engine.spawn("w" + std::to_string(r), [&, r](runtime::Process& self) {
+      net.bind(eps[static_cast<std::size_t>(r)], self);
+      Communicator comm{.net = &net, .endpoints = eps, .my_rank = r};
+      std::span<float> empty;
+      ring_allreduce(self, comm, empty, total, 300);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(net.stats().bytes,
+            static_cast<std::uint64_t>(2) * (n - 1) * total);
+}
+
 }  // namespace
 }  // namespace dt::net
