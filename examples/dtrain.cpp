@@ -77,6 +77,20 @@ crash_downtime = 1.0
 sync_policy = stall       ; stall | drop (BSP round handling)
 recovery = pull           ; pull | checkpoint
 checkpoint_period = 0     ; virtual seconds between snapshots
+ps_crashes =              ; shard:at, ... (fail-stop; needs replicate_ps)
+loss_prob = 0.0           ; seeded message faults on lossy machines
+dup_prob = 0.0
+reorder_prob = 0.0
+reorder_window = 0.002    ; extra delay (vseconds) for reordered packets
+lossy_machines =          ; machine ids the faults hit (empty = all)
+
+[reliability]             ; reliable transport (docs/network-model.md)
+timeout = 0.05            ; initial retransmit timeout (vseconds)
+backoff = 2.0             ; exponential backoff factor
+max_timeout = 1.0         ; backoff cap (vseconds)
+max_retransmits = 10      ; budget before a typed TimeoutError
+replicate_ps = false      ; primary-backup PS shards + failover
+local_step_budget = 0     ; ASP local steps while a primary is down
 
 [output]
 trace =                   ; optional Chrome-tracing JSON path

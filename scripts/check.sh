@@ -10,8 +10,11 @@
 #                                    # targeted race check for the
 #                                    # advance_compute thread pool)
 #   scripts/check.sh faults          # fault-injection smoke: the ctest
-#                                    # label `faults` (tests/test_faults)
-#                                    # under AddressSanitizer, then
+#                                    # labels `faults` and `reliable`
+#                                    # (tests/test_faults,
+#                                    # tests/test_reliable) plus a dtrain
+#                                    # checkpoint-recovery run, under
+#                                    # AddressSanitizer, then
 #                                    # ThreadSanitizer
 #
 # Sanitized builds go to build-<sanitizer>/ so they never pollute the plain
@@ -28,8 +31,11 @@ if [[ "$SANITIZER" == "faults" ]]; then
   for SAN in address thread; do
     DIR="build-$SAN"
     cmake -B "$DIR" -S . "-DDT_SANITIZE=$SAN"
-    cmake --build "$DIR" -j "$(nproc)" --target test_faults
-    ctest --test-dir "$DIR" --output-on-failure -j "$(nproc)" -L faults
+    cmake --build "$DIR" -j "$(nproc)" --target test_faults test_reliable dtrain
+    ctest --test-dir "$DIR" --output-on-failure -j "$(nproc)" -L 'faults|reliable'
+    # End-to-end checkpoint recovery (RecoveryMode::checkpoint): a worker
+    # crash restored from a periodic CRC-checked snapshot, sanitized.
+    "$DIR/examples/dtrain" examples/configs/fault_study_checkpoint.ini
   done
   exit 0
 fi

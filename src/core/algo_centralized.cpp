@@ -211,7 +211,13 @@ struct PsProbes {
   metrics::Histogram* staleness = nullptr;    // staleness.updates{algo}
 
   static PsProbes make(Session& s, int shard) {
-    const metrics::Labels shard_labels{{"shard", std::to_string(shard)}};
+    return make(s, std::to_string(shard));
+  }
+
+  /// Labeled variant: a backup shard registers as shard "<k>b" so its
+  /// request/byte counts stay distinguishable from the primary's.
+  static PsProbes make(Session& s, const std::string& shard) {
+    const metrics::Labels shard_labels{{"shard", shard}};
     const metrics::Labels algo_labels{{"algo", algo_name(s.cfg.algo)}};
     return PsProbes{
         &s.registry.counter("ps.requests_total", shard_labels),
@@ -345,6 +351,775 @@ void recover_from_ps(Session& s, runtime::Process& self, int rank, int wep,
                     std::move(pull));
   }
   await_params(s, self, rank, wep, s.wl.num_slots(), basis);
+}
+
+// ---- reliable transport + replicated PS (see docs/faults.md) --------------
+//
+// When Session::reliable_mode() is on (message faults and/or replicate_ps),
+// the centralized algorithms run these variants instead: every PS exchange
+// travels over net::ReliableTransport, pushes carry a per-rank round id
+// (Packet.d) so shards apply each exchange exactly once across
+// retransmission and failover, and with replicate_ps each shard has a
+// backup ("ps<k>b") that mirrors the primary's applies and serves workers
+// after the primary fail-stops.
+
+/// Reliable send to a peer that cannot die (a worker, or the backup).
+/// A retransmit-budget timeout under extreme loss is retried with the same
+/// sequence number so the receiver never sees a gap.
+void reliable_send_live(Session& s, runtime::Process& self, int src_ep,
+                        int dst_ep, const Packet& pkt) {
+  std::int64_t seq = -1;
+  for (;;) {
+    try {
+      s.reliable->send(self, src_ep, dst_ep, pkt, &seq);
+      return;
+    } catch (const net::TimeoutError&) {
+    }
+  }
+}
+
+/// Worker push to a shard's current route, failing over to the backup when
+/// the primary is (observably) down. Retries to an unchanged destination
+/// reuse the sequence number; a failover reroute starts a fresh one.
+void reliable_push(Session& s, runtime::Process& self, int wep, int shard,
+                   const Packet& pkt) {
+  std::int64_t seq = -1;
+  int route = s.ps_route(shard);
+  for (;;) {
+    try {
+      s.reliable->send(self, wep, route, pkt, &seq);
+      return;
+    } catch (const net::TimeoutError&) {
+      if (s.ps_primary_down(shard)) {
+        s.fail_over(self, shard);
+        const int next = s.ps_route(shard);
+        if (next != route) {
+          route = next;
+          seq = -1;
+        }
+      }
+    }
+  }
+}
+
+/// Parameter reply from a replicated shard (primary or backup endpoint),
+/// echoing the push's round id so the worker can match and dedup it.
+void send_param_reply_rel(Session& s, runtime::Process& self,
+                          const ps::ShardState& st, int shard, int src_ep,
+                          std::size_t slot, int dst_ep, std::int64_t round_id,
+                          const PsProbes* probes) {
+  Packet reply;
+  reply.tag = kTagParams;
+  reply.a = shard;
+  reply.b = static_cast<std::int64_t>(slot);
+  reply.c = st.version(st.local_index(slot));
+  reply.d = round_id;
+  reply.wire_bytes = s.wl.slot_wire_bytes(slot);
+  if (s.wl.functional()) {
+    reply.tensors.push_back(st.param(st.local_index(slot)));
+  }
+  if (probes != nullptr) {
+    probes->bytes_served->inc(static_cast<double>(reply.wire_bytes));
+  }
+  reliable_send_live(s, self, src_ep, dst_ep, reply);
+}
+
+/// Collects one exchange round's kTagParams replies (one per entry of
+/// `slots`). Replies are matched by (round id, slot); stale rounds and
+/// duplicates — possible after a failover re-push — are dropped. When the
+/// wait times out and a missing slot's primary is down, the worker fails
+/// over and re-pushes that shard once via `repush_shard` (the backup
+/// dedups by round id and replies from current state).
+void await_replies_rel(Session& s, runtime::Process& self, int rank, int wep,
+                       const std::vector<std::size_t>& slots,
+                       std::int64_t round_id,
+                       std::vector<std::int64_t>* basis,
+                       const std::function<void(int)>& repush_shard) {
+  std::vector<char> got(s.wl.num_slots(), 1);
+  for (std::size_t slot : slots) got[slot] = 0;
+  std::size_t remaining = slots.size();
+  std::vector<char> repushed(static_cast<std::size_t>(s.num_shards()), 0);
+  const double poll = s.reliable->config().max_timeout;
+  while (remaining > 0) {
+    try {
+      Packet pkt =
+          s.reliable->recv_deadline(self, wep, kTagParams, self.now() + poll);
+      if (pkt.d != round_id) continue;  // stale round
+      const auto slot = static_cast<std::size_t>(pkt.b);
+      if (got[slot] != 0) continue;  // duplicate reply
+      got[slot] = 1;
+      --remaining;
+      if (basis != nullptr) basis->at(slot) = pkt.c;
+      if (s.wl.functional()) {
+        s.wl.set_param_slot(rank, slot, pkt.tensors.at(0));
+      }
+    } catch (const net::TimeoutError&) {
+      for (std::size_t slot : slots) {
+        if (got[slot] != 0) continue;
+        const int shard = s.plan.shard_of(slot);
+        if (repushed[static_cast<std::size_t>(shard)] != 0 ||
+            !s.ps_primary_down(shard)) {
+          continue;
+        }
+        s.fail_over(self, shard);
+        repushed[static_cast<std::size_t>(shard)] = 1;
+        repush_shard(shard);
+      }
+    }
+  }
+}
+
+/// Serves one replicated-shard endpoint: forever for a backup (or an
+/// uncrashed primary), until the scheduled fail-stop otherwise. On death
+/// the endpoint goes deaf (new data is never acked again — that silence is
+/// what senders detect), but everything the transport already acked is
+/// first drained through `handle` with replies suppressed: an acked push
+/// must still be applied and mirrored, or acked updates would vanish with
+/// the primary.
+void serve_replicated(Session& s, runtime::Process& self, int shard, int ep,
+                      bool backup,
+                      const std::function<void(Packet&, bool)>& handle) {
+  s.network->bind(ep, self);
+  const faults::PsCrash* pc =
+      backup ? nullptr : s.fault_plan.ps_crash_of(shard);
+  for (;;) {
+    Packet pkt;
+    if (pc != nullptr) {
+      if (self.now() >= pc->at) break;
+      try {
+        pkt = s.reliable->recv_deadline(self, ep, net::kAnyTag, pc->at);
+      } catch (const net::TimeoutError&) {
+        break;
+      }
+    } else {
+      pkt = s.reliable->recv(self, ep);
+    }
+    handle(pkt, /*allow_replies=*/true);
+  }
+  s.mark_ps_down(self, shard);
+  s.reliable->set_deaf(ep);
+  for (Packet& p : s.reliable->drain_ready(ep)) handle(p, false);
+}
+
+/// Spawns primary (and, with replicate_ps, backup) processes for every
+/// shard. `make_handler` builds the per-process message handler; it
+/// receives the serving ShardState, own endpoint, mirror destination (-1
+/// when none) and whether this process is the backup.
+void spawn_replicated_shards(
+    Session& s,
+    const std::function<std::function<void(Packet&, bool)>(
+        runtime::Process&, ps::ShardState&, int, int, bool)>& make_handler) {
+  const auto spawn_one = [&s, make_handler](int shard, bool backup) {
+    const std::string name =
+        "ps" + std::to_string(shard) + (backup ? "b" : "");
+    s.engine.spawn(
+        name,
+        [&s, make_handler, shard, backup](runtime::Process& self) {
+          const auto sh = static_cast<std::size_t>(shard);
+          const int ep = backup ? s.ps_backup_ep[sh] : s.ps_ep[sh];
+          const int mirror_ep =
+              (!backup && s.has_backups()) ? s.ps_backup_ep[sh] : -1;
+          ps::ShardState& st =
+              backup ? *s.backup_shards[sh] : *s.shards[sh];
+          auto handle = make_handler(self, st, ep, mirror_ep, backup);
+          serve_replicated(s, self, shard, ep, backup, handle);
+        },
+        /*daemon=*/true);
+  };
+  for (int shard = 0; shard < s.num_shards(); ++shard) {
+    spawn_one(shard, false);
+    if (s.has_backups()) spawn_one(shard, true);
+  }
+}
+
+std::vector<std::size_t> all_slots_of(const Session& s) {
+  std::vector<std::size_t> slots(s.wl.num_slots());
+  for (std::size_t i = 0; i < slots.size(); ++i) slots[i] = i;
+  return slots;
+}
+
+// -------- reliable BSP -----------------------------------------------------
+//
+// Round sums are arrival-order independent: each rank's contribution is
+// staged in its own buffer (idempotent overwrite on a re-pushed duplicate)
+// and the round sum is taken in canonical rank order, so a failover run's
+// parameters match a no-crash run of the same replicated config bit for
+// bit. A round closes once every rank's round id reached it; the ranks
+// that contacted this endpoint directly (not via mirror) get the replies.
+void launch_bsp_reliable(Session& s) {
+  const int n_workers = s.cfg.num_workers;
+  const float inv_n = 1.0f / static_cast<float>(n_workers);
+
+  spawn_replicated_shards(
+      s, [&s, n_workers, inv_n](runtime::Process& self, ps::ShardState& st,
+                                int ep, int mirror_ep, bool backup) {
+        const int shard = st.shard();
+        const int primary_ep = s.ps_ep[static_cast<std::size_t>(shard)];
+        auto probes = std::make_shared<PsProbes>(PsProbes::make(
+            s, std::to_string(shard) + (backup ? "b" : "")));
+        const auto n_local = st.num_local();
+        auto last_id = std::make_shared<std::vector<std::vector<std::int64_t>>>(
+            static_cast<std::size_t>(n_workers),
+            std::vector<std::int64_t>(n_local, -1));
+        auto round = std::make_shared<std::vector<std::int64_t>>(n_local, 0);
+        auto pending = std::make_shared<std::vector<std::vector<char>>>(
+            n_local, std::vector<char>(static_cast<std::size_t>(n_workers), 0));
+        auto lr_latest = std::make_shared<std::vector<float>>(n_local, 0.0f);
+
+        return [&s, &self, &st, ep, mirror_ep, backup, shard, primary_ep,
+                n_workers, inv_n, probes, last_id, round, pending,
+                lr_latest](Packet& pkt, bool allow_replies) {
+          probes->on_request(s, ep);
+          common::check(pkt.tag == kTagGrad,
+                        "BSP replicated PS: unexpected tag");
+          const bool mirror_src = backup && pkt.src_endpoint == primary_ep;
+          const auto slot = static_cast<std::size_t>(pkt.b);
+          const std::size_t local = st.local_index(slot);
+          const auto rank = static_cast<std::size_t>(pkt.a);
+
+          const auto close_round = [&](bool replies_ok) {
+            for (int r = 0; r < n_workers; ++r) {
+              if ((*last_id)[static_cast<std::size_t>(r)][local] <
+                  (*round)[local]) {
+                return;
+              }
+            }
+            if (s.wl.functional()) {
+              const tensor::Tensor sum = st.take_staged_sum(local);
+              st.apply_dense(local, sum.data(), (*lr_latest)[local], inv_n);
+            } else {
+              self.advance(s.wl.agg_time(s.wl.slot_wire_bytes(slot)));
+            }
+            st.bump_version(local);
+            const std::int64_t closed = (*round)[local]++;
+            for (int r = 0; r < n_workers; ++r) {
+              auto& owed = (*pending)[local][static_cast<std::size_t>(r)];
+              if (owed == 0) continue;
+              owed = 0;
+              if (!replies_ok) continue;  // death drain: backup will serve
+              send_param_reply_rel(
+                  s, self, st, shard, ep, slot,
+                  s.worker_ep[static_cast<std::size_t>(r)], closed,
+                  probes.get());
+            }
+          };
+
+          if (pkt.d > (*last_id)[rank][local]) {
+            if (!mirror_src) {
+              probes->staleness->observe(
+                  static_cast<double>(st.version(local) - pkt.c));
+            }
+            self.advance(s.wl.agg_time(pkt.wire_bytes));
+            if (s.wl.functional()) {
+              st.stage_dense(local, static_cast<int>(rank),
+                             pkt.tensors.at(0).data());
+            }
+            (*last_id)[rank][local] = pkt.d;
+            (*lr_latest)[local] = static_cast<float>(pkt.x);
+            if (mirror_ep >= 0) {
+              reliable_send_live(s, self, ep, mirror_ep, pkt);
+            }
+            if (!mirror_src) (*pending)[local][rank] = 1;
+            close_round(allow_replies);
+          } else if (!mirror_src) {
+            // Failover re-push of an already-staged round.
+            if (pkt.d < (*round)[local]) {
+              // Round closed (possibly by the dead primary, mirrored to
+              // us): the worker only lost the reply — serve it now.
+              if (allow_replies) {
+                send_param_reply_rel(s, self, st, shard, ep, slot,
+                                     s.worker_ep[rank], pkt.d, probes.get());
+              }
+            } else {
+              (*pending)[local][rank] = 1;  // round open: reply at close
+            }
+          }
+        };
+      });
+
+  for (int rank = 0; rank < n_workers; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank), [&s, rank](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
+          const std::size_t n_slots = s.wl.num_slots();
+          const std::vector<std::size_t> slots = all_slots_of(s);
+          const std::int64_t iters = s.iterations_per_worker();
+          std::vector<std::int64_t> basis(n_slots, 0);
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const double lr = s.lr_at(epoch);
+            const double loss =
+                compute_iteration(s, self, rank, rng, wm, nullptr);
+
+            const double t0 = self.now();
+            const auto push_slot = [&](std::size_t slot) {
+              Packet pkt = grad_packet(s, rank, slot, epoch, lr, basis[slot],
+                                       nullptr, rng);
+              pkt.d = it;
+              reliable_push(s, self, wep, s.plan.shard_of(slot), pkt);
+            };
+            for (std::size_t slot = n_slots; slot-- > 0;) push_slot(slot);
+            await_replies_rel(s, self, rank, wep, slots, it, &basis,
+                              [&](int shard) {
+                                for (std::size_t slot = 0; slot < n_slots;
+                                     ++slot) {
+                                  if (s.plan.shard_of(slot) == shard) {
+                                    push_slot(slot);
+                                  }
+                                }
+                              });
+            account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
+                           sync);
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+// -------- reliable ASP -----------------------------------------------------
+
+void launch_asp_reliable(Session& s) {
+  const float inv_n = 1.0f / static_cast<float>(s.cfg.num_workers);
+
+  spawn_replicated_shards(
+      s, [&s, inv_n](runtime::Process& self, ps::ShardState& st, int ep,
+                     int mirror_ep, bool backup) {
+        const int shard = st.shard();
+        const int primary_ep = s.ps_ep[static_cast<std::size_t>(shard)];
+        auto probes = std::make_shared<PsProbes>(PsProbes::make(
+            s, std::to_string(shard) + (backup ? "b" : "")));
+        auto last_id = std::make_shared<std::vector<std::vector<std::int64_t>>>(
+            static_cast<std::size_t>(s.cfg.num_workers),
+            std::vector<std::int64_t>(st.num_local(), -1));
+
+        return [&s, &self, &st, ep, mirror_ep, backup, shard, primary_ep,
+                inv_n, probes, last_id](Packet& pkt, bool allow_replies) {
+          probes->on_request(s, ep);
+          common::check(pkt.tag == kTagGrad,
+                        "ASP replicated PS: unexpected tag");
+          const bool mirror_src = backup && pkt.src_endpoint == primary_ep;
+          const auto slot = static_cast<std::size_t>(pkt.b);
+          const std::size_t local = st.local_index(slot);
+          const auto rank = static_cast<std::size_t>(pkt.a);
+          if (pkt.d > (*last_id)[rank][local]) {
+            if (!mirror_src) {
+              probes->staleness->observe(
+                  static_cast<double>(st.version(local) - pkt.c));
+            }
+            self.advance(s.wl.agg_time(pkt.wire_bytes));
+            if (s.wl.functional()) {
+              st.apply_dense(local, pkt.tensors.at(0).data(),
+                             static_cast<float>(pkt.x), inv_n);
+            }
+            st.bump_version(local);
+            (*last_id)[rank][local] = pkt.d;
+            if (mirror_ep >= 0) {
+              reliable_send_live(s, self, ep, mirror_ep, pkt);
+            }
+            if (!mirror_src && allow_replies) {
+              send_param_reply_rel(s, self, st, shard, ep, slot,
+                                   s.worker_ep[rank], pkt.d, probes.get());
+            }
+          } else if (!mirror_src && allow_replies) {
+            // Failover re-push: already applied (the dead primary mirrored
+            // it) — the worker only lost the reply.
+            send_param_reply_rel(s, self, st, shard, ep, slot,
+                                 s.worker_ep[rank], pkt.d, probes.get());
+          }
+        };
+      });
+
+  for (int rank = 0; rank < s.cfg.num_workers; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank, inv_n](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
+          const std::size_t n_slots = s.wl.num_slots();
+          const std::int64_t iters = s.iterations_per_worker();
+          std::vector<std::int64_t> basis(n_slots, 0);
+          const int budget = s.cfg.reliability.local_step_budget;
+          const double poll = s.reliable->config().max_timeout;
+          int local_streak = 0;
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const double lr = s.lr_at(epoch);
+            const double loss =
+                compute_iteration(s, self, rank, rng, wm, nullptr);
+            const double t0 = self.now();
+
+            // A shard whose primary just died and that nobody promoted yet
+            // may be degraded around: apply this iteration's gradient
+            // locally instead of blocking, up to `budget` in a row.
+            const auto may_degrade = [&](int shard) {
+              return s.ps_primary_down(shard) && !s.ps_failed_over(shard) &&
+                     local_streak < budget;
+            };
+            bool degraded = false;
+
+            for (std::size_t slot = n_slots; slot-- > 0 && !degraded;) {
+              Packet pkt = grad_packet(s, rank, slot, epoch, lr, basis[slot],
+                                       nullptr, rng);
+              pkt.d = it;
+              const int shard = s.plan.shard_of(slot);
+              std::int64_t seq = -1;
+              int route = s.ps_route(shard);
+              for (;;) {
+                try {
+                  s.reliable->send(self, wep, route, pkt, &seq);
+                  break;
+                } catch (const net::TimeoutError&) {
+                  if (may_degrade(shard)) {
+                    degraded = true;
+                    break;
+                  }
+                  if (s.ps_primary_down(shard)) {
+                    s.fail_over(self, shard);
+                    const int next = s.ps_route(shard);
+                    if (next != route) {
+                      route = next;
+                      seq = -1;
+                    }
+                  }
+                }
+              }
+            }
+
+            if (!degraded) {
+              std::vector<char> got(n_slots, 0);
+              std::size_t remaining = n_slots;
+              std::vector<char> repushed(
+                  static_cast<std::size_t>(s.num_shards()), 0);
+              while (remaining > 0 && !degraded) {
+                try {
+                  Packet pkt = s.reliable->recv_deadline(
+                      self, wep, kTagParams, self.now() + poll);
+                  if (pkt.d != it) continue;  // stale round
+                  const auto slot = static_cast<std::size_t>(pkt.b);
+                  if (got[slot] != 0) continue;
+                  got[slot] = 1;
+                  --remaining;
+                  basis[slot] = pkt.c;
+                  if (s.wl.functional()) {
+                    s.wl.set_param_slot(rank, slot, pkt.tensors.at(0));
+                  }
+                } catch (const net::TimeoutError&) {
+                  for (std::size_t slot = 0; slot < n_slots && !degraded;
+                       ++slot) {
+                    if (got[slot] != 0) continue;
+                    const int shard = s.plan.shard_of(slot);
+                    if (may_degrade(shard)) {
+                      degraded = true;
+                      break;
+                    }
+                    if (repushed[static_cast<std::size_t>(shard)] != 0 ||
+                        !s.ps_primary_down(shard)) {
+                      continue;
+                    }
+                    s.fail_over(self, shard);
+                    repushed[static_cast<std::size_t>(shard)] = 1;
+                    for (std::size_t rs = 0; rs < n_slots; ++rs) {
+                      if (s.plan.shard_of(rs) != shard || got[rs] != 0) {
+                        continue;
+                      }
+                      Packet pkt = grad_packet(s, rank, rs, epoch, lr,
+                                               basis[rs], nullptr, rng);
+                      pkt.d = it;
+                      reliable_push(s, self, wep, shard, pkt);
+                    }
+                  }
+                }
+              }
+            }
+
+            if (degraded) {
+              // Bounded graceful degradation: local SGD step, no sync.
+              // Stale replies of this round are deduped by round id later.
+              if (s.wl.functional()) {
+                s.wl.apply_gradients(rank, s.wl.gradients(rank),
+                                     static_cast<float>(lr) * inv_n);
+              }
+              ++local_streak;
+              if (s.fprobes.local_steps != nullptr) {
+                s.fprobes.local_steps->inc();
+              }
+            } else {
+              local_streak = 0;
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
+                             sync);
+            }
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+// -------- reliable SSP -----------------------------------------------------
+//
+// Pushes are fire-and-forget at the application layer (the transport ack
+// is the delivery guarantee; the shard sends no reply), so only the pull
+// rounds need failover-aware reply collection.
+
+void launch_ssp_reliable(Session& s) {
+  const float inv_n = 1.0f / static_cast<float>(s.cfg.num_workers);
+
+  spawn_replicated_shards(
+      s, [&s, inv_n](runtime::Process& self, ps::ShardState& st, int ep,
+                     int mirror_ep, bool backup) {
+        const int shard = st.shard();
+        const int primary_ep = s.ps_ep[static_cast<std::size_t>(shard)];
+        auto probes = std::make_shared<PsProbes>(PsProbes::make(
+            s, std::to_string(shard) + (backup ? "b" : "")));
+        auto last_id = std::make_shared<std::vector<std::vector<std::int64_t>>>(
+            static_cast<std::size_t>(s.cfg.num_workers),
+            std::vector<std::int64_t>(st.num_local(), -1));
+
+        return [&s, &self, &st, ep, mirror_ep, backup, shard, primary_ep,
+                inv_n, probes, last_id](Packet& pkt, bool allow_replies) {
+          probes->on_request(s, ep);
+          const bool mirror_src = backup && pkt.src_endpoint == primary_ep;
+          if (pkt.tag == kTagPull) {
+            // Idempotent read; duplicate replies are deduped by the worker.
+            if (!allow_replies) return;
+            for (std::size_t slot : st.slots()) {
+              send_param_reply_rel(
+                  s, self, st, shard, ep, slot,
+                  s.worker_ep[static_cast<std::size_t>(pkt.a)], pkt.d,
+                  probes.get());
+            }
+            return;
+          }
+          common::check(pkt.tag == kTagGrad,
+                        "SSP replicated PS: unexpected tag");
+          const auto slot = static_cast<std::size_t>(pkt.b);
+          const std::size_t local = st.local_index(slot);
+          const auto rank = static_cast<std::size_t>(pkt.a);
+          if (pkt.d <= (*last_id)[rank][local]) return;  // duplicate push
+          if (!mirror_src) {
+            probes->staleness->observe(
+                static_cast<double>(st.version(local) - pkt.c));
+          }
+          self.advance(s.wl.agg_time(pkt.wire_bytes));
+          if (s.wl.functional()) {
+            st.apply_dense(local, pkt.tensors.at(0).data(),
+                           static_cast<float>(pkt.x), inv_n);
+          }
+          st.bump_version(local);
+          (*last_id)[rank][local] = pkt.d;
+          if (mirror_ep >= 0) reliable_send_live(s, self, ep, mirror_ep, pkt);
+        };
+      });
+
+  for (int rank = 0; rank < s.cfg.num_workers; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank, inv_n](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
+          metrics::Histogram& local_staleness = s.registry.histogram(
+              "ssp.local_staleness", {{"worker", std::to_string(rank)}},
+              metrics::Histogram::count_bounds());
+          const std::size_t n_slots = s.wl.num_slots();
+          const std::vector<std::size_t> slots = all_slots_of(s);
+          const std::int64_t iters = s.iterations_per_worker();
+          std::vector<std::int64_t> basis(n_slots, 0);
+          int staleness = 0;
+
+          const auto send_pull = [&](int shard, std::int64_t round_id) {
+            Packet pull;
+            pull.tag = kTagPull;
+            pull.a = rank;
+            pull.d = round_id;
+            pull.wire_bytes = net::kControlBytes;
+            reliable_push(s, self, wep, shard, pull);
+          };
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const double lr = s.lr_at(epoch);
+            const double loss =
+                compute_iteration(s, self, rank, rng, wm, nullptr);
+            for (std::size_t slot = n_slots; slot-- > 0;) {
+              Packet pkt = grad_packet(s, rank, slot, epoch, lr, basis[slot],
+                                       nullptr, rng);
+              pkt.d = it;
+              reliable_push(s, self, wep, s.plan.shard_of(slot), pkt);
+            }
+            local_staleness.observe(static_cast<double>(staleness));
+
+            if (staleness < s.cfg.ssp_staleness) {
+              ++staleness;
+              if (s.wl.functional()) {
+                s.wl.apply_gradients(rank, s.wl.gradients(rank),
+                                     static_cast<float>(lr) * inv_n);
+              }
+            } else {
+              const double t0 = self.now();
+              for (int shard = 0; shard < s.num_shards(); ++shard) {
+                send_pull(shard, it);
+              }
+              await_replies_rel(s, self, rank, wep, slots, it, &basis,
+                                [&](int shard) { send_pull(shard, it); });
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
+                             sync);
+              staleness = 0;
+            }
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
+}
+
+// -------- reliable EASGD ---------------------------------------------------
+
+void launch_easgd_reliable(Session& s) {
+  const float alpha =
+      s.cfg.easgd_alpha > 0.0
+          ? static_cast<float>(s.cfg.easgd_alpha)
+          : static_cast<float>(0.9 / static_cast<double>(s.cfg.easgd_tau));
+
+  spawn_replicated_shards(
+      s, [&s, alpha](runtime::Process& self, ps::ShardState& st, int ep,
+                     int mirror_ep, bool backup) {
+        const int shard = st.shard();
+        const int primary_ep = s.ps_ep[static_cast<std::size_t>(shard)];
+        auto probes = std::make_shared<PsProbes>(PsProbes::make(
+            s, std::to_string(shard) + (backup ? "b" : "")));
+        auto last_id = std::make_shared<std::vector<std::vector<std::int64_t>>>(
+            static_cast<std::size_t>(s.cfg.num_workers),
+            std::vector<std::int64_t>(st.num_local(), -1));
+
+        return [&s, &self, &st, ep, mirror_ep, backup, shard, primary_ep,
+                alpha, probes, last_id](Packet& pkt, bool allow_replies) {
+          probes->on_request(s, ep);
+          common::check(pkt.tag == kTagEasgdPush,
+                        "EASGD replicated PS: unexpected tag");
+          const bool mirror_src = backup && pkt.src_endpoint == primary_ep;
+          const auto slot = static_cast<std::size_t>(pkt.b);
+          const std::size_t local = st.local_index(slot);
+          const auto rank = static_cast<std::size_t>(pkt.a);
+          if (pkt.d > (*last_id)[rank][local]) {
+            if (!mirror_src) {
+              probes->staleness->observe(
+                  static_cast<double>(st.version(local) - pkt.c));
+            }
+            self.advance(s.wl.agg_time(pkt.wire_bytes));
+            Packet reply;
+            reply.tag = kTagParams;
+            reply.a = shard;
+            reply.b = pkt.b;
+            reply.d = pkt.d;
+            reply.wire_bytes = s.wl.slot_wire_bytes(slot);
+            if (s.wl.functional()) {
+              // The exchange mutates the center, so it runs for mirrors
+              // too (that is what keeps the replicas bitwise identical).
+              reply.tensors.push_back(
+                  st.elastic_exchange(local, pkt.tensors.at(0), alpha));
+            }
+            st.bump_version(local);
+            reply.c = st.version(local);
+            (*last_id)[rank][local] = pkt.d;
+            if (mirror_ep >= 0) {
+              reliable_send_live(s, self, ep, mirror_ep, pkt);
+            }
+            if (!mirror_src && allow_replies) {
+              probes->bytes_served->inc(
+                  static_cast<double>(reply.wire_bytes));
+              reliable_send_live(s, self, ep, s.worker_ep[rank], reply);
+            }
+          } else if (!mirror_src && allow_replies) {
+            // Failover re-push of an exchange the dead primary already
+            // performed (and mirrored): the elastic reply died with it, so
+            // the worker adopts the current center instead — the
+            // documented EASGD failover semantics (docs/faults.md).
+            send_param_reply_rel(s, self, st, shard, ep, slot,
+                                 s.worker_ep[rank], pkt.d, probes.get());
+          }
+        };
+      });
+
+  for (int rank = 0; rank < s.cfg.num_workers; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank), [&s, rank](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
+          metrics::Counter& rounds = s.registry.counter(
+              "easgd.rounds_total", {{"worker", std::to_string(rank)}});
+          const std::size_t n_slots = s.wl.num_slots();
+          const std::vector<std::size_t> slots = all_slots_of(s);
+          const std::int64_t iters = s.iterations_per_worker();
+          std::vector<std::int64_t> basis(n_slots, 0);
+          const int tau = std::max(1, s.cfg.easgd_tau);
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            const double epoch = s.epoch_of(it);
+            const double lr = s.lr_at(epoch);
+            const double loss =
+                compute_iteration(s, self, rank, rng, wm, nullptr);
+            if (s.wl.functional()) {
+              s.wl.apply_gradients(rank, s.wl.gradients(rank),
+                                   static_cast<float>(lr));
+            }
+
+            if ((it + 1) % tau == 0) {
+              const std::int64_t round_id = (it + 1) / tau;
+              const double t0 = self.now();
+              const auto push_slot = [&](std::size_t slot) {
+                Packet pkt;
+                pkt.tag = kTagEasgdPush;
+                pkt.a = rank;
+                pkt.b = static_cast<std::int64_t>(slot);
+                pkt.c = basis[slot];
+                pkt.d = round_id;
+                pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
+                if (s.wl.functional()) {
+                  pkt.tensors.push_back(s.wl.param_slot(rank, slot));
+                }
+                reliable_push(s, self, wep, s.plan.shard_of(slot), pkt);
+              };
+              for (std::size_t slot = 0; slot < n_slots; ++slot) {
+                push_slot(slot);
+              }
+              await_replies_rel(s, self, rank, wep, slots, round_id, &basis,
+                                [&](int shard) {
+                                  for (std::size_t slot = 0; slot < n_slots;
+                                       ++slot) {
+                                    if (s.plan.shard_of(slot) == shard) {
+                                      push_slot(slot);
+                                    }
+                                  }
+                                });
+              account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
+                             sync);
+              rounds.inc();
+            }
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+        });
+  }
 }
 
 // ======================== BSP ==============================================
@@ -958,6 +1733,12 @@ void launch_easgd_impl(Session& s) {
 }  // namespace
 
 void launch_bsp(Session& s) {
+  // Reliable mode replaces the PS protocol wholesale (and skips local
+  // aggregation: the machine-leader gather assumes loss-free local links).
+  if (s.reliable_mode()) {
+    launch_bsp_reliable(s);
+    return;
+  }
   // Crash plans disable local aggregation: a dead machine leader would
   // orphan its whole machine's round, and the leader-gather counts assume
   // a fixed co-located worker set.
@@ -968,8 +1749,28 @@ void launch_bsp(Session& s) {
   launch_bsp(s, local_agg);
 }
 
-void launch_asp(Session& s) { launch_asp_impl(s); }
-void launch_ssp(Session& s) { launch_ssp_impl(s); }
-void launch_easgd(Session& s) { launch_easgd_impl(s); }
+void launch_asp(Session& s) {
+  if (s.reliable_mode()) {
+    launch_asp_reliable(s);
+    return;
+  }
+  launch_asp_impl(s);
+}
+
+void launch_ssp(Session& s) {
+  if (s.reliable_mode()) {
+    launch_ssp_reliable(s);
+    return;
+  }
+  launch_ssp_impl(s);
+}
+
+void launch_easgd(Session& s) {
+  if (s.reliable_mode()) {
+    launch_easgd_reliable(s);
+    return;
+  }
+  launch_easgd_impl(s);
+}
 
 }  // namespace dt::core

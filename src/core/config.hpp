@@ -108,6 +108,34 @@ struct TrainConfig {
   int straggler_rank = -1;
   double straggler_slowdown = 1.0;
 
+  // --- reliable transport + PS replication (see docs/network-model.md,
+  // "Reliability model", and docs/faults.md, "PS-shard crashes") ---
+  struct ReliabilityConfig {
+    /// Retransmission schedule of net::ReliableTransport (virtual s).
+    double timeout_s = 0.05;
+    double backoff = 2.0;
+    double max_timeout_s = 1.0;
+    int max_retransmits = 10;
+    /// Primary-backup replication of every PS shard: pushes applied by a
+    /// shard's primary are mirrored (in application order, over the
+    /// reliable channel) to a backup endpoint that workers fail over to
+    /// when the primary crashes. Required for faults.ps_crashes.
+    /// Centralized algorithms only; incompatible with DGC/QSGD, worker
+    /// crashes, and sync_policy=drop (validated by the Session).
+    bool replicate_ps = false;
+    /// ASP/SSP graceful degradation: consecutive iterations a worker may
+    /// apply its gradient locally when a shard exchange times out during
+    /// failover, before it must block on a successful exchange.
+    int local_step_budget = 0;
+
+    /// The transport is engaged (and its probes registered) only when the
+    /// run can need it, keeping fault-free runs byte-identical.
+    [[nodiscard]] bool engaged(const faults::FaultConfig& f) const noexcept {
+      return replicate_ps || f.msg.any();
+    }
+  };
+  ReliabilityConfig reliability;
+
   std::uint64_t seed = 42;
 
   // --- host execution (does not affect simulated results) ---

@@ -52,10 +52,39 @@ int parse_int(const std::string& v, const std::string& what) {
   return i;
 }
 
+/// Strict-section validation: every key present in `section` must be in
+/// `allowed`, otherwise the config is rejected naming the offender — a
+/// typo in a fault-injection knob must not silently yield a fault-free
+/// run.
+void check_known_keys(const common::IniConfig& ini,
+                      const std::string& section,
+                      std::initializer_list<const char*> allowed) {
+  for (const std::string& key : ini.keys(section)) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    common::check(known,
+                  section + ": unknown key '" + key + "'");
+  }
+}
+
 /// Parses the `[failures]` section into cfg.faults (plus the legacy
 /// straggler aliases into their TrainConfig knobs). List syntax uses ','
 /// between entries and ':' within one — ';' would start an INI comment.
 void parse_failures(const common::IniConfig& ini, TrainConfig& cfg) {
+  check_known_keys(
+      ini, "failures",
+      {"straggler_rank", "straggler_slowdown", "slow_ranks",
+       "transient_rank", "transient_rate", "transient_factor",
+       "transient_duration_mu", "transient_duration_sigma",
+       "transient_horizon", "link_windows", "crashes", "crash_rank",
+       "crash_time", "crash_downtime", "ps_crashes", "sync_policy",
+       "recovery", "checkpoint_period", "loss_prob", "dup_prob",
+       "reorder_prob", "reorder_window", "lossy_machines"});
   // Legacy single-straggler aliases (merged into slow_ranks by Session).
   cfg.straggler_rank =
       static_cast<int>(ini.get_int("failures", "straggler_rank", -1));
@@ -128,6 +157,32 @@ void parse_failures(const common::IniConfig& ini, TrainConfig& cfg) {
         ini.get_double("failures", "crash_downtime", 1.0)});
   }
 
+  // ps_crashes = shard:at, ... (fail-stop PS-shard crashes; requires
+  // [reliability] replicate_ps, validated by the Session).
+  for (const std::string& entry :
+       split_list(ini.get("failures", "ps_crashes", ""), ',')) {
+    const auto fields = split_list(entry, ':');
+    common::check(fields.size() == 2,
+                  "failures: ps_crashes entries are shard:at, got: " + entry);
+    fc.ps_crashes.push_back(faults::PsCrash{
+        parse_int(fields[0], "ps_crashes"),
+        parse_double(fields[1], "ps_crashes")});
+  }
+
+  // Message-level faults (loss / duplication / reordering) injected by
+  // net::Network on inter-machine sends; see docs/network-model.md.
+  faults::MsgFaults& msg = fc.msg;
+  msg.loss_prob = ini.get_double("failures", "loss_prob", msg.loss_prob);
+  msg.dup_prob = ini.get_double("failures", "dup_prob", msg.dup_prob);
+  msg.reorder_prob =
+      ini.get_double("failures", "reorder_prob", msg.reorder_prob);
+  msg.reorder_window =
+      ini.get_double("failures", "reorder_window", msg.reorder_window);
+  for (const std::string& entry :
+       split_list(ini.get("failures", "lossy_machines", ""), ',')) {
+    msg.machines.push_back(parse_int(entry, "lossy_machines"));
+  }
+
   const std::string policy = ini.get("failures", "sync_policy", "stall");
   common::check(policy == "stall" || policy == "drop",
                 "failures: sync_policy must be stall or drop");
@@ -141,6 +196,28 @@ void parse_failures(const common::IniConfig& ini, TrainConfig& cfg) {
                                          : faults::RecoveryMode::pull;
   fc.checkpoint_period =
       ini.get_double("failures", "checkpoint_period", fc.checkpoint_period);
+}
+
+/// Parses the `[reliability]` section (retransmission schedule of the
+/// reliable transport + PS replication knobs; see docs/network-model.md,
+/// "Reliability model").
+void parse_reliability(const common::IniConfig& ini, TrainConfig& cfg) {
+  check_known_keys(ini, "reliability",
+                   {"timeout", "backoff", "max_timeout", "max_retransmits",
+                    "replicate_ps", "local_step_budget"});
+  auto& rel = cfg.reliability;
+  rel.timeout_s = ini.get_double("reliability", "timeout", rel.timeout_s);
+  rel.backoff = ini.get_double("reliability", "backoff", rel.backoff);
+  rel.max_timeout_s =
+      ini.get_double("reliability", "max_timeout", rel.max_timeout_s);
+  rel.max_retransmits = static_cast<int>(
+      ini.get_int("reliability", "max_retransmits", rel.max_retransmits));
+  rel.replicate_ps =
+      ini.get_bool("reliability", "replicate_ps", rel.replicate_ps);
+  rel.local_step_budget = static_cast<int>(ini.get_int(
+      "reliability", "local_step_budget", rel.local_step_budget));
+  common::check(rel.local_step_budget >= 0,
+                "reliability: local_step_budget must be >= 0");
 }
 
 }  // namespace
@@ -242,6 +319,9 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
 
   // [failures]
   parse_failures(ini, cfg);
+
+  // [reliability]
+  parse_reliability(ini, cfg);
 
   // [output]
   cfg.trace_path = ini.get("output", "trace", "");

@@ -32,10 +32,15 @@ enum Tag : int {
   kTagAllreduce = 200,  // +0/+1 per bucket pair; buckets use +2*b
 };
 
-/// Packet field conventions (Packet.a/b/c/x):
+/// Packet field conventions (Packet.a/b/c/d/x):
 ///   a = sender worker rank (or shard id in replies)
 ///   b = slot index (per-slot packets) or bucket index
 ///   c = iteration / staleness clock of the sender
+///   d = per-rank exchange round id (reliable/replicated PS runs): pushes
+///       carry the sender's monotonic round so the shard can apply each
+///       exchange exactly once across retransmissions and failover;
+///       replies echo it so workers can drop stale/duplicate replies.
+///       0 elsewhere. (Packet.rel_seq below d is owned by the transport.)
 ///   x = learning rate in effect at the sender (centralized pushes) or
 ///       gossip weight (GoSGD)
 

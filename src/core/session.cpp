@@ -17,6 +17,38 @@ Session::Session(TrainConfig config, Workload& workload)
                 "Session: workload built for a different worker count");
   build_fault_plan();
   build_cluster();
+  validate_reliability();
+}
+
+void Session::validate_reliability() const {
+  const bool engaged = cfg.reliability.engaged(cfg.faults);
+  common::check(!fault_plan.has_ps_crashes() || cfg.reliability.replicate_ps,
+                "Session: faults.ps_crashes requires reliability.replicate_ps "
+                "(a crashed unreplicated shard would lose state)");
+  if (!engaged) return;
+  common::check(is_centralized(cfg.algo),
+                "Session: reliability (message faults / replicate_ps) is "
+                "supported for the centralized algorithms only");
+  common::check(!cfg.opt.dgc && cfg.opt.qsgd_bits == 0,
+                "Session: reliability modes are incompatible with gradient "
+                "compression (DGC/QSGD)");
+  common::check(!cfg.opt.wait_free_bp,
+                "Session: reliability modes are incompatible with wait-free "
+                "BP (acked sends would serialize the backward pass)");
+  common::check(!fault_plan.has_crashes(),
+                "Session: worker crashes are incompatible with the reliable "
+                "transport (per-peer sequence state would not survive a "
+                "reboot)");
+  for (int m : cfg.faults.msg.machines) {
+    common::check(m < num_machines,
+                  "Session: faults.lossy_machines references a machine "
+                  "beyond the cluster");
+  }
+  for (const auto& pc : fault_plan.config().ps_crashes) {
+    common::check(pc.shard < num_shards(),
+                  "Session: faults.ps_crashes references a shard beyond the "
+                  "sharding plan");
+  }
 }
 
 void Session::build_fault_plan() {
@@ -40,9 +72,10 @@ void Session::build_fault_plan() {
 }
 
 bool Session::crash_pending(int rank, double now) const {
-  const faults::Crash* c = fault_plan.crash_of(rank);
-  return c != nullptr && crash_taken_[static_cast<std::size_t>(rank)] == 0 &&
-         now >= c->at;
+  const auto& list = fault_plan.crashes_of(rank);
+  const auto idx =
+      static_cast<std::size_t>(crash_taken_[static_cast<std::size_t>(rank)]);
+  return idx < list.size() && now >= list[idx].at;
 }
 
 bool Session::rank_down(int rank, double now) const {
@@ -57,10 +90,47 @@ bool Session::rank_finished(int rank) const {
   return finished_[static_cast<std::size_t>(rank)] != 0;
 }
 
+void Session::mark_ps_down(runtime::Process& self, int shard) {
+  ps_down_.at(static_cast<std::size_t>(shard)) = 1;
+  if (trace_) {
+    trace_->instant("ps" + std::to_string(shard), "crash", self.now());
+  }
+}
+
+bool Session::ps_primary_down(int shard) const {
+  return ps_down_.at(static_cast<std::size_t>(shard)) != 0;
+}
+
+void Session::fail_over(runtime::Process& self, int shard) {
+  auto& flag = ps_failed_.at(static_cast<std::size_t>(shard));
+  if (flag != 0) return;
+  common::check(has_backups(), "fail_over: shard has no backup");
+  flag = 1;
+  if (fprobes.ps_failovers != nullptr) fprobes.ps_failovers->inc();
+  if (trace_) {
+    trace_->instant("ps" + std::to_string(shard) + "b", "failover",
+                    self.now());
+  }
+}
+
+bool Session::ps_failed_over(int shard) const {
+  return ps_failed_.at(static_cast<std::size_t>(shard)) != 0;
+}
+
+int Session::ps_route(int shard) const {
+  return ps_failed_over(shard)
+             ? ps_backup_ep.at(static_cast<std::size_t>(shard))
+             : ps_ep.at(static_cast<std::size_t>(shard));
+}
+
 void Session::take_crash(runtime::Process& self, int rank) {
-  const faults::Crash* c = fault_plan.crash_of(rank);
-  common::check(c != nullptr, "take_crash: no crash scheduled for rank");
-  crash_taken_[static_cast<std::size_t>(rank)] = 1;
+  const auto& list = fault_plan.crashes_of(rank);
+  const auto idx =
+      static_cast<std::size_t>(crash_taken_[static_cast<std::size_t>(rank)]);
+  common::check(idx < list.size(),
+                "take_crash: no crash scheduled for rank");
+  const faults::Crash* c = &list[idx];
+  ++crash_taken_[static_cast<std::size_t>(rank)];
   down_until_[static_cast<std::size_t>(rank)] = self.now() + c->downtime;
   if (fprobes.crashes != nullptr) {
     fprobes.crashes->inc();
@@ -116,7 +186,31 @@ void Session::build_cluster() {
       shards.push_back(std::make_unique<ps::ShardState>(plan, shard, wl,
                                                         cfg.sgd));
     }
+    if (cfg.reliability.replicate_ps) {
+      for (int shard = 0; shard < plan.num_shards; ++shard) {
+        // Backup on the next machine over, so a machine-level view of the
+        // crash would still find the replica elsewhere.
+        const int pm = ps_machine[static_cast<std::size_t>(shard)];
+        const int bm = num_machines > 1 ? (pm + 1) % num_machines : 0;
+        ps_backup_machine.push_back(bm);
+        ps_backup_ep.push_back(network->add_endpoint(
+            bm, "ps" + std::to_string(shard) + "b"));
+        backup_shards.push_back(
+            std::make_unique<ps::ShardState>(plan, shard, wl, cfg.sgd));
+      }
+    }
+    if (cfg.reliability.engaged(cfg.faults)) {
+      reliable = std::make_unique<net::ReliableTransport>(
+          *network,
+          net::ReliableConfig{
+              .timeout = cfg.reliability.timeout_s,
+              .backoff = cfg.reliability.backoff,
+              .max_timeout = cfg.reliability.max_timeout_s,
+              .max_retransmits = cfg.reliability.max_retransmits});
+    }
   }
+  ps_down_.assign(static_cast<std::size_t>(plan.num_shards), 0);
+  ps_failed_.assign(static_cast<std::size_t>(plan.num_shards), 0);
 
   wmetrics.resize(static_cast<std::size_t>(cfg.num_workers));
 }
@@ -206,6 +300,15 @@ metrics::RunResult Session::run() {
     fprobes.dropped_pushes = &registry.counter("faults.dropped_pushes_total");
     fprobes.skipped_peers = &registry.counter("faults.skipped_peers_total");
     fprobes.dead_workers = &registry.gauge("faults.dead_workers");
+  }
+  if (fault_plan.has_ps_crashes()) {
+    fprobes.ps_failovers = &registry.counter("ps.failovers_total");
+  }
+  if (reliable_mode()) {
+    reliable->set_metrics(&registry);
+    if (cfg.reliability.local_step_budget > 0) {
+      fprobes.local_steps = &registry.counter("faults.local_steps_total");
+    }
   }
 
   if (!cfg.trace_path.empty()) {

@@ -14,6 +14,7 @@
 #include "metrics/sampler.hpp"
 #include "net/collectives.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "ps/shard_state.hpp"
 #include "ps/sharding.hpp"
 #include "runtime/sim.hpp"
@@ -41,6 +42,26 @@ class Session {
   std::vector<int> ps_ep;           // shard -> endpoint
   ps::ShardingPlan plan;
   std::vector<std::unique_ptr<ps::ShardState>> shards;
+
+  /// Reliable exactly-once transport (see docs/network-model.md,
+  /// "Reliability model"). Non-null only when cfg.reliability.engaged() —
+  /// message faults or PS replication — so fault-free runs never construct
+  /// it and their metric dumps stay byte-identical. When set, the
+  /// centralized launchers route every PS exchange through it.
+  std::unique_ptr<net::ReliableTransport> reliable;
+  /// Primary-backup replication (cfg.reliability.replicate_ps): per shard,
+  /// a backup ShardState on another machine that mirrors the primary's
+  /// applies and takes over when the primary fail-stops.
+  std::vector<int> ps_backup_machine;  // shard -> machine
+  std::vector<int> ps_backup_ep;       // shard -> endpoint ("ps<k>b")
+  std::vector<std::unique_ptr<ps::ShardState>> backup_shards;
+
+  [[nodiscard]] bool reliable_mode() const noexcept {
+    return reliable != nullptr;
+  }
+  [[nodiscard]] bool has_backups() const noexcept {
+    return !backup_shards.empty();
+  }
 
   std::vector<metrics::WorkerMetrics> wmetrics;
   metrics::RunResult result;
@@ -127,6 +148,22 @@ class Session {
   void mark_finished(int rank);
   [[nodiscard]] bool rank_finished(int rank) const;
 
+  // ---- PS-shard fail-stop + failover (replicate_ps runs) -----------------
+  /// Called by the dying primary itself at its actual death instant, so
+  /// failover decisions use live state (a slow round can never trigger a
+  /// spurious failover — the oracle flips only when the primary really
+  /// stopped serving).
+  void mark_ps_down(runtime::Process& self, int shard);
+  [[nodiscard]] bool ps_primary_down(int shard) const;
+  /// Promotes the backup as the route for `shard`. Idempotent: the first
+  /// detecting worker flips the route and bumps ps.failovers_total; later
+  /// callers are no-ops.
+  void fail_over(runtime::Process& self, int shard);
+  [[nodiscard]] bool ps_failed_over(int shard) const;
+  /// Endpoint workers should contact for `shard`: the primary until
+  /// fail_over(shard), the backup after.
+  [[nodiscard]] int ps_route(int shard) const;
+
   /// Fault observability instruments (registered only for runs with a
   /// non-empty fault plan, keeping fault-free metric dumps byte-identical
   /// with pre-fault builds).
@@ -136,16 +173,22 @@ class Session {
     metrics::Counter* dropped_pushes = nullptr;  // faults.dropped_pushes_total
     metrics::Counter* skipped_peers = nullptr;   // faults.skipped_peers_total
     metrics::Gauge* dead_workers = nullptr;      // faults.dead_workers
+    metrics::Counter* ps_failovers = nullptr;    // ps.failovers_total
+    metrics::Counter* local_steps = nullptr;     // faults.local_steps_total
   };
   FaultProbes fprobes;
 
  private:
   void build_cluster();
   void build_fault_plan();
+  void validate_reliability() const;
   void launch();  // dispatch to per-algorithm launcher
-  std::vector<char> crash_taken_;   // per rank
+  std::vector<int> crash_taken_;    // per rank: crashes taken so far (index
+                                    // into fault_plan.crashes_of(rank))
   std::vector<double> down_until_;  // per rank; rejoin time once taken
   std::vector<char> finished_;      // per rank; worker ran out of iterations
+  std::vector<char> ps_down_;       // per shard; primary fail-stopped
+  std::vector<char> ps_failed_;     // per shard; route flipped to backup
   bool ran_ = false;
   std::unique_ptr<metrics::TraceLog> trace_;
   std::unique_ptr<metrics::TimeSeriesSampler> sampler_;

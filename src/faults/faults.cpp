@@ -7,14 +7,23 @@
 
 namespace dt::faults {
 
+bool MsgFaults::affects(int src_machine, int dst_machine) const noexcept {
+  if (machines.empty()) return true;
+  for (int m : machines) {
+    if (m == src_machine || m == dst_machine) return true;
+  }
+  return false;
+}
+
 FaultPlan::FaultPlan(const FaultConfig& config, std::uint64_t seed,
                      int num_workers) {
   common::check(num_workers >= 1, "FaultPlan: need at least one worker");
   cfg_ = config;
+  seed_ = seed;
   const auto n = static_cast<std::size_t>(num_workers);
   persistent_.assign(n, 1.0);
   windows_.assign(n, {});
-  crash_.assign(n, std::nullopt);
+  crashes_.assign(n, {});
 
   for (const auto& [rank, factor] : cfg_.slow_ranks) {
     common::check(rank >= 0 && rank < num_workers,
@@ -63,9 +72,41 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::uint64_t seed,
                   "FaultPlan: crash rank out of range");
     common::check(c.at >= 0.0 && c.downtime > 0.0,
                   "FaultPlan: crash needs at >= 0 and downtime > 0");
-    auto& slot = crash_[static_cast<std::size_t>(c.rank)];
-    common::check(!slot.has_value(), "FaultPlan: at most one crash per rank");
-    slot = c;
+    crashes_[static_cast<std::size_t>(c.rank)].push_back(c);
+  }
+  for (auto& list : crashes_) {
+    std::sort(list.begin(), list.end(),
+              [](const Crash& a, const Crash& b) { return a.at < b.at; });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      common::check(
+          list[i].at >= list[i - 1].at + list[i - 1].downtime,
+          "FaultPlan: overlapping crash windows for a rank (each crash's "
+          "[at, at + downtime) must end before the next begins)");
+    }
+  }
+
+  const MsgFaults& m = cfg_.msg;
+  common::check(m.loss_prob >= 0.0 && m.loss_prob < 1.0,
+                "FaultPlan: msg_loss_prob must be in [0, 1)");
+  common::check(m.dup_prob >= 0.0 && m.dup_prob < 1.0,
+                "FaultPlan: msg_dup_prob must be in [0, 1)");
+  common::check(m.reorder_prob >= 0.0 && m.reorder_prob < 1.0,
+                "FaultPlan: msg_reorder_prob must be in [0, 1)");
+  common::check(m.reorder_window >= 0.0,
+                "FaultPlan: msg_reorder_window must be >= 0");
+  common::check(m.reorder_prob == 0.0 || m.reorder_window > 0.0,
+                "FaultPlan: msg_reorder_prob > 0 needs msg_reorder_window > 0");
+  for (int machine : m.machines) {
+    common::check(machine >= 0, "FaultPlan: lossy machine index < 0");
+  }
+
+  for (const auto& pc : cfg_.ps_crashes) {
+    common::check(pc.shard >= 0, "FaultPlan: ps crash shard < 0");
+    common::check(pc.at >= 0.0, "FaultPlan: ps crash needs at >= 0");
+    for (const auto& other : cfg_.ps_crashes) {
+      common::check(&other == &pc || other.shard != pc.shard,
+                    "FaultPlan: at most one crash per PS shard (fail-stop)");
+    }
   }
 }
 
@@ -141,10 +182,18 @@ bool FaultPlan::link_multipliers(double t, int src_machine, int dst_machine,
   return active;
 }
 
-const Crash* FaultPlan::crash_of(int rank) const noexcept {
-  const auto r = static_cast<std::size_t>(rank);
-  if (r >= crash_.size() || !crash_[r].has_value()) return nullptr;
-  return &*crash_[r];
+const std::vector<Crash>& FaultPlan::crashes_of(int rank) const {
+  common::check(rank >= 0 &&
+                    static_cast<std::size_t>(rank) < crashes_.size(),
+                "FaultPlan: rank out of range");
+  return crashes_[static_cast<std::size_t>(rank)];
+}
+
+const PsCrash* FaultPlan::ps_crash_of(int shard) const noexcept {
+  for (const PsCrash& pc : cfg_.ps_crashes) {
+    if (pc.shard == shard) return &pc;
+  }
+  return nullptr;
 }
 
 const std::vector<SlowWindow>& FaultPlan::windows(int rank) const {

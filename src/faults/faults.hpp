@@ -1,14 +1,15 @@
 // Deterministic fault injection for distributed-training experiments.
 //
 // A FaultPlan is built once per run from a FaultConfig (the `[failures]`
-// INI section) and the experiment seed. All stochastic material — the
-// transient slowdown windows with lognormal durations — is pre-generated at
-// construction time from a dedicated RNG stream, so the plan is a pure
-// function of (config, seed): the same run is byte-identical at any
-// compute_threads setting, and two algorithms fed the same plan see the
-// exact same fault timeline.
+// INI section) and the experiment seed. All stochastic
+// material — the transient slowdown windows with lognormal durations, and
+// the per-message loss/duplication/reorder draws — comes from dedicated RNG
+// streams forked off the experiment seed, so the plan is a pure function of
+// (config, seed): the same run is byte-identical at any compute_threads
+// setting, and two algorithms fed the same plan see the exact same fault
+// timeline.
 //
-// Three fault classes (paper Section VI motivation — heterogeneity and
+// Five fault classes (paper Section VI motivation — heterogeneity and
 // failures are what separate synchronous from asynchronous algorithms):
 //
 //  * compute slowdowns: per-rank persistent multipliers (the classic
@@ -18,14 +19,23 @@
 //  * link degradation: virtual-time windows during which one machine's NIC
 //    bandwidth and latency are scaled — modeling congestion or a flapping
 //    link (applied inside net::Network::send);
+//  * message faults: per-message loss, duplication and reorder delays on
+//    inter-machine links (applied inside net::Network::send from a
+//    dedicated RNG stream; see docs/network-model.md "Reliability model").
+//    Runs with message faults must route traffic through
+//    net::ReliableTransport — raw sends may silently vanish;
 //  * worker crashes: at virtual time T a rank stops for `downtime` seconds
 //    and then rejoins, restoring state by pulling parameters from the
 //    PS / a peer or from a periodic checkpoint (per-algorithm semantics
-//    live in the algorithm launchers; see docs/faults.md).
+//    live in the algorithm launchers; see docs/faults.md). A rank may have
+//    several non-overlapping crash windows;
+//  * PS-shard crashes: fail-stop (no rejoin) death of a parameter-server
+//    shard's primary at virtual time T; requires primary-backup
+//    replication (TrainConfig::reliability.replicate_ps) so the backup can
+//    be promoted when workers time out (see docs/faults.md).
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <utility>
 #include <vector>
 
@@ -65,13 +75,39 @@ struct LinkWindow {
   double lat_mult = 1.0;  // latency multiplier (>= 1)
 };
 
-/// One fail-stop crash: `rank` halts at virtual time `at` (checked at its
-/// next iteration boundary) and rejoins `downtime` seconds later. At most
-/// one crash per rank.
+/// One fail-stop crash window: `rank` halts at virtual time `at` (checked
+/// at its next iteration boundary) and rejoins `downtime` seconds later. A
+/// rank may have several crashes; their [at, at + downtime) windows must
+/// not overlap (config-validation error).
 struct Crash {
   int rank = 0;
   double at = 0.0;
   double downtime = 0.0;
+};
+
+/// Fail-stop crash of a PS shard's primary at virtual time `at`. The
+/// primary never rejoins; workers fail over to the shard's backup.
+struct PsCrash {
+  int shard = 0;
+  double at = 0.0;
+};
+
+/// Seeded per-message faults on inter-machine transfers. Drawn inside
+/// net::Network::send from a dedicated fork of the experiment seed, so a
+/// fault-free run performs no draws and stays byte-identical.
+struct MsgFaults {
+  double loss_prob = 0.0;     // P(message dropped in flight)
+  double dup_prob = 0.0;      // P(a second copy is delivered)
+  double reorder_prob = 0.0;  // P(delivery delayed past later sends)
+  double reorder_window = 0.0;  // extra delay ~ U[0, window) seconds
+  /// Machines whose links are unreliable; empty = every inter-machine
+  /// link. A transfer is affected when either endpoint's machine matches.
+  std::vector<int> machines;
+
+  [[nodiscard]] bool any() const noexcept {
+    return loss_prob > 0.0 || dup_prob > 0.0 || reorder_prob > 0.0;
+  }
+  [[nodiscard]] bool affects(int src_machine, int dst_machine) const noexcept;
 };
 
 /// Raw `[failures]` knobs (see core/experiment.hpp for the key reference).
@@ -100,9 +136,14 @@ struct FaultConfig {
   /// <= 0 disables periodic snapshots (recovery falls back to pull).
   double checkpoint_period = 0.0;
 
+  /// Unreliable-wire model (the `[failures]` loss/dup/reorder knobs).
+  MsgFaults msg;
+  /// Fail-stop PS-shard primary crashes (at most one per shard).
+  std::vector<PsCrash> ps_crashes;
+
   [[nodiscard]] bool empty() const noexcept {
     return slow_ranks.empty() && transient_rank < 0 && link_windows.empty() &&
-           crashes.empty();
+           crashes.empty() && !msg.any() && ps_crashes.empty();
   }
 };
 
@@ -119,7 +160,16 @@ class FaultPlan {
   [[nodiscard]] bool has_link_windows() const noexcept {
     return !cfg_.link_windows.empty();
   }
+  [[nodiscard]] bool has_message_faults() const noexcept {
+    return cfg_.msg.any();
+  }
+  [[nodiscard]] bool has_ps_crashes() const noexcept {
+    return !cfg_.ps_crashes.empty();
+  }
   [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const MsgFaults& msg_faults() const noexcept {
+    return cfg_.msg;
+  }
   [[nodiscard]] SyncPolicy sync_policy() const noexcept {
     return cfg_.sync_policy;
   }
@@ -147,17 +197,29 @@ class FaultPlan {
   bool link_multipliers(double t, int src_machine, int dst_machine,
                         double* bw_mult, double* lat_mult) const noexcept;
 
-  /// The crash scheduled for `rank`, if any.
-  [[nodiscard]] const Crash* crash_of(int rank) const noexcept;
+  /// The crashes scheduled for `rank`, ordered by `at` (non-overlapping
+  /// windows, validated at construction).
+  [[nodiscard]] const std::vector<Crash>& crashes_of(int rank) const;
+
+  /// The fail-stop crash of `shard`'s primary, if any.
+  [[nodiscard]] const PsCrash* ps_crash_of(int shard) const noexcept;
+
+  /// Dedicated RNG stream for the per-message fault draws inside
+  /// net::Network::send — forked so message faults never perturb the
+  /// worker, data or transient-window streams.
+  [[nodiscard]] common::Rng fork_msg_rng() const noexcept {
+    return common::Rng(seed_).fork(0xFA17AE55ULL);
+  }
 
   /// Pre-generated transient windows of `rank` (sorted, non-overlapping).
   [[nodiscard]] const std::vector<SlowWindow>& windows(int rank) const;
 
  private:
   FaultConfig cfg_;
+  std::uint64_t seed_ = 0;
   std::vector<double> persistent_;               // per rank
   std::vector<std::vector<SlowWindow>> windows_;  // per rank, sorted
-  std::vector<std::optional<Crash>> crash_;       // per rank
+  std::vector<std::vector<Crash>> crashes_;       // per rank, sorted by at
 };
 
 }  // namespace dt::faults

@@ -66,6 +66,10 @@ void Network::set_metrics(metrics::MetricRegistry* registry) {
   if (faults_ != nullptr && faults_->has_link_windows()) {
     ctr_degraded_ = &registry->counter("net.degraded_sends_total");
   }
+  if (msg_faults_on_) {
+    ctr_lost_ = &registry->counter("net.lost_total");
+    ctr_reordered_ = &registry->counter("net.reordered_total");
+  }
   ctr_tx_busy_.clear();
   ctr_rx_busy_.clear();
   ctr_bus_busy_.clear();
@@ -146,28 +150,77 @@ void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
   if (spec_.send_overhead > 0.0) self.advance(spec_.send_overhead);
   const double now = engine_.now();
 
-  const double arrival =
-      model_transfer(src_machine, dst_machine, pkt.wire_bytes, now);
-  if (in_flight_ != nullptr) in_flight_->add(1.0);
-  if (trace_ != nullptr) {
-    trace_->flow(endpoint_name(src_endpoint), endpoint_name(dst_endpoint),
-                 endpoint_name(src_endpoint) + "->" +
-                     endpoint_name(dst_endpoint),
-                 now, arrival, ++flow_seq_);
+  // Message faults (inter-machine only; intra-machine buses are reliable).
+  // Fixed draw order — loss, duplication, reorder, then the reorder delay
+  // when it fired — from the plan's dedicated stream, so the fault timeline
+  // is a pure function of (config, seed) and never perturbs any other RNG
+  // stream. A lost message still occupies the wire (the bytes traveled);
+  // a duplicate occupies it twice; a reordered delivery is delayed past
+  // later sends without extra wire time.
+  bool lost = false;
+  bool duplicated = false;
+  double extra_delay = 0.0;
+  if (msg_faults_on_ && src_machine != dst_machine &&
+      faults_->msg_faults().affects(src_machine, dst_machine)) {
+    const faults::MsgFaults& mf = faults_->msg_faults();
+    const double u_loss = msg_rng_.uniform();
+    const double u_dup = msg_rng_.uniform();
+    const double u_reorder = msg_rng_.uniform();
+    if (u_reorder < mf.reorder_prob) {
+      extra_delay = msg_rng_.uniform() * mf.reorder_window;
+    }
+    lost = u_loss < mf.loss_prob;
+    duplicated = !lost && u_dup < mf.dup_prob;
+    if (lost) extra_delay = 0.0;
   }
 
-  pkt.src_endpoint = src_endpoint;
-  pkt.sent_at = now;
-  pkt.arrival = arrival;
+  const double arrival =
+      model_transfer(src_machine, dst_machine, pkt.wire_bytes, now) +
+      extra_delay;
 
-  // Insert keeping the queue sorted by arrival (stable for equal times).
-  auto it = std::upper_bound(
-      dst.queue.begin(), dst.queue.end(), arrival,
-      [](double a, const Packet& p) { return a < p.arrival; });
-  dst.queue.insert(it, std::move(pkt));
+  if (lost) {
+    if (ctr_lost_ != nullptr) ctr_lost_->inc();
+    if (trace_ != nullptr) {
+      trace_->flow(endpoint_name(src_endpoint), endpoint_name(dst_endpoint),
+                   "lost " + endpoint_name(src_endpoint) + "->" +
+                       endpoint_name(dst_endpoint),
+                   now, arrival, ++flow_seq_);
+    }
+    return;
+  }
+  if (extra_delay > 0.0 && ctr_reordered_ != nullptr) ctr_reordered_->inc();
 
-  if (dst.owner != nullptr && dst.owner != &self) {
-    engine_.wake(*dst.owner, arrival);
+  const double dup_arrival =
+      duplicated
+          ? model_transfer(src_machine, dst_machine, pkt.wire_bytes, now)
+          : -1.0;
+
+  const auto enqueue = [&](Packet p, double arr) {
+    if (in_flight_ != nullptr) in_flight_->add(1.0);
+    if (trace_ != nullptr) {
+      trace_->flow(endpoint_name(src_endpoint), endpoint_name(dst_endpoint),
+                   endpoint_name(src_endpoint) + "->" +
+                       endpoint_name(dst_endpoint),
+                   now, arr, ++flow_seq_);
+    }
+    p.src_endpoint = src_endpoint;
+    p.sent_at = now;
+    p.arrival = arr;
+    // Insert keeping the queue sorted by arrival (stable for equal times).
+    auto it = std::upper_bound(
+        dst.queue.begin(), dst.queue.end(), arr,
+        [](double a, const Packet& q) { return a < q.arrival; });
+    dst.queue.insert(it, std::move(p));
+    if (dst.owner != nullptr && dst.owner != &self) {
+      engine_.wake(*dst.owner, arr);
+    }
+  };
+
+  if (duplicated) {
+    enqueue(pkt, arrival);  // copy: the duplicate below moves the original
+    enqueue(std::move(pkt), dup_arrival);
+  } else {
+    enqueue(std::move(pkt), arrival);
   }
 }
 
@@ -244,6 +297,29 @@ Packet Network::recv(runtime::Process& self, int endpoint_id, int tag) {
     } else {
       self.wait_event();
     }
+  }
+}
+
+std::optional<Packet> Network::recv_until(runtime::Process& self,
+                                          int endpoint_id, int tag,
+                                          double deadline) {
+  Endpoint& ep = endpoint(endpoint_id);
+  common::check(ep.owner == &self, "Network::recv_until by non-owner process");
+  for (;;) {
+    if (auto pkt = try_recv(self, endpoint_id, tag)) return pkt;
+    if (self.now() >= deadline) return std::nullopt;
+    // Sleep until the earliest matching in-flight arrival or the deadline,
+    // whichever comes first; stay wakeable for earlier sends meanwhile.
+    double earliest = -1.0;
+    for (const Packet& p : ep.queue) {
+      if (tag == kAnyTag || p.tag == tag) {
+        earliest = p.arrival;
+        break;
+      }
+    }
+    const double until =
+        earliest >= 0.0 ? std::min(earliest, deadline) : deadline;
+    self.wait_event_until(until);
   }
 }
 

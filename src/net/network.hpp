@@ -84,6 +84,13 @@ class Network {
   std::optional<Packet> try_recv(runtime::Process& self, int endpoint,
                                  int tag = kAnyTag);
 
+  /// Blocking receive with a virtual-time deadline: returns the earliest
+  /// matching packet delivered strictly before `deadline`, or nullopt with
+  /// `self` advanced to `deadline`. The timed primitive under
+  /// ReliableTransport's ack waits and recv_deadline.
+  std::optional<Packet> recv_until(runtime::Process& self, int endpoint,
+                                   int tag, double deadline);
+
   /// True when a matching packet has already arrived (arrival <= now).
   [[nodiscard]] bool poll(const runtime::Process& self, int endpoint,
                           int tag = kAnyTag) const;
@@ -109,11 +116,19 @@ class Network {
 
   /// Attaches a fault plan: sends whose virtual time falls inside a link
   /// degradation window of either endpoint's machine see their bandwidth
-  /// and latency scaled by the window multipliers. Must be called before
-  /// set_metrics so the `net.degraded_sends_total` counter is registered
-  /// only for runs that can produce it (metric dumps of fault-free runs
-  /// stay byte-identical with pre-fault builds).
-  void set_faults(const faults::FaultPlan* plan) noexcept { faults_ = plan; }
+  /// and latency scaled by the window multipliers, and — when the plan has
+  /// message faults — every affected inter-machine send draws loss /
+  /// duplication / reorder outcomes from the plan's dedicated RNG stream
+  /// (see docs/network-model.md, "Reliability model"). Must be called
+  /// before set_metrics so the `net.degraded_sends_total` /
+  /// `net.lost_total` / `net.reordered_total` counters are registered only
+  /// for runs that can produce them (metric dumps of fault-free runs stay
+  /// byte-identical with pre-fault builds).
+  void set_faults(const faults::FaultPlan* plan) noexcept {
+    faults_ = plan;
+    msg_faults_on_ = plan != nullptr && plan->has_message_faults();
+    if (msg_faults_on_) msg_rng_ = plan->fork_msg_rng();
+  }
 
   /// Drops every packet queued at `endpoint` — delivered and in flight.
   /// Models a crashed machine's NIC: connections to the dead incarnation
@@ -164,7 +179,11 @@ class Network {
   // Observability sinks (optional; resolved once in set_metrics).
   metrics::TraceLog* trace_ = nullptr;
   const faults::FaultPlan* faults_ = nullptr;
+  bool msg_faults_on_ = false;
+  common::Rng msg_rng_;  // dedicated message-fault stream (set_faults)
   metrics::Counter* ctr_degraded_ = nullptr;
+  metrics::Counter* ctr_lost_ = nullptr;
+  metrics::Counter* ctr_reordered_ = nullptr;
   std::uint64_t flow_seq_ = 0;
   metrics::Counter* ctr_bytes_inter_ = nullptr;
   metrics::Counter* ctr_bytes_intra_ = nullptr;

@@ -28,7 +28,12 @@ struct Packet {
   std::int64_t a = 0;
   std::int64_t b = 0;
   std::int64_t c = 0;
-  double x = 0.0;  // learning rate / gossip weight
+  std::int64_t d = 0;  // round / replication clock (replicated PS)
+  double x = 0.0;      // learning rate / gossip weight
+
+  // Reliable-transport sequence number (net::ReliableTransport); -1 on
+  // packets that never went through the transport.
+  std::int64_t rel_seq = -1;
 
   // Dense functional payload (slot-ordered tensors), empty in cost-only runs.
   std::vector<tensor::Tensor> tensors;

@@ -3,12 +3,15 @@
 // models can be compared across runs.
 //
 // Format (little-endian host order):
-//   magic "DTCKPT01" (8 bytes)
+//   magic "DTCKPT02" (8 bytes)
 //   u32 slot_count
 //   per slot: u32 name_len, name bytes, u32 rank, i64 dims[rank],
 //             f32 data[numel]
-// Loading verifies names and shapes against the target model (checkpoints
-// are not containers for arbitrary reshaping).
+//   u32 crc32 of everything after the magic (poly 0xEDB88320)
+// Loading verifies the checksum ("checkpoint: bad checksum" on corruption)
+// and names/shapes against the target model (checkpoints are not
+// containers for arbitrary reshaping). Legacy "DTCKPT01" containers (no
+// checksum footer) still load.
 #pragma once
 
 #include <iosfwd>

@@ -99,6 +99,53 @@ Tensor ShardState::take_accumulated(std::size_t local) {
   return out;
 }
 
+void ShardState::stage_dense(std::size_t local, int rank,
+                             std::span<const float> grad) {
+  check_local(local);
+  common::check(rank >= 0, "ShardState::stage_dense: negative rank");
+  if (staged_.empty()) {
+    staged_.resize(params_.size());
+    staged_set_.resize(params_.size());
+  }
+  auto& stage = staged_[local];
+  auto& set = staged_set_[local];
+  const auto r = static_cast<std::size_t>(rank);
+  if (r >= stage.size()) {
+    stage.resize(r + 1);
+    set.resize(r + 1, 0);
+  }
+  common::check(grad.size() == params_[local].data().size(),
+                "ShardState::stage_dense: size mismatch");
+  Tensor t(params_[local].shape());
+  std::copy(grad.begin(), grad.end(), t.data().begin());
+  stage[r] = std::move(t);  // idempotent overwrite on duplicate delivery
+  set[r] = 1;
+}
+
+std::size_t ShardState::staged_count(std::size_t local) const {
+  check_local(local);
+  if (staged_.empty()) return 0;
+  std::size_t n = 0;
+  for (char present : staged_set_[local]) n += present != 0 ? 1u : 0u;
+  return n;
+}
+
+Tensor ShardState::take_staged_sum(std::size_t local) {
+  check_local(local);
+  common::check(!staged_.empty() && staged_count(local) > 0,
+                "ShardState::take_staged_sum: nothing staged");
+  Tensor out(params_[local].shape());
+  auto& stage = staged_[local];
+  auto& set = staged_set_[local];
+  for (std::size_t r = 0; r < stage.size(); ++r) {
+    if (set[r] == 0) continue;
+    tensor::axpy(1.0f, stage[r].data(), out.data());
+    stage[r] = Tensor{};
+    set[r] = 0;
+  }
+  return out;
+}
+
 Tensor ShardState::elastic_exchange(std::size_t local,
                                     const Tensor& worker_param, float alpha) {
   check_local(local);

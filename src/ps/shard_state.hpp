@@ -73,6 +73,17 @@ class ShardState {
                          std::span<const float> values);
   [[nodiscard]] tensor::Tensor take_accumulated(std::size_t local);
 
+  /// Replicated-BSP gather (see docs/faults.md, "PS-shard crashes"): each
+  /// rank's round contribution is staged in its own buffer (idempotent —
+  /// a re-pushed duplicate after failover just overwrites bitwise-equal
+  /// data) and the round sum is taken in canonical rank order, so the
+  /// result is independent of arrival order and a failover run's
+  /// parameters match a no-crash run's bit for bit.
+  void stage_dense(std::size_t local, int rank, std::span<const float> grad);
+  [[nodiscard]] std::size_t staged_count(std::size_t local) const;
+  /// Rank-order sum of every staged contribution; clears the stage.
+  [[nodiscard]] tensor::Tensor take_staged_sum(std::size_t local);
+
   /// EASGD: center += alpha * (worker - center); returns the elastically
   /// updated worker tensor (worker - alpha * (worker - center_before)).
   [[nodiscard]] tensor::Tensor elastic_exchange(
@@ -88,6 +99,10 @@ class ShardState {
   std::vector<std::int64_t> versions_;  // per local slot, see version()
   std::vector<tensor::Tensor> params_;  // shard-local order
   std::vector<tensor::Tensor> accum_;   // BSP sum buffers
+  /// Replicated-BSP stage: staged_[local][rank] once stage_dense touches
+  /// the slot (lazily sized to the largest staging rank + 1).
+  std::vector<std::vector<tensor::Tensor>> staged_;
+  std::vector<std::vector<char>> staged_set_;  // parallel presence flags
   nn::MomentumSgd optimizer_;
 };
 

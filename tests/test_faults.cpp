@@ -122,12 +122,14 @@ TEST(FaultPlan, LinkMultipliersComposeAcrossEndpoints) {
 
 TEST(FaultPlan, CrashLookupAndValidation) {
   faults::FaultConfig fc;
-  fc.crashes = {{1, 5.0, 2.0}};
+  // Two non-overlapping windows for rank 1, given out of order.
+  fc.crashes = {{1, 9.0, 1.5}, {1, 5.0, 2.0}};
   const faults::FaultPlan plan(fc, 3, 4);
-  ASSERT_NE(plan.crash_of(1), nullptr);
-  EXPECT_DOUBLE_EQ(plan.crash_of(1)->at, 5.0);
-  EXPECT_DOUBLE_EQ(plan.crash_of(1)->downtime, 2.0);
-  EXPECT_EQ(plan.crash_of(0), nullptr);
+  ASSERT_EQ(plan.crashes_of(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.crashes_of(1)[0].at, 5.0);  // sorted by time
+  EXPECT_DOUBLE_EQ(plan.crashes_of(1)[0].downtime, 2.0);
+  EXPECT_DOUBLE_EQ(plan.crashes_of(1)[1].at, 9.0);
+  EXPECT_TRUE(plan.crashes_of(0).empty());
   EXPECT_TRUE(plan.has_crashes());
 
   auto throws = [](const faults::FaultConfig& bad) {
@@ -143,7 +145,8 @@ TEST(FaultPlan, CrashLookupAndValidation) {
   bad.transient_rank = 9;  // out of range
   throws(bad);
   bad = {};
-  bad.crashes = {{1, 1.0, 1.0}, {1, 5.0, 1.0}};  // one crash per rank
+  // Overlapping windows: [1, 6) has not ended when the second begins at 3.
+  bad.crashes = {{1, 1.0, 5.0}, {1, 3.0, 1.0}};
   throws(bad);
   bad = {};
   bad.crashes = {{1, 1.0, 0.0}};  // downtime must be positive

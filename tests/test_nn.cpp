@@ -641,6 +641,53 @@ TEST(Serialize, RejectsCorruptStream) {
   EXPECT_THROW(load_checkpoint(m, truncated), common::Error);
 }
 
+TEST(Serialize, DetectsSingleFlippedByte) {
+  common::Rng rng(45);
+  Sequential m;
+  m.add<Dense>("fc", 4, 4);
+  m.init(rng);
+  std::stringstream buf;
+  save_checkpoint(m, buf);
+  std::string bytes = buf.str();
+  ASSERT_EQ(bytes.substr(0, 8), "DTCKPT02");
+  // Flip one bit in the middle of the tensor payload; the CRC footer must
+  // catch it even though the container parses structurally.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  std::stringstream corrupt(bytes);
+  try {
+    load_checkpoint(m, corrupt);
+    FAIL() << "corrupt checkpoint loaded";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint: bad checksum"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, LoadsLegacyV1Container) {
+  common::Rng rng(46);
+  Sequential a;
+  a.add<Dense>("fc", 3, 2);
+  a.init(rng);
+  std::stringstream buf;
+  save_checkpoint(a, buf);
+  // Rewrite the v2 container as v1: old magic, no CRC footer.
+  std::string bytes = buf.str();
+  std::string v1 = "DTCKPT01" + bytes.substr(8, bytes.size() - 8 - 4);
+  std::stringstream legacy(v1);
+  Sequential b;
+  b.add<Dense>("fc", 3, 2);
+  load_checkpoint(b, legacy);
+  const auto pa = a.snapshot();
+  const auto pb = b.snapshot();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i].numel(); ++j) {
+      EXPECT_EQ(pa[i][static_cast<std::size_t>(j)],
+                pb[i][static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
 TEST(Serialize, FileRoundTrip) {
   const std::string path = "/tmp/dtrainlib_ckpt_test.bin";
   common::Rng rng(44);
