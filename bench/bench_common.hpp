@@ -6,12 +6,16 @@
 //   --epochs=<double>   functional training length   (default per bench)
 //   --iters=<int>       cost-only iterations/worker   (default per bench)
 //   --max-workers=<int> cap the worker sweep          (default 24)
+//   --seeds=<int>       replicates per cell, reported as mean +/- std
 //   --csv=<path>        also write the table as CSV
 //   --metrics=<prefix>  per-run observability dumps: <prefix>-<tag>.jsonl,
 //                       <prefix>-<tag>.csv and <prefix>-<tag>.trace.json
+//   --cache=<dir>       campaign result cache (campaign benches; ""=off)
+//   --timing-json=<path> write runner-thread A/B wall-clock timings (JSON)
 //   --quick             quarter-length run for smoke testing
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <optional>
@@ -27,9 +31,12 @@ struct BenchArgs {
   double epochs = 30.0;
   std::int64_t iters = 30;
   int max_workers = 24;
+  int seeds = 1;
   bool quick = false;
   std::string csv;
   std::string metrics_prefix;
+  std::string cache = "dt-campaign-cache";
+  std::string timing_json;
 
   static BenchArgs parse(int argc, char** argv, double default_epochs,
                          std::int64_t default_iters) {
@@ -48,10 +55,16 @@ struct BenchArgs {
         args.iters = std::stoll(*v);
       } else if (auto v = value_of("--max-workers=")) {
         args.max_workers = std::stoi(*v);
+      } else if (auto v = value_of("--seeds=")) {
+        args.seeds = std::max(1, std::stoi(*v));
       } else if (auto v = value_of("--csv=")) {
         args.csv = *v;
       } else if (auto v = value_of("--metrics=")) {
         args.metrics_prefix = *v;
+      } else if (auto v = value_of("--cache=")) {
+        args.cache = *v;
+      } else if (auto v = value_of("--timing-json=")) {
+        args.timing_json = *v;
       } else if (a == "--quick") {
         args.quick = true;
       } else {
@@ -126,6 +139,42 @@ inline void enable_observability(core::TrainConfig& cfg,
   cfg.metrics_jsonl = base + ".jsonl";
   cfg.timeseries_csv = base + ".csv";
   cfg.trace_path = base + ".trace.json";
+}
+
+/// Mean and sample standard deviation of one metric across seed replicates.
+struct SeedStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int n = 0;
+
+  /// "0.7123" for n=1, "0.7123 +/- 0.0042" for n>1.
+  [[nodiscard]] std::string fmt(int precision = 4) const {
+    std::string out = common::fmt(mean, precision);
+    if (n > 1) out += " +/- " + common::fmt(stddev, precision);
+    return out;
+  }
+};
+
+/// Runs `metric(seed)` for seeds base..base+n-1 and aggregates (the legacy
+/// benches' --seeds support; the campaign engine's `replicates` is the same
+/// fan-out done declaratively).
+template <typename F>
+SeedStats sweep_seeds(int n, std::uint64_t base_seed, F&& metric) {
+  SeedStats stats;
+  stats.n = n;
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    values.push_back(metric(base_seed + static_cast<std::uint64_t>(i)));
+  }
+  for (double v : values) stats.mean += v;
+  stats.mean /= n;
+  if (n > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - stats.mean) * (v - stats.mean);
+    stats.stddev = std::sqrt(ss / (n - 1));
+  }
+  return stats;
 }
 
 inline void emit(const common::Table& table, const BenchArgs& args) {

@@ -2,12 +2,18 @@
 // BSP, ASP, SSP, AR-SGD, AD-PSGD on ResNet-50 (computation-intensive) and
 // VGG-16 (communication-intensive) over 10 Gbps and 56 Gbps networks,
 // with parameter sharding and wait-free BP enabled (paper Section VI-C).
+//
+// Runs as a campaign: model x NIC x algorithm x workers grid, executed in
+// parallel with per-run result caching (--cache=, default
+// dt-campaign-cache). --seeds=N adds seed replicates per cell.
 #include <iostream>
 #include <map>
 
 #include "common/chart.hpp"
 
 #include "bench_common.hpp"
+#include "campaign/aggregate.hpp"
+#include "campaign/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace dt;
@@ -16,62 +22,82 @@ int main(int argc, char** argv) {
   const std::vector<core::Algo> algos = {core::Algo::bsp, core::Algo::asp,
                                          core::Algo::ssp, core::Algo::arsgd,
                                          core::Algo::adpsgd};
-  std::vector<int> worker_counts;
+  std::vector<std::string> worker_labels;
   for (int w : {1, 2, 4, 8, 16, 24}) {
-    if (w <= args.max_workers) worker_counts.push_back(w);
+    if (w <= args.max_workers) worker_labels.push_back(std::to_string(w));
   }
 
-  struct ModelCase {
-    cost::ModelProfile profile;
-    std::int64_t batch;
-  };
-  const std::vector<ModelCase> models = {
-      {cost::resnet50_profile(), 128},
-      {cost::vgg16_profile(), 96},
-  };
+  campaign::CampaignSpec spec;
+  spec.name = "fig2";
+  spec.metric = "throughput";
+  spec.replicates = args.seeds;
+  spec.cache_dir = args.cache;
+  // Base = paper_throughput_config in INI form.
+  spec.base.set("experiment", "mode", "throughput");
+  spec.base.set("experiment", "iterations", std::to_string(args.iters));
+  spec.base.set("optimizations", "wait_free_bp", "true");
 
-  for (const auto& model : models) {
-    for (double gbps : {10.0, 56.0}) {
-      common::Table table("Figure 2 — speedup vs workers: " +
-                          model.profile.name + ", " +
-                          common::fmt(gbps, 0) + " Gbps");
+  campaign::Axis& model_axis = spec.add_axis("model");
+  model_axis.values.push_back(
+      {"resnet50",
+       {{"workload", "model", "resnet50"}, {"workload", "batch", "128"}}});
+  model_axis.values.push_back(
+      {"vgg16",
+       {{"workload", "model", "vgg16"}, {"workload", "batch", "96"}}});
+  std::vector<std::string> algo_labels;
+  for (core::Algo a : algos) algo_labels.emplace_back(core::algo_name(a));
+  spec.add_axis("nic_gbps", "nic_gbps", {"10", "56"});
+  spec.add_axis("algorithm", "algorithm", algo_labels);
+  spec.add_axis("workers", "workers", worker_labels);
+
+  campaign::CampaignOptions opts;
+  opts.on_run_done = [](const campaign::RunSpec& run,
+                        const campaign::RunRecord& rec) {
+    std::cerr << "done: " << run.tag() << (rec.from_cache ? " (cached)" : "")
+              << "\n";
+  };
+  const campaign::CampaignResult result = campaign::run_campaign(spec, opts);
+  const campaign::Aggregate agg = campaign::Aggregate::build(
+      result.records, spec.metric, result.functional);
+
+  for (const std::string& model : {"resnet50", "vgg16"}) {
+    for (const std::string& gbps : {"10", "56"}) {
+      common::Table table("Figure 2 — speedup vs workers: " + model + ", " +
+                          gbps + " Gbps");
       std::vector<std::string> header = {"# workers"};
-      for (core::Algo a : algos) header.emplace_back(core::algo_name(a));
+      for (const std::string& a : algo_labels) header.push_back(a);
       table.set_header(std::move(header));
 
-      std::map<core::Algo, double> single;
-      std::map<core::Algo, std::vector<std::pair<double, double>>> curves;
-      for (int workers : worker_counts) {
-        std::vector<std::string> row = {std::to_string(workers)};
-        for (core::Algo algo : algos) {
-          core::TrainConfig cfg = bench::paper_throughput_config(
-              algo, workers, gbps, args.iters);
-          core::Workload wl =
-              core::make_cost_workload(model.profile, model.batch);
-          auto result = core::run_training(cfg, wl);
-          const double tp = result.throughput();
-          if (workers == worker_counts.front()) single[algo] = tp;
-          const double speedup = single[algo] > 0 ? tp / single[algo] : 0.0;
-          curves[algo].emplace_back(workers, speedup);
+      std::map<std::string, std::vector<std::pair<double, double>>> curves;
+      for (const std::string& w : worker_labels) {
+        std::vector<std::string> row = {w};
+        for (const std::string& a : algo_labels) {
+          const campaign::CellStats* cell = agg.find({model, gbps, a, w});
+          const campaign::CellStats* base =
+              agg.find({model, gbps, a, worker_labels.front()});
+          const double tp = cell->mean;
+          const double speedup = base->mean > 0 ? tp / base->mean : 0.0;
+          curves[a].emplace_back(std::stod(w), speedup);
           row.push_back(common::fmt(speedup, 2) + "x (" +
                         common::fmt(tp, 0) + " img/s)");
         }
         table.add_row(std::move(row));
-        std::cerr << "done: " << model.profile.name << " " << gbps
-                  << " Gbps @ " << workers << " workers\n";
       }
       bench::emit(table, args);
-      common::LineChart chart("speedup vs workers: " + model.profile.name +
-                                  ", " + common::fmt(gbps, 0) + " Gbps",
-                              72, 16);
+      common::LineChart chart(
+          "speedup vs workers: " + model + ", " + gbps + " Gbps", 72, 16);
       chart.set_axes("workers", "speedup");
-      for (core::Algo a : algos) {
-        chart.add_series(core::algo_name(a), std::move(curves[a]));
+      for (const std::string& a : algo_labels) {
+        chart.add_series(a, std::move(curves[a]));
       }
       chart.print(std::cout);
       std::cout << "\n";
     }
   }
+  std::cerr << "campaign fig2: runs=" << result.runs.size()
+            << " cache_hits=" << result.cache_hits
+            << " executed=" << result.executed
+            << " wall_s=" << common::fmt(result.wall_seconds, 2) << "\n";
 
   std::cout
       << "Expected shape (paper Fig. 2):\n"

@@ -42,17 +42,20 @@ int main(int argc, char** argv) {
   for (core::Algo algo :
        {core::Algo::bsp, core::Algo::asp, core::Algo::ssp, core::Algo::easgd,
         core::Algo::arsgd, core::Algo::gosgd, core::Algo::adpsgd}) {
-    core::Workload wl = bench::paper_functional_workload(workers);
-    core::TrainConfig cfg =
-        bench::paper_accuracy_config(algo, workers, args.epochs);
-    auto result = core::run_training(cfg, wl);
-    if (algo == core::Algo::bsp) bsp_measured = result.final_accuracy;
+    const bench::SeedStats stats =
+        bench::sweep_seeds(args.seeds, 42, [&](std::uint64_t seed) {
+          core::Workload wl = bench::paper_functional_workload(workers, seed);
+          core::TrainConfig cfg =
+              bench::paper_accuracy_config(algo, workers, args.epochs);
+          cfg.seed = seed;
+          return core::run_training(cfg, wl).final_accuracy;
+        });
+    if (algo == core::Algo::bsp) bsp_measured = stats.mean;
 
     table.add_row({core::algo_name(algo),
-                   common::fmt(paper_reference(algo), 4),
-                   common::fmt(result.final_accuracy, 4),
+                   common::fmt(paper_reference(algo), 4), stats.fmt(4),
                    common::fmt(paper_reference(algo) - bsp_paper, 4),
-                   common::fmt(result.final_accuracy - bsp_measured, 4)});
+                   common::fmt(stats.mean - bsp_measured, 4)});
     std::cerr << "done: " << core::algo_name(algo) << "\n";
   }
   bench::emit(table, args);

@@ -1,18 +1,30 @@
 // Table III: test accuracy of the asynchronous algorithms vs number of
 // workers (4/8/16/24) and their hyperparameters (SSP s in {3,10}, EASGD
 // tau in {4,8}, GoSGD p in {1,0.1,0.01}); BSP/ASP/AD-PSGD as references.
+//
+// Runs as a campaign: workers x column grid, executed in parallel on host
+// threads with per-run result caching (--cache=, default
+// dt-campaign-cache; re-running the bench only recomputes stale cells).
+// --seeds=N fans every cell out into N seed replicates reported as
+// mean +/- std. --timing-json=PATH additionally measures the campaign
+// cold (cache off) at runner_threads=1 vs all cores and records the
+// speedup — the engine's headline perf number.
 #include <array>
-#include <functional>
+#include <fstream>
 #include <iostream>
+#include <map>
 
 #include "bench_common.hpp"
+#include "campaign/aggregate.hpp"
+#include "campaign/runner.hpp"
 
 namespace {
 
 struct Column {
   std::string name;
-  dt::core::Algo algo;
-  std::function<void(dt::core::TrainConfig&)> tweak;
+  std::string algorithm;
+  std::string hyper_key;    // optional extra override (empty = none)
+  std::string hyper_value;
   // Paper accuracies for workers 4, 8, 16, 24.
   std::array<double, 4> paper;
 };
@@ -24,58 +36,127 @@ int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv, 30.0, 0);
 
   const std::vector<Column> columns = {
-      {"BSP", core::Algo::bsp, {}, {0.7514, 0.7509, 0.7496, 0.7511}},
-      {"ASP", core::Algo::asp, {}, {0.7508, 0.7482, 0.7447, 0.7459}},
-      {"SSP s=3", core::Algo::ssp,
-       [](core::TrainConfig& c) { c.ssp_staleness = 3; },
+      {"BSP", "bsp", "", "", {0.7514, 0.7509, 0.7496, 0.7511}},
+      {"ASP", "asp", "", "", {0.7508, 0.7482, 0.7447, 0.7459}},
+      {"SSP s=3", "ssp", "ssp_staleness", "3",
        {0.7480, 0.7450, 0.7393, 0.7282}},
-      {"SSP s=10", core::Algo::ssp,
-       [](core::TrainConfig& c) { c.ssp_staleness = 10; },
+      {"SSP s=10", "ssp", "ssp_staleness", "10",
        {0.7462, 0.7412, 0.7147, 0.6448}},
-      {"EASGD tau=4", core::Algo::easgd,
-       [](core::TrainConfig& c) { c.easgd_tau = 4; },
+      {"EASGD tau=4", "easgd", "easgd_tau", "4",
        {0.7028, 0.6357, 0.5416, 0.4709}},
-      {"EASGD tau=8", core::Algo::easgd,
-       [](core::TrainConfig& c) { c.easgd_tau = 8; },
+      {"EASGD tau=8", "easgd", "easgd_tau", "8",
        {0.7027, 0.6269, 0.5237, 0.4528}},
-      {"GoSGD p=1", core::Algo::gosgd,
-       [](core::TrainConfig& c) { c.gosgd_p = 1.0; },
+      {"GoSGD p=1", "gosgd", "gosgd_p", "1",
        {0.7160, 0.6529, 0.5492, 0.4641}},
-      {"GoSGD p=0.1", core::Algo::gosgd,
-       [](core::TrainConfig& c) { c.gosgd_p = 0.1; },
+      {"GoSGD p=0.1", "gosgd", "gosgd_p", "0.1",
        {0.6892, 0.6173, 0.5135, 0.4475}},
-      {"GoSGD p=0.01", core::Algo::gosgd,
-       [](core::TrainConfig& c) { c.gosgd_p = 0.01; },
+      {"GoSGD p=0.01", "gosgd", "gosgd_p", "0.01",
        {0.6775, 0.5845, 0.4922, 0.3938}},
-      {"AD-PSGD", core::Algo::adpsgd, {}, {0.7483, 0.7447, 0.7439, 0.7411}},
+      {"AD-PSGD", "adpsgd", "", "", {0.7483, 0.7447, 0.7439, 0.7411}},
+  };
+  const std::array<int, 4> all_workers = {4, 8, 16, 24};
+
+  campaign::CampaignSpec spec;
+  spec.name = "table3";
+  spec.metric = "accuracy";
+  spec.replicates = args.seeds;
+  spec.cache_dir = args.cache;
+  // Base = paper_accuracy_config in INI form (defaults already match; only
+  // the training length is bench-dependent).
+  spec.base.set("experiment", "mode", "functional");
+  spec.base.set("experiment", "epochs", std::to_string(args.epochs));
+
+  std::vector<std::string> worker_labels;
+  std::map<std::string, double> paper_refs;
+  for (std::size_t wi = 0; wi < all_workers.size(); ++wi) {
+    if (all_workers[wi] > args.max_workers) continue;
+    worker_labels.push_back(std::to_string(all_workers[wi]));
+    for (const Column& col : columns) {
+      paper_refs[worker_labels.back() + "|" + col.name] = col.paper[wi];
+    }
+  }
+  spec.add_axis("workers", "workers", worker_labels);
+  campaign::Axis& col_axis = spec.add_axis("column");
+  for (const Column& col : columns) {
+    campaign::AxisValue v{col.name,
+                          {{"experiment", "algorithm", col.algorithm}}};
+    if (!col.hyper_key.empty()) {
+      v.overrides.push_back(
+          {"hyperparameters", col.hyper_key, col.hyper_value});
+    }
+    col_axis.values.push_back(std::move(v));
+  }
+
+  campaign::CampaignOptions opts;
+  opts.on_run_done = [](const campaign::RunSpec& run,
+                        const campaign::RunRecord& rec) {
+    std::cerr << "done: " << run.tag() << (rec.from_cache ? " (cached)" : "")
+              << "\n";
   };
 
-  const std::array<int, 4> worker_counts = {4, 8, 16, 24};
+  campaign::CampaignResult result;
+  if (!args.timing_json.empty()) {
+    // Cold A/B timing: the same matrix, cache off, serial vs parallel.
+    campaign::CampaignSpec timed = spec;
+    timed.cache_dir.clear();
+    timed.runner_threads = 1;
+    const campaign::CampaignResult serial = campaign::run_campaign(timed);
+    timed.runner_threads = 0;  // hardware concurrency
+    result = campaign::run_campaign(timed, opts);
 
+    bool identical = serial.records.size() == result.records.size();
+    for (std::size_t i = 0; identical && i < serial.records.size(); ++i) {
+      identical = serial.records[i].serialize() ==
+                  result.records[i].serialize();
+    }
+    std::ofstream out(args.timing_json);
+    out << "{\"bench\":\"table3_campaign\",\"cells\":" << spec.num_cells()
+        << ",\"replicates\":" << spec.replicates
+        << ",\"runs\":" << result.runs.size()
+        << ",\"epochs\":" << args.epochs
+        << ",\"runner_threads_serial\":" << serial.runner_threads
+        << ",\"runner_threads_parallel\":" << result.runner_threads
+        << ",\"wall_s_serial\":" << common::fmt(serial.wall_seconds, 3)
+        << ",\"wall_s_parallel\":" << common::fmt(result.wall_seconds, 3)
+        << ",\"speedup\":"
+        << common::fmt(result.wall_seconds > 0.0
+                           ? serial.wall_seconds / result.wall_seconds
+                           : 0.0,
+                       2)
+        << ",\"records_identical\":" << (identical ? "true" : "false")
+        << "}\n";
+    std::cout << "(timings written to " << args.timing_json << ")\n";
+  } else {
+    result = campaign::run_campaign(spec, opts);
+  }
+
+  const campaign::Aggregate agg = campaign::Aggregate::build(
+      result.records, spec.metric, result.functional, paper_refs);
+
+  // The paper's pivot layout: one row per worker count, one column per
+  // algorithm variant, "paper / measured" cells.
   common::Table table(
       "Table III — accuracy vs workers x hyperparameters "
       "(paper value / measured value)");
-  table.set_header({"# workers", "BSP", "ASP", "SSP s=3", "SSP s=10",
-                    "EASGD tau=4", "EASGD tau=8", "GoSGD p=1", "GoSGD p=0.1",
-                    "GoSGD p=0.01", "AD-PSGD"});
-
-  for (std::size_t wi = 0; wi < worker_counts.size(); ++wi) {
-    const int workers = worker_counts[wi];
-    if (workers > args.max_workers) continue;
-    std::vector<std::string> row = {std::to_string(workers)};
-    for (const auto& col : columns) {
-      core::Workload wl = bench::paper_functional_workload(workers);
-      core::TrainConfig cfg =
-          bench::paper_accuracy_config(col.algo, workers, args.epochs);
-      if (col.tweak) col.tweak(cfg);
-      auto result = core::run_training(cfg, wl);
-      row.push_back(common::fmt(col.paper[wi], 4) + " / " +
-                    common::fmt(result.final_accuracy, 4));
-      std::cerr << "done: " << col.name << " @ " << workers << "\n";
+  std::vector<std::string> header = {"# workers"};
+  for (const Column& col : columns) header.push_back(col.name);
+  table.set_header(std::move(header));
+  for (const std::string& w : worker_labels) {
+    std::vector<std::string> row = {w};
+    for (const Column& col : columns) {
+      const campaign::CellStats* cell = agg.find({w, col.name});
+      std::string text = common::fmt(*cell->paper, 4) + " / " +
+                         common::fmt(cell->mean, 4);
+      if (cell->n > 1) text += " +/- " + common::fmt(cell->stddev, 4);
+      row.push_back(std::move(text));
     }
     table.add_row(std::move(row));
   }
   bench::emit(table, args);
+  std::cerr << "campaign table3: runs=" << result.runs.size()
+            << " cache_hits=" << result.cache_hits
+            << " executed=" << result.executed
+            << " wall_s=" << common::fmt(result.wall_seconds, 2) << "\n";
   std::cout
       << "Expected shape: BSP flat in workers; every asynchronous column "
          "decays as workers grow; decay strongest for SSP s=10, EASGD and "

@@ -1,15 +1,24 @@
 // dtrain: run any experiment described by an INI configuration file.
 //
 //   dtrain <config.ini>          run the experiment, print a report
+//   dtrain --campaign <config.ini>
+//                                expand the [campaign] section into a run
+//                                matrix, execute it (cached, parallel), and
+//                                print the replicate-aggregated table
+//   dtrain --campaign --force <config.ini>
+//                                ignore cached results, re-run everything
 //   dtrain --template            print a documented template config
 //   dtrain --log-level=LEVEL <config.ini>
 //                                override verbosity (debug|info|warn|error)
 //
-// See core/experiment.hpp for the full key reference.
+// See core/experiment.hpp for the single-run key reference and
+// campaign/spec.hpp + docs/campaigns.md for the [campaign] section.
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "campaign/aggregate.hpp"
+#include "campaign/runner.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
@@ -100,17 +109,69 @@ sample_period = 0.25      ; virtual seconds between samples
 log_level =               ; debug | info | warn | error (default warn)
 )ini";
 
+/// `dtrain --campaign`: expand, execute (cached + parallel), aggregate.
+int run_campaign_mode(const std::string& path, bool force) {
+  using namespace dt;
+  const common::IniConfig ini = common::IniConfig::load(path);
+  const campaign::CampaignSpec spec = campaign::CampaignSpec::from_ini(ini);
+
+  campaign::CampaignOptions opts;
+  opts.force = force;
+  opts.on_run_done = [](const campaign::RunSpec& run,
+                        const campaign::RunRecord& rec) {
+    std::cerr << "  [" << run.index << "] " << run.tag()
+              << (rec.from_cache ? " (cached)" : "") << "\n";
+  };
+
+  std::cerr << "campaign " << spec.name << ": " << spec.num_cells()
+            << " cells x " << spec.replicates << " replicates...\n";
+  const campaign::CampaignResult result = campaign::run_campaign(spec, opts);
+
+  const campaign::Aggregate agg = campaign::Aggregate::build(
+      result.records, spec.metric, result.functional);
+  agg.to_table("campaign " + spec.name).print(std::cout);
+  if (!spec.chart_axis.empty()) {
+    agg.to_chart("campaign " + spec.name, spec.chart_axis).print(std::cout);
+  }
+  if (!spec.output_dir.empty()) {
+    campaign::write_outputs(spec.output_dir, "campaign " + spec.name,
+                            result.records, agg);
+    std::cout << "results written to " << spec.output_dir
+              << "/{runs.jsonl,runs.csv,aggregate.csv,aggregate.jsonl,"
+                 "aggregate.md}\n";
+  }
+  // Machine-greppable summary (the CI smoke job asserts on these fields).
+  std::cerr << "campaign " << spec.name << ": cells=" << spec.num_cells()
+            << " replicates=" << spec.replicates
+            << " runs=" << result.runs.size()
+            << " cache_hits=" << result.cache_hits
+            << " executed=" << result.executed
+            << " runner_threads=" << result.runner_threads
+            << " wall_s=" << common::fmt(result.wall_seconds, 2) << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dt;
   std::vector<std::string> positional;
   bool log_level_forced = false;
+  bool campaign_mode = false;
+  bool force = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--template") {
       std::cout << kTemplate;
       return 0;
+    }
+    if (arg == "--campaign") {
+      campaign_mode = true;
+      continue;
+    }
+    if (arg == "--force") {
+      force = true;
+      continue;
     }
     if (arg.rfind("--log-level=", 0) == 0) {
       try {
@@ -125,12 +186,22 @@ int main(int argc, char** argv) {
     }
     positional.push_back(arg);
   }
-  if (positional.size() != 1) {
+  if (positional.size() != 1 || (force && !campaign_mode)) {
     std::cerr << "usage: dtrain [--log-level=LEVEL] <config.ini>"
+                 " | dtrain --campaign [--force] <config.ini>"
                  " | dtrain --template\n";
     return 2;
   }
   const std::string arg = positional.front();
+
+  if (campaign_mode) {
+    try {
+      return run_campaign_mode(arg, force);
+    } catch (const std::exception& e) {
+      std::cerr << "dtrain: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   try {
     const common::IniConfig ini = common::IniConfig::load(arg);

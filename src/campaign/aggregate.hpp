@@ -1,0 +1,95 @@
+// Replicate-aware aggregation of campaign results.
+//
+// Runs are grouped into cells by their axis labels (replicates collapse
+// into one cell); each cell reports mean ± sample standard deviation of
+// the campaign metric plus mean virtual duration. Cells can carry a paper
+// reference value, in which case the aggregate also reports the delta —
+// the "paper / measured" comparison the bench tables print.
+//
+// Output formats: an aligned text table (stdout), CSV, JSONL, a markdown
+// report, and an optional ASCII chart of mean metric over one numeric
+// axis (series = the remaining axes).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/spec.hpp"
+#include "common/chart.hpp"
+#include "common/table.hpp"
+
+namespace dt::campaign {
+
+/// One aggregated cell of the campaign matrix.
+struct CellStats {
+  /// (axis name, value label) in axis order — the cell's coordinates.
+  std::vector<std::pair<std::string, std::string>> axes;
+  int n = 0;  // replicates aggregated
+  double mean = 0.0;
+  double stddev = 0.0;  // sample std dev (n-1); 0 when n < 2
+  double mean_duration = 0.0;
+  std::optional<double> paper;  // reference value, when provided
+  /// mean - paper (absolute delta), when a reference is set.
+  [[nodiscard]] std::optional<double> delta() const {
+    if (!paper) return std::nullopt;
+    return mean - *paper;
+  }
+  [[nodiscard]] std::string cell_key() const;
+};
+
+class Aggregate {
+ public:
+  /// Groups `records` (aligned with expansion order) into cells.
+  /// `metric` is the resolved campaign metric: accuracy, throughput or
+  /// duration ("auto" resolves to accuracy when functional, else
+  /// throughput). `paper_refs` maps cell keys (labels joined with '|') to
+  /// reference values; unmatched keys are ignored.
+  static Aggregate build(const std::vector<RunRecord>& records,
+                         const std::string& metric, bool functional,
+                         const std::map<std::string, double>& paper_refs = {});
+
+  [[nodiscard]] const std::vector<CellStats>& cells() const noexcept {
+    return cells_;
+  }
+  [[nodiscard]] const std::string& metric() const noexcept { return metric_; }
+
+  /// Cell with exactly these axis labels (in order), or nullptr.
+  [[nodiscard]] const CellStats* find(
+      const std::vector<std::string>& labels) const;
+
+  /// One row per cell: axis columns, n, mean, std, mean_duration, and
+  /// (when any cell has a reference) paper + delta columns.
+  [[nodiscard]] common::Table to_table(const std::string& title) const;
+
+  /// Mean metric vs. `x_axis` (numeric labels); one series per combination
+  /// of the remaining axes. Fails (common::Error) when `x_axis` is not an
+  /// axis of the cells or a label does not parse as a number.
+  [[nodiscard]] common::LineChart to_chart(const std::string& title,
+                                           const std::string& x_axis) const;
+
+  /// CSV with one row per cell (same columns as to_table).
+  void write_csv(std::ostream& os) const;
+  /// JSONL with one object per cell.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  std::string metric_;
+  std::vector<CellStats> cells_;
+};
+
+/// Writes the campaign's file outputs under `dir` (created on demand):
+///   runs.jsonl      one record per run (cache-file format, no footers)
+///   runs.csv        per-run scalars
+///   aggregate.csv   one row per cell
+///   aggregate.jsonl one object per cell
+///   aggregate.md    markdown report
+/// All five are byte-deterministic functions of the records.
+void write_outputs(const std::string& dir, const std::string& title,
+                   const std::vector<RunRecord>& records,
+                   const Aggregate& agg);
+
+}  // namespace dt::campaign

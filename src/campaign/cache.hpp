@@ -1,0 +1,76 @@
+// Per-run result cache of the campaign engine.
+//
+// Every executed run produces a RunRecord — the scalar results the
+// aggregator needs plus a parameter-content hash — serialized as one JSON
+// line followed by an FNV-1a integrity footer line. Records are stored
+// under `<cache_dir>/<fingerprint>.jsonl`, where the fingerprint is a
+// content hash of the run's fully resolved config plus the campaign cache
+// epoch (campaign/spec.hpp). Loading re-verifies the footer, re-parses the
+// record, and re-checks the embedded fingerprint; anything short of a fully
+// intact record — missing file, truncation, bit rot, an interrupted write —
+// is treated as a miss and the run is executed again. Writes go through a
+// temp file + rename so a record is either absent or complete.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dt::campaign {
+
+/// Scalar results of one run, as cached and aggregated. Deliberately free
+/// of host-side measurements (wall clock, thread counts): a record's bytes
+/// depend only on the resolved config, so cache files are byte-identical
+/// across runner-thread counts and hosts.
+struct RunRecord {
+  std::string fingerprint;
+  std::vector<std::pair<std::string, std::string>> axes;  // (axis, label)
+  int replicate = 0;
+  std::uint64_t seed = 0;
+  std::string algorithm;
+  int workers = 0;
+  double final_accuracy = 0.0;
+  double virtual_duration = 0.0;
+  double throughput = 0.0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_messages = 0;
+  std::int64_t total_samples = 0;
+  std::int64_t total_iterations = 0;
+  /// FNV-1a over the final parameters of every worker replica (16 hex
+  /// chars); empty for cost-only runs, which carry no parameters.
+  std::string param_hash;
+
+  /// Runtime-only: whether this record came from the cache (not serialized).
+  bool from_cache = false;
+
+  /// Record line + integrity footer line (both newline-terminated).
+  [[nodiscard]] std::string serialize() const;
+  /// Strict inverse of serialize(); nullopt on any corruption.
+  [[nodiscard]] static std::optional<RunRecord> parse(
+      const std::string& text);
+};
+
+class RunCache {
+ public:
+  /// `dir` empty disables the cache; otherwise it is created on demand.
+  explicit RunCache(std::string dir);
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string path_of(const std::string& fingerprint) const;
+
+  /// nullopt when disabled, absent, unreadable, corrupt, or the stored
+  /// record's fingerprint does not match.
+  [[nodiscard]] std::optional<RunRecord> load(
+      const std::string& fingerprint) const;
+
+  /// Atomically persists `record` (temp file + rename). No-op if disabled.
+  void store(const RunRecord& record) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace dt::campaign

@@ -1,0 +1,151 @@
+#include "campaign/runner.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+#include "core/session.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace dt::campaign {
+
+namespace {
+
+/// FNV-1a over the raw float bits of every worker's final parameters (the
+/// determinism-test hash), as 16 hex chars. Empty for cost-only workloads,
+/// which carry no parameters.
+std::string workload_param_hash(core::Workload& wl) {
+  if (!wl.functional()) return {};
+  std::uint64_t h = 1469598103934665603ull;
+  for (int w = 0; w < wl.num_workers(); ++w) {
+    for (const auto& t : wl.params(w)) {
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        std::uint32_t bits;
+        const float v = t[static_cast<std::size_t>(i)];
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int b = 0; b < 4; ++b) {
+          h ^= (bits >> (8 * b)) & 0xFFu;
+          h *= 1099511628211ull;
+        }
+      }
+    }
+  }
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunRecord execute_run(const RunSpec& run, int compute_threads) {
+  core::ExperimentSpec exp = core::ExperimentSpec::from_ini(run.resolved);
+  if (compute_threads > 0) exp.config.compute_threads = compute_threads;
+  core::Workload wl = exp.make_workload();
+  const metrics::RunResult result = core::run_training(exp.config, wl);
+
+  RunRecord rec;
+  rec.fingerprint = run.fingerprint;
+  rec.axes = run.axes;
+  rec.replicate = run.replicate;
+  rec.seed = run.seed;
+  rec.algorithm = result.algorithm;
+  rec.workers = result.num_workers;
+  rec.final_accuracy = result.final_accuracy;
+  rec.virtual_duration = result.virtual_duration;
+  rec.throughput = result.throughput();
+  rec.wire_bytes = result.wire_bytes;
+  rec.wire_messages = result.wire_messages;
+  rec.total_samples = result.total_samples;
+  rec.total_iterations = result.total_iterations;
+  rec.param_hash = workload_param_hash(wl);
+  return rec;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& opts) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  CampaignResult out;
+  out.functional = spec.functional();
+  out.runs = spec.expand();
+  out.records.resize(out.runs.size());
+
+  const int threads =
+      spec.runner_threads > 0
+          ? spec.runner_threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  out.runner_threads = threads;
+  // With a parallel runner every run computes single-threaded — identical
+  // results by the offload A/B contract, without pool-of-pools explosions.
+  const int compute_threads = threads > 1 ? 1 : 0;
+
+  const RunCache cache(spec.cache_dir);
+
+  std::mutex mu;  // guards counters + the progress hook
+  int cache_hits = 0;
+  int executed = 0;
+
+  auto run_one = [&](std::size_t i) {
+    const RunSpec& run = out.runs[i];
+    RunRecord rec;
+    bool hit = false;
+    if (!opts.force) {
+      if (auto cached = cache.load(run.fingerprint)) {
+        rec = std::move(*cached);
+        hit = true;
+      }
+    }
+    if (!hit) {
+      rec = execute_run(run, compute_threads);
+      cache.store(rec);
+    }
+    out.records[i] = std::move(rec);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      (hit ? cache_hits : executed)++;
+      if (opts.on_run_done) opts.on_run_done(run, out.records[i]);
+    }
+  };
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < out.runs.size(); ++i) run_one(i);
+  } else {
+    runtime::ThreadPool pool(threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(out.runs.size());
+    for (std::size_t i = 0; i < out.runs.size(); ++i) {
+      futures.push_back(pool.submit([&run_one, i] { run_one(i); }));
+    }
+    // Wait for everything before rethrowing, so no task outlives its
+    // captures.
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+  out.cache_hits = cache_hits;
+  out.executed = executed;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return out;
+}
+
+}  // namespace dt::campaign

@@ -1,0 +1,53 @@
+// Campaign execution: expands a CampaignSpec and runs the matrix on a host
+// thread pool, consulting the per-run result cache first.
+//
+// Determinism contract (extends the compute-offload A/B contract): a
+// campaign's records, aggregates, and cache files are byte-identical
+// whether the runs execute on 1 runner thread or 8. Every run is an
+// independent deterministic simulation, records carry no host-side
+// measurements, and results are collected by run index, not completion
+// order. When the runner pool has more than one thread, each run's
+// compute offload is pinned to a single thread (safe by the A/B contract;
+// avoids pool-of-pools thread explosions).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/spec.hpp"
+
+namespace dt::campaign {
+
+struct CampaignOptions {
+  /// Re-execute every run even when a cached record exists.
+  bool force = false;
+  /// Progress hook, invoked serially (under a mutex) as each run finishes
+  /// or is served from cache.
+  std::function<void(const RunSpec&, const RunRecord&)> on_run_done;
+};
+
+struct CampaignResult {
+  std::vector<RunSpec> runs;       // expansion order
+  std::vector<RunRecord> records;  // records[i] belongs to runs[i]
+  int cache_hits = 0;
+  int executed = 0;
+  int runner_threads = 0;  // resolved pool size
+  double wall_seconds = 0.0;  // host wall clock for the whole campaign
+  bool functional = true;
+};
+
+/// Executes one resolved run synchronously on the calling thread and
+/// returns its record (fingerprint + axes copied from `run`).
+/// `compute_threads` > 0 overrides the run's configured compute offload
+/// width — results are unaffected by construction.
+[[nodiscard]] RunRecord execute_run(const RunSpec& run,
+                                    int compute_threads = 0);
+
+/// Expands `spec` and runs every cell*replicate, in parallel on
+/// spec.runner_threads host threads (0 = hardware concurrency), with
+/// cache lookups in spec.cache_dir (empty = always execute).
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          const CampaignOptions& opts = {});
+
+}  // namespace dt::campaign

@@ -1,0 +1,132 @@
+// Declarative multi-run studies ("campaigns") over the experiment config
+// space — the substrate of `dtrain --campaign` and the paper-grid benches.
+//
+// A campaign is a BASE experiment config (the familiar dtrain sections)
+// plus AXES: named lists of values, each value a bundle of one or more
+// `[section] key = value` overrides. The spec expands into the cartesian
+// product of all axes, times `replicates` seed-shifted repetitions of every
+// cell. Each expanded run is an ordinary deterministic simulation, so the
+// engine may execute them on any number of host threads without changing a
+// single byte of the results (see docs/campaigns.md, "Determinism").
+//
+// INI form — a `[campaign]` section next to the usual experiment sections:
+//
+//   [campaign]
+//   name = table3
+//   replicates = 3            ; seeds 42, 43, 44 per cell
+//   runner_threads = 0        ; parallel runs (0 = hardware concurrency)
+//   cache_dir = campaign-cache
+//   output_dir = table3-out   ; runs.{jsonl,csv} + aggregate.{csv,jsonl,md}
+//   metric = auto             ; auto | accuracy | throughput | duration
+//   chart_axis = workers      ; optional ASCII chart over a numeric axis
+//   axis.workers = 4, 8, 16, 24          ; bare keys resolve via the
+//   axis.cluster.nic_gbps = 10, 56       ; experiment schema; qualified
+//                                        ; `section.key` always works
+//   axis.column = BSP, SSP s=3           ; bundle axis: each label maps to
+//   value.column.BSP = algorithm=bsp     ; a list of key=value overrides
+//   value.column.SSP s=3 = algorithm=ssp ssp_staleness=3
+//
+// Axis order is the lexicographic order of the `axis.*` keys (INI sections
+// are key-sorted maps); expansion is row-major in that order with the
+// replicate index innermost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ini.hpp"
+
+namespace dt::campaign {
+
+/// Bump when a simulation change invalidates previously cached run results
+/// (the tag is hashed into every run fingerprint).
+inline constexpr const char* kCacheEpoch = "dt-campaign-v1";
+
+/// One `[section] key = value` assignment applied on top of the base.
+struct Override {
+  std::string section;
+  std::string key;
+  std::string value;
+};
+
+/// One point on an axis: a display label plus the overrides it implies.
+struct AxisValue {
+  std::string label;
+  std::vector<Override> overrides;
+};
+
+struct Axis {
+  std::string name;
+  std::vector<AxisValue> values;
+};
+
+/// One fully resolved run of the expanded matrix.
+struct RunSpec {
+  int index = 0;  // position in expansion order
+  /// (axis name, value label) in axis order — the run's cell coordinates.
+  std::vector<std::pair<std::string, std::string>> axes;
+  int replicate = 0;
+  std::uint64_t seed = 0;  // base seed + replicate
+  /// Base config + axis overrides + seed, `[output]`/`[campaign]` stripped.
+  /// Feeds ExperimentSpec::from_ini unchanged.
+  common::IniConfig resolved;
+  /// 16-hex content hash of `resolved` + kCacheEpoch — the cache key.
+  std::string fingerprint;
+
+  /// Cell identity: axis labels joined with '|' (replicates share it).
+  [[nodiscard]] std::string cell_key() const;
+  /// Human tag: cell key plus "#r<replicate>" when replicates > 1.
+  [[nodiscard]] std::string tag() const;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  /// The experiment sections the runs start from (no `[campaign]`).
+  common::IniConfig base;
+  std::vector<Axis> axes;
+  int replicates = 1;
+  /// Host threads executing runs concurrently; 0 = hardware concurrency.
+  /// Never changes results, only wall-clock.
+  int runner_threads = 0;
+  /// Per-run result cache directory; empty disables caching.
+  std::string cache_dir;
+  /// Aggregate/output directory; empty disables file outputs.
+  std::string output_dir;
+  /// Cell metric: auto (accuracy when functional, else throughput),
+  /// accuracy, throughput, or duration.
+  std::string metric = "auto";
+  /// Optional numeric axis to chart mean metric against.
+  std::string chart_axis;
+
+  /// Builder: appends an empty axis and returns it for filling.
+  Axis& add_axis(std::string axis_name);
+  /// Builder shorthand for single-key axes; `key` may be bare (resolved via
+  /// the experiment schema) or "section.key".
+  Axis& add_axis(std::string axis_name, const std::string& key,
+                 const std::vector<std::string>& values);
+
+  /// Parses the `[campaign]` section (strictly — unknown keys are rejected)
+  /// and takes every other section as the base config.
+  static CampaignSpec from_ini(const common::IniConfig& ini);
+
+  [[nodiscard]] std::size_t num_cells() const;
+  /// True when the base config trains in functional (accuracy) mode.
+  [[nodiscard]] bool functional() const;
+
+  /// Expands the cartesian run matrix. Validates every axis override
+  /// against the experiment schema and fails (common::Error) on unknown
+  /// targets, empty axes, duplicate axis names, or overrides of reserved
+  /// sections ([output], [campaign]).
+  [[nodiscard]] std::vector<RunSpec> expand() const;
+};
+
+/// FNV-1a-64 over kCacheEpoch + the canonical dump of `ini`, as 16 lowercase
+/// hex chars.
+[[nodiscard]] std::string config_fingerprint(const common::IniConfig& ini);
+
+/// FNV-1a-64 of a byte string (cache integrity footers), 16 hex chars.
+[[nodiscard]] std::string fnv1a_hex(const std::string& bytes);
+
+}  // namespace dt::campaign

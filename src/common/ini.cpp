@@ -151,4 +151,32 @@ std::vector<std::string> IniConfig::keys(const std::string& section) const {
   return out;
 }
 
+void IniConfig::set(const std::string& section, const std::string& key,
+                    std::string value) {
+  check(!section.empty(), "ini: set() with empty section");
+  check(!key.empty(), "ini: set() with empty key");
+  values_[section][key] = std::move(value);
+}
+
+void IniConfig::erase_section(const std::string& section) {
+  values_.erase(section);
+}
+
+std::string IniConfig::canonical_dump() const {
+  // values_ is a std::map of std::maps, so iteration order is already the
+  // sorted canonical order.
+  std::string out;
+  for (const auto& [section, entries] : values_) {
+    for (const auto& [key, value] : entries) {
+      out += section;
+      out += '\x1f';
+      out += key;
+      out += '\x1f';
+      out += value;
+      out += '\x1e';
+    }
+  }
+  return out;
+}
+
 }  // namespace dt::common

@@ -45,6 +45,19 @@ class IniConfig {
   [[nodiscard]] std::vector<std::string> keys(
       const std::string& section) const;
 
+  /// Sets (or overwrites) one value — the campaign engine overlays axis
+  /// values onto a base config this way.
+  void set(const std::string& section, const std::string& key,
+           std::string value);
+  /// Removes a whole section (no-op when absent).
+  void erase_section(const std::string& section);
+
+  /// Canonical flat serialization (sections and keys in sorted order, one
+  /// `section<US>key<US>value<RS>` tuple per entry) — the stable input of
+  /// campaign run fingerprints. Two configs with equal key/value content
+  /// dump identically regardless of construction order.
+  [[nodiscard]] std::string canonical_dump() const;
+
  private:
   // section -> key -> value
   std::map<std::string, std::map<std::string, std::string>> values_;

@@ -106,6 +106,38 @@ void Table::save_csv(const std::string& path) const {
   write_csv(out);
 }
 
+void Table::write_markdown(std::ostream& os) const {
+  auto md_escape = [](const std::string& field) {
+    std::string out;
+    for (char ch : field) {
+      if (ch == '|') out += '\\';
+      out += ch;
+    }
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (const auto& cell : row) os << ' ' << md_escape(cell) << " |";
+    os << '\n';
+  };
+  if (!title_.empty()) os << "## " << title_ << "\n\n";
+  const std::size_t cols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_.front().size())
+                      : header_.size();
+  if (cols == 0) return;
+  emit(header_.empty() ? std::vector<std::string>(cols) : header_);
+  os << '|';
+  for (std::size_t c = 0; c < cols; ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::save_markdown(const std::string& path) const {
+  std::ofstream out(path);
+  check(out.good(), "cannot open markdown output file: " + path);
+  write_markdown(out);
+}
+
 std::string fmt(double value, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << value;

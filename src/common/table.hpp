@@ -39,6 +39,13 @@ class Table {
   /// Convenience: writes CSV to `path`, creating/overwriting the file.
   void save_csv(const std::string& path) const;
 
+  /// Renders a GitHub-flavored markdown table (title as an H2 heading,
+  /// pipes in cells escaped). The campaign aggregator's report format.
+  void write_markdown(std::ostream& os) const;
+
+  /// Convenience: writes markdown to `path`, creating/overwriting the file.
+  void save_markdown(const std::string& path) const;
+
  private:
   std::string title_;
   std::vector<std::string> header_;

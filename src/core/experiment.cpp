@@ -52,39 +52,11 @@ int parse_int(const std::string& v, const std::string& what) {
   return i;
 }
 
-/// Strict-section validation: every key present in `section` must be in
-/// `allowed`, otherwise the config is rejected naming the offender — a
-/// typo in a fault-injection knob must not silently yield a fault-free
-/// run.
-void check_known_keys(const common::IniConfig& ini,
-                      const std::string& section,
-                      std::initializer_list<const char*> allowed) {
-  for (const std::string& key : ini.keys(section)) {
-    bool known = false;
-    for (const char* a : allowed) {
-      if (key == a) {
-        known = true;
-        break;
-      }
-    }
-    common::check(known,
-                  section + ": unknown key '" + key + "'");
-  }
-}
-
 /// Parses the `[failures]` section into cfg.faults (plus the legacy
 /// straggler aliases into their TrainConfig knobs). List syntax uses ','
 /// between entries and ':' within one — ';' would start an INI comment.
+/// Unknown keys are rejected by validate_experiment_ini before this runs.
 void parse_failures(const common::IniConfig& ini, TrainConfig& cfg) {
-  check_known_keys(
-      ini, "failures",
-      {"straggler_rank", "straggler_slowdown", "slow_ranks",
-       "transient_rank", "transient_rate", "transient_factor",
-       "transient_duration_mu", "transient_duration_sigma",
-       "transient_horizon", "link_windows", "crashes", "crash_rank",
-       "crash_time", "crash_downtime", "ps_crashes", "sync_policy",
-       "recovery", "checkpoint_period", "loss_prob", "dup_prob",
-       "reorder_prob", "reorder_window", "lossy_machines"});
   // Legacy single-straggler aliases (merged into slow_ranks by Session).
   cfg.straggler_rank =
       static_cast<int>(ini.get_int("failures", "straggler_rank", -1));
@@ -202,9 +174,6 @@ void parse_failures(const common::IniConfig& ini, TrainConfig& cfg) {
 /// reliable transport + PS replication knobs; see docs/network-model.md,
 /// "Reliability model").
 void parse_reliability(const common::IniConfig& ini, TrainConfig& cfg) {
-  check_known_keys(ini, "reliability",
-                   {"timeout", "backoff", "max_timeout", "max_retransmits",
-                    "replicate_ps", "local_step_budget"});
   auto& rel = cfg.reliability;
   rel.timeout_s = ini.get_double("reliability", "timeout", rel.timeout_s);
   rel.backoff = ini.get_double("reliability", "backoff", rel.backoff);
@@ -221,6 +190,77 @@ void parse_reliability(const common::IniConfig& ini, TrainConfig& cfg) {
 }
 
 }  // namespace
+
+const std::vector<IniSectionSchema>& experiment_ini_schema() {
+  static const std::vector<IniSectionSchema> schema = {
+      {"experiment",
+       {"algorithm", "workers", "mode", "epochs", "iterations", "seed"}},
+      {"cluster", {"workers_per_machine", "nic_gbps", "latency_us"}},
+      {"optimizations",
+       {"ps_shards_per_machine", "wait_free_bp", "dgc", "qsgd_bits",
+        "local_aggregation", "shard_policy"}},
+      {"hyperparameters",
+       {"ssp_staleness", "easgd_tau", "easgd_alpha", "gosgd_p",
+        "lr_per_worker", "momentum", "weight_decay"}},
+      {"workload",
+       {"model", "batch", "train_samples", "test_samples",
+        "functional_batch", "non_iid"}},
+      {"runtime", {"compute_threads", "host_metrics"}},
+      {"failures",
+       {"straggler_rank", "straggler_slowdown", "slow_ranks",
+        "transient_rank", "transient_rate", "transient_factor",
+        "transient_duration_mu", "transient_duration_sigma",
+        "transient_horizon", "link_windows", "crashes", "crash_rank",
+        "crash_time", "crash_downtime", "ps_crashes", "sync_policy",
+        "recovery", "checkpoint_period", "loss_prob", "dup_prob",
+        "reorder_prob", "reorder_window", "lossy_machines"}},
+      {"reliability",
+       {"timeout", "backoff", "max_timeout", "max_retransmits",
+        "replicate_ps", "local_step_budget"}},
+      {"output",
+       {"trace", "metrics_jsonl", "timeseries_csv", "sample_period",
+        "log_level"}},
+  };
+  return schema;
+}
+
+bool experiment_ini_known(const std::string& section, const std::string& key) {
+  for (const auto& sec : experiment_ini_schema()) {
+    if (sec.name != section) continue;
+    for (const auto& k : sec.keys) {
+      if (k == key) return true;
+    }
+  }
+  return false;
+}
+
+std::string experiment_section_of(const std::string& key) {
+  for (const auto& sec : experiment_ini_schema()) {
+    for (const auto& k : sec.keys) {
+      if (k == key) return sec.name;
+    }
+  }
+  common::fail("unknown experiment key '" + key + "'");
+}
+
+void validate_experiment_ini(const common::IniConfig& ini) {
+  for (const std::string& section : ini.sections()) {
+    const auto& schema = experiment_ini_schema();
+    const auto sec =
+        std::find_if(schema.begin(), schema.end(),
+                     [&](const auto& s) { return s.name == section; });
+    if (sec == schema.end()) {
+      common::check(section != "campaign",
+                    "config has a [campaign] section — run it with "
+                    "`dtrain --campaign <config.ini>`");
+      common::fail("unknown section [" + section + "]");
+    }
+    for (const std::string& key : ini.keys(section)) {
+      common::check(experiment_ini_known(section, key),
+                    section + ": unknown key '" + key + "'");
+    }
+  }
+}
 
 Algo algo_from_name(const std::string& name) {
   std::string n;
@@ -242,6 +282,8 @@ Algo algo_from_name(const std::string& name) {
 }
 
 ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
+  validate_experiment_ini(ini);
+
   ExperimentSpec spec;
   TrainConfig& cfg = spec.config;
 

@@ -77,6 +77,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/ini.hpp"
 #include "core/config.hpp"
@@ -86,6 +87,32 @@ namespace dt::core {
 
 /// Parses "bsp", "adpsgd", "AD-PSGD", ... (case-insensitive, '-' ignored).
 [[nodiscard]] Algo algo_from_name(const std::string& name);
+
+/// The strict-validation registry: every `[section]` and key that
+/// ExperimentSpec::from_ini understands. A config containing any other
+/// section or key is rejected naming the offender — a typo must not
+/// silently yield a default-valued run. The campaign engine also uses this
+/// schema to resolve bare axis keys ("workers") to their section.
+struct IniSectionSchema {
+  std::string name;
+  std::vector<std::string> keys;
+};
+[[nodiscard]] const std::vector<IniSectionSchema>& experiment_ini_schema();
+
+/// True when `[section] key` is in the schema.
+[[nodiscard]] bool experiment_ini_known(const std::string& section,
+                                        const std::string& key);
+
+/// Resolves a bare key to the unique section containing it; fails with a
+/// common::Error when the key is unknown. (Every key in the schema lives in
+/// exactly one section.)
+[[nodiscard]] std::string experiment_section_of(const std::string& key);
+
+/// Rejects unknown sections and unknown keys in known sections. Called by
+/// from_ini; exposed so tools validating a config without building a spec
+/// (e.g. the campaign expander) can reuse it. A `[campaign]` section is
+/// reported with a hint to run `dtrain --campaign`.
+void validate_experiment_ini(const common::IniConfig& ini);
 
 struct ExperimentSpec {
   TrainConfig config;

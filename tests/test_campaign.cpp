@@ -1,0 +1,511 @@
+// Campaign engine tests: spec expansion, INI parsing, content-hash result
+// caching (resume, corruption, invalidation), parallel execution
+// byte-identity (the A/B contract extended to runner threads), and
+// replicate-aware aggregation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/cache.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "common/error.hpp"
+
+namespace dt::campaign {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Fresh scratch dir under /tmp (removed up-front, not after, so failures
+/// leave evidence).
+std::string scratch(const std::string& name) {
+  const std::string dir = "/tmp/dt_campaign_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Small-but-real functional base: 2 workers, 64 samples, 1 epoch.
+common::IniConfig tiny_functional_base() {
+  return common::IniConfig::parse_string(R"(
+[experiment]
+mode = functional
+epochs = 1
+seed = 42
+
+[cluster]
+workers_per_machine = 2
+
+[workload]
+train_samples = 64
+test_samples = 16
+functional_batch = 8
+)");
+}
+
+/// Cost-only base: cheapest possible runs for cache/plumbing tests.
+common::IniConfig tiny_throughput_base() {
+  return common::IniConfig::parse_string(R"(
+[experiment]
+mode = throughput
+iterations = 2
+)");
+}
+
+CampaignSpec tiny_functional_spec() {
+  CampaignSpec spec;
+  spec.base = tiny_functional_base();
+  spec.runner_threads = 1;
+  spec.add_axis("algorithm", "algorithm", {"bsp", "asp"});
+  spec.add_axis("workers", "workers", {"2"});
+  return spec;
+}
+
+TEST(CampaignSpec, ExpandsRowMajorWithReplicateSeeds) {
+  CampaignSpec spec;
+  spec.base = tiny_throughput_base();
+  spec.replicates = 2;
+  spec.add_axis("a", "algorithm", {"bsp", "asp"});
+  spec.add_axis("b", "workers", {"2", "4"});
+
+  EXPECT_EQ(spec.num_cells(), 4u);
+  const std::vector<RunSpec> runs = spec.expand();
+  ASSERT_EQ(runs.size(), 8u);
+
+  // Row-major, last axis fastest, replicate innermost.
+  EXPECT_EQ(runs[0].tag(), "bsp|2");
+  EXPECT_EQ(runs[1].tag(), "bsp|2#r1");
+  EXPECT_EQ(runs[2].tag(), "bsp|4");
+  EXPECT_EQ(runs[4].tag(), "asp|2");
+  EXPECT_EQ(runs[7].tag(), "asp|4#r1");
+
+  // Replicates shift the seed and write it back into the resolved config.
+  EXPECT_EQ(runs[0].seed, 42u);
+  EXPECT_EQ(runs[1].seed, 43u);
+  EXPECT_EQ(runs[1].resolved.get("experiment", "seed", ""), "43");
+  // Axis overrides landed in the resolved config.
+  EXPECT_EQ(runs[4].resolved.get("experiment", "algorithm", ""), "asp");
+  EXPECT_EQ(runs[2].resolved.get("experiment", "workers", ""), "4");
+
+  // Fingerprints are unique per run and stable across re-expansion.
+  std::map<std::string, int> seen;
+  for (const RunSpec& r : runs) seen[r.fingerprint]++;
+  EXPECT_EQ(seen.size(), runs.size());
+  EXPECT_EQ(spec.expand()[5].fingerprint, runs[5].fingerprint);
+}
+
+TEST(CampaignSpec, ParsesIniAxesKnobsAndBundles) {
+  const auto ini = common::IniConfig::parse_string(R"(
+[campaign]
+name = demo
+replicates = 3
+runner_threads = 2
+cache_dir = /tmp/cachedir
+output_dir = /tmp/outdir
+metric = accuracy
+chart_axis = workers
+axis.workers = 2, 4
+axis.cluster.nic_gbps = 10, 56
+axis.column = BSP, SSP-s3
+value.column.BSP = algorithm=bsp
+value.column.SSP-s3 = algorithm=ssp ssp_staleness=3
+
+[experiment]
+mode = functional
+epochs = 1
+)");
+  const CampaignSpec spec = CampaignSpec::from_ini(ini);
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.replicates, 3);
+  EXPECT_EQ(spec.runner_threads, 2);
+  EXPECT_EQ(spec.cache_dir, "/tmp/cachedir");
+  EXPECT_EQ(spec.metric, "accuracy");
+  EXPECT_EQ(spec.chart_axis, "workers");
+  EXPECT_TRUE(spec.functional());
+  // Axis order = lexicographic order of the axis.* keys.
+  ASSERT_EQ(spec.axes.size(), 3u);
+  EXPECT_EQ(spec.axes[0].name, "cluster.nic_gbps");
+  EXPECT_EQ(spec.axes[1].name, "column");
+  EXPECT_EQ(spec.axes[2].name, "workers");
+  EXPECT_EQ(spec.num_cells(), 8u);
+  // Bundle labels expand to multiple overrides.
+  const AxisValue& ssp = spec.axes[1].values[1];
+  EXPECT_EQ(ssp.label, "SSP-s3");
+  ASSERT_EQ(ssp.overrides.size(), 2u);
+  EXPECT_EQ(ssp.overrides[0].section, "experiment");
+  EXPECT_EQ(ssp.overrides[0].value, "ssp");
+  EXPECT_EQ(ssp.overrides[1].section, "hyperparameters");
+  EXPECT_EQ(ssp.overrides[1].key, "ssp_staleness");
+  // The [campaign] section is stripped from the base.
+  EXPECT_TRUE(spec.base.keys("campaign").empty());
+  EXPECT_EQ(spec.base.get("experiment", "mode", ""), "functional");
+}
+
+TEST(CampaignSpec, RejectsUnknownKeysAndBadAxisTargets) {
+  // Unknown [campaign] knob.
+  EXPECT_THROW(CampaignSpec::from_ini(common::IniConfig::parse_string(
+                   "[campaign]\nreplicats = 3\naxis.workers = 2\n")),
+               common::Error);
+  // Axis targeting a key the experiment schema does not know.
+  EXPECT_THROW(CampaignSpec::from_ini(common::IniConfig::parse_string(
+                   "[campaign]\naxis.wrokers = 2, 4\n")),
+               common::Error);
+  // Qualified axis with a bad section.
+  EXPECT_THROW(CampaignSpec::from_ini(common::IniConfig::parse_string(
+                   "[campaign]\naxis.clutser.nic_gbps = 10\n")),
+               common::Error);
+  // Orphaned bundle value (label list never references it).
+  EXPECT_THROW(CampaignSpec::from_ini(common::IniConfig::parse_string(
+                   "[campaign]\naxis.workers = 2\n"
+                   "value.column.BSP = algorithm=bsp\n")),
+               common::Error);
+  // No axes at all.
+  EXPECT_THROW(CampaignSpec::from_ini(common::IniConfig::parse_string(
+                   "[campaign]\nname = empty\n")),
+               common::Error);
+  // Axes may not target reserved sections.
+  CampaignSpec spec;
+  spec.base = tiny_throughput_base();
+  spec.add_axis("t").values.push_back(
+      {"x", {{"output", "trace", "/tmp/t"}}});
+  EXPECT_THROW((void)spec.expand(), common::Error);
+}
+
+TEST(CampaignSpec, FingerprintTracksConfigNotOutputSection) {
+  CampaignSpec spec = tiny_functional_spec();
+  const std::vector<RunSpec> runs = spec.expand();
+
+  // [output] must not leak into fingerprints: campaigns strip it.
+  CampaignSpec with_output = spec;
+  with_output.base.set("output", "trace", "/tmp/some.trace.json");
+  const std::vector<RunSpec> runs2 = with_output.expand();
+  ASSERT_EQ(runs.size(), runs2.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].fingerprint, runs2[i].fingerprint);
+  }
+
+  // A real config change flips every affected fingerprint.
+  CampaignSpec edited = spec;
+  edited.base.set("workload", "train_samples", "128");
+  const std::vector<RunSpec> runs3 = edited.expand();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_NE(runs[i].fingerprint, runs3[i].fingerprint);
+  }
+}
+
+TEST(CampaignCache, RoundTripsRecordsAndDetectsCorruption) {
+  const RunCache cache(scratch("cache_roundtrip"));
+  RunRecord rec;
+  rec.fingerprint = "00deadbeef00cafe";
+  rec.axes = {{"algorithm", "bsp"}, {"workers", "4"}};
+  rec.replicate = 1;
+  rec.seed = 43;
+  rec.algorithm = "bsp";
+  rec.workers = 4;
+  rec.final_accuracy = 0.8125;
+  rec.virtual_duration = 12.5;
+  rec.throughput = 1.5e3;
+  rec.wire_bytes = 123456789;
+  rec.wire_messages = 4242;
+  rec.total_samples = 2048;
+  rec.total_iterations = 128;
+  rec.param_hash = "0123456789abcdef";
+  cache.store(rec);
+
+  const auto loaded = cache.load(rec.fingerprint);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->from_cache);
+  EXPECT_EQ(loaded->axes, rec.axes);
+  EXPECT_EQ(loaded->seed, 43u);
+  EXPECT_EQ(loaded->final_accuracy, 0.8125);
+  EXPECT_EQ(loaded->throughput, 1.5e3);
+  EXPECT_EQ(loaded->param_hash, "0123456789abcdef");
+  // Loaded records re-serialize to the stored bytes exactly.
+  auto copy = *loaded;
+  copy.from_cache = false;
+  EXPECT_EQ(copy.serialize(), rec.serialize());
+
+  const std::string path = cache.path_of(rec.fingerprint);
+  const std::string intact = slurp(path);
+
+  // Truncation -> miss.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << intact.substr(0, intact.size() / 2);
+  }
+  EXPECT_FALSE(cache.load(rec.fingerprint).has_value());
+
+  // Single flipped byte -> miss (integrity footer).
+  {
+    std::string bad = intact;
+    bad[10] = bad[10] == '9' ? '8' : '9';
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bad;
+  }
+  EXPECT_FALSE(cache.load(rec.fingerprint).has_value());
+
+  // Intact record under the WRONG name -> miss (fingerprint check).
+  {
+    std::ofstream out(cache.path_of("ffffffffffffffff"),
+                      std::ios::binary | std::ios::trunc);
+    out << intact;
+  }
+  EXPECT_FALSE(cache.load("ffffffffffffffff").has_value());
+
+  // Disabled cache never loads or stores.
+  const RunCache off("");
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.load(rec.fingerprint).has_value());
+  off.store(rec);  // no-op, no crash
+}
+
+TEST(CampaignRunner, ParallelRunnersMatchSerialByteForByte) {
+  CampaignSpec serial = tiny_functional_spec();
+  serial.runner_threads = 1;
+  serial.cache_dir = scratch("ab_serial");
+  CampaignSpec parallel = tiny_functional_spec();
+  parallel.runner_threads = 8;
+  parallel.cache_dir = scratch("ab_parallel");
+
+  const CampaignResult a = run_campaign(serial);
+  const CampaignResult b = run_campaign(parallel);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_EQ(a.executed, static_cast<int>(a.records.size()));
+  EXPECT_EQ(b.executed, static_cast<int>(b.records.size()));
+
+  // Records (including param hashes) are byte-identical.
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].serialize(), b.records[i].serialize());
+    EXPECT_EQ(a.records[i].param_hash.size(), 16u);  // functional mode
+  }
+  // So are the cache files themselves...
+  for (const RunSpec& run : a.runs) {
+    EXPECT_EQ(slurp(serial.cache_dir + "/" + run.fingerprint + ".jsonl"),
+              slurp(parallel.cache_dir + "/" + run.fingerprint + ".jsonl"));
+  }
+  // ...and every aggregate output file.
+  const Aggregate agg_a = Aggregate::build(a.records, "auto", a.functional);
+  const Aggregate agg_b = Aggregate::build(b.records, "auto", b.functional);
+  const std::string out_a = scratch("ab_serial_out");
+  const std::string out_b = scratch("ab_parallel_out");
+  write_outputs(out_a, "t", a.records, agg_a);
+  write_outputs(out_b, "t", b.records, agg_b);
+  for (const char* f : {"/runs.jsonl", "/runs.csv", "/aggregate.csv",
+                        "/aggregate.jsonl", "/aggregate.md"}) {
+    EXPECT_EQ(slurp(out_a + f), slurp(out_b + f)) << f;
+  }
+}
+
+TEST(CampaignRunner, WarmCacheResumesWithIdenticalResults) {
+  CampaignSpec spec = tiny_functional_spec();
+  spec.cache_dir = scratch("warm");
+
+  const CampaignResult cold = run_campaign(spec);
+  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_EQ(cold.executed, static_cast<int>(cold.records.size()));
+
+  const CampaignResult warm = run_campaign(spec);
+  EXPECT_EQ(warm.executed, 0);
+  EXPECT_EQ(warm.cache_hits, static_cast<int>(warm.records.size()));
+  ASSERT_EQ(cold.records.size(), warm.records.size());
+  for (std::size_t i = 0; i < cold.records.size(); ++i) {
+    EXPECT_TRUE(warm.records[i].from_cache);
+    EXPECT_EQ(cold.records[i].serialize(), warm.records[i].serialize());
+  }
+
+  // force=true ignores the cache but reproduces the same bytes.
+  CampaignOptions force;
+  force.force = true;
+  const CampaignResult forced = run_campaign(spec, force);
+  EXPECT_EQ(forced.cache_hits, 0);
+  EXPECT_EQ(forced.executed, static_cast<int>(forced.records.size()));
+  for (std::size_t i = 0; i < cold.records.size(); ++i) {
+    EXPECT_EQ(cold.records[i].serialize(), forced.records[i].serialize());
+  }
+}
+
+TEST(CampaignRunner, EditedAxisRerunsOnlyAffectedCells) {
+  const std::string cache_dir = scratch("edit");
+  CampaignSpec spec;
+  spec.base = tiny_functional_base();
+  spec.runner_threads = 1;
+  spec.cache_dir = cache_dir;
+  spec.add_axis("algorithm", "algorithm", {"bsp", "asp"});
+  spec.add_axis("workers", "workers", {"2"});
+  const CampaignResult first = run_campaign(spec);
+  EXPECT_EQ(first.executed, 2);
+
+  // Growing the workers axis re-runs only the new cells.
+  CampaignSpec grown;
+  grown.base = tiny_functional_base();
+  grown.runner_threads = 1;
+  grown.cache_dir = cache_dir;
+  grown.add_axis("algorithm", "algorithm", {"bsp", "asp"});
+  grown.add_axis("workers", "workers", {"2", "4"});
+  const CampaignResult second = run_campaign(grown);
+  EXPECT_EQ(second.cache_hits, 2);
+  EXPECT_EQ(second.executed, 2);
+
+  // Editing a base value invalidates everything (new fingerprints).
+  CampaignSpec edited = grown;
+  edited.base.set("experiment", "seed", "7");
+  const CampaignResult third = run_campaign(edited);
+  EXPECT_EQ(third.cache_hits, 0);
+  EXPECT_EQ(third.executed, 4);
+}
+
+TEST(CampaignRunner, CorruptCacheEntryIsDetectedAndRerun) {
+  CampaignSpec spec = tiny_functional_spec();
+  spec.cache_dir = scratch("corrupt");
+  const CampaignResult first = run_campaign(spec);
+  ASSERT_EQ(first.executed, 2);
+
+  // Truncate one entry mid-record (as an interrupted host would).
+  const std::string victim =
+      spec.cache_dir + "/" + first.runs[0].fingerprint + ".jsonl";
+  const std::string intact = slurp(victim);
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out << intact.substr(0, intact.size() / 3);
+  }
+  const CampaignResult second = run_campaign(spec);
+  EXPECT_EQ(second.cache_hits, 1);
+  EXPECT_EQ(second.executed, 1);
+  EXPECT_EQ(second.records[0].serialize(), first.records[0].serialize());
+  // The re-run healed the cache file.
+  EXPECT_EQ(slurp(victim), intact);
+}
+
+TEST(CampaignRunner, DisabledCacheExecutesEverythingEveryTime) {
+  CampaignSpec spec;
+  spec.base = tiny_throughput_base();
+  spec.runner_threads = 1;
+  spec.add_axis("workers", "workers", {"2", "4"});
+  const CampaignResult a = run_campaign(spec);
+  const CampaignResult b = run_campaign(spec);
+  EXPECT_EQ(a.executed, 2);
+  EXPECT_EQ(b.executed, 2);
+  EXPECT_EQ(b.cache_hits, 0);
+  // Cost-only runs carry no parameters, so no param hash.
+  EXPECT_TRUE(a.records[0].param_hash.empty());
+  EXPECT_FALSE(a.functional);
+}
+
+TEST(CampaignAggregate, ReplicatesCollapseToMeanStdWithPaperDeltas) {
+  CampaignSpec spec = tiny_functional_spec();
+  spec.cache_dir = scratch("agg");
+  spec.replicates = 3;
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.records.size(), 6u);
+
+  const std::map<std::string, double> refs = {{"bsp|2", 0.5},
+                                              {"asp|2", 0.25}};
+  const Aggregate agg =
+      Aggregate::build(result.records, "auto", result.functional, refs);
+  EXPECT_EQ(agg.metric(), "accuracy");  // auto + functional
+  ASSERT_EQ(agg.cells().size(), 2u);
+
+  const CellStats* bsp = agg.find({"bsp", "2"});
+  ASSERT_NE(bsp, nullptr);
+  EXPECT_EQ(bsp->n, 3);
+  double mean = 0.0;
+  for (int i = 0; i < 3; ++i) mean += result.records[i].final_accuracy;
+  mean /= 3.0;
+  EXPECT_DOUBLE_EQ(bsp->mean, mean);
+  EXPECT_GE(bsp->stddev, 0.0);
+  ASSERT_TRUE(bsp->paper.has_value());
+  EXPECT_DOUBLE_EQ(*bsp->delta(), mean - 0.5);
+
+  // Replicates differ in seed, so they should not be bit-identical models.
+  EXPECT_NE(result.records[0].param_hash, result.records[1].param_hash);
+
+  // Table shape: axis columns + stats + paper/delta.
+  const common::Table table = agg.to_table("t");
+  EXPECT_EQ(table.header().front(), "algorithm");
+  EXPECT_EQ(table.header().back(), "delta");
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(CampaignAggregate, ChartsNumericAxesAndRejectsOthers) {
+  CampaignSpec spec;
+  spec.base = tiny_throughput_base();
+  spec.runner_threads = 1;
+  spec.add_axis("algorithm", "algorithm", {"bsp", "asp"});
+  spec.add_axis("workers", "workers", {"2", "4"});
+  const CampaignResult result = run_campaign(spec);
+  const Aggregate agg =
+      Aggregate::build(result.records, "auto", result.functional);
+  EXPECT_EQ(agg.metric(), "throughput");  // auto + cost-only
+
+  const common::LineChart chart = agg.to_chart("t", "workers");
+  EXPECT_EQ(chart.num_series(), 2u);  // one per algorithm
+  EXPECT_THROW((void)agg.to_chart("t", "nonaxis"), common::Error);
+  // "algorithm" is an axis but its labels are not numeric.
+  EXPECT_THROW((void)agg.to_chart("t", "algorithm"), common::Error);
+
+  // Duration metric is available for any mode.
+  const Aggregate dur =
+      Aggregate::build(result.records, "duration", result.functional);
+  const CellStats* cell = dur.find({"bsp", "2"});
+  ASSERT_NE(cell, nullptr);
+  EXPECT_DOUBLE_EQ(cell->mean, cell->mean_duration);
+}
+
+TEST(CampaignRunner, IniEndToEndMatchesProgrammaticSpec) {
+  // The INI route and the builder route must resolve to the same
+  // fingerprints — they share ExperimentSpec::from_ini semantics.
+  const std::string cache_dir = scratch("ini_e2e");
+  const auto ini = common::IniConfig::parse_string(R"(
+[campaign]
+name = e2e
+runner_threads = 1
+cache_dir = )" + cache_dir + R"(
+axis.algorithm = bsp, asp
+axis.workers = 2
+
+[experiment]
+mode = functional
+epochs = 1
+seed = 42
+
+[cluster]
+workers_per_machine = 2
+
+[workload]
+train_samples = 64
+test_samples = 16
+functional_batch = 8
+)");
+  const CampaignSpec from_ini = CampaignSpec::from_ini(ini);
+  const CampaignSpec built = tiny_functional_spec();
+  const std::vector<RunSpec> a = from_ini.expand();
+  const std::vector<RunSpec> b = built.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fingerprint, b[i].fingerprint);
+    EXPECT_EQ(a[i].tag(), b[i].tag());
+  }
+
+  const CampaignResult result = run_campaign(from_ini);
+  EXPECT_EQ(result.executed, 2);
+  // The cached entries satisfy the programmatic spec on the next run.
+  CampaignSpec again = tiny_functional_spec();
+  again.cache_dir = cache_dir;
+  const CampaignResult warm = run_campaign(again);
+  EXPECT_EQ(warm.cache_hits, 2);
+  EXPECT_EQ(warm.executed, 0);
+}
+
+}  // namespace
+}  // namespace dt::campaign

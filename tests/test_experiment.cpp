@@ -2,6 +2,9 @@
 // the `dtrain` runner.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "common/ini.hpp"
 #include "core/experiment.hpp"
 #include "core/trainer.hpp"
@@ -249,6 +252,63 @@ TEST(Experiment, MakeWorkloadRespectsMode) {
     EXPECT_TRUE(wl.functional());
     EXPECT_EQ(wl.num_workers(), 2);
   }
+}
+
+TEST(Experiment, StrictValidationRejectsUnknownSectionsAndKeys) {
+  // A misspelled section must fail naming the offender...
+  try {
+    (void)core::ExperimentSpec::from_ini(
+        common::IniConfig::parse_string("[experimnet]\nworkers = 4\n"));
+    FAIL() << "unknown section accepted";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("experimnet"), std::string::npos);
+  }
+  // ...and so must a misspelled key inside a known section.
+  try {
+    (void)core::ExperimentSpec::from_ini(
+        common::IniConfig::parse_string("[experiment]\nwrokers = 4\n"));
+    FAIL() << "unknown key accepted";
+  } catch (const common::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("experiment"), std::string::npos);
+    EXPECT_NE(msg.find("wrokers"), std::string::npos);
+  }
+  // Every section is strict, not just [failures]/[reliability].
+  EXPECT_THROW((void)core::ExperimentSpec::from_ini(
+                   common::IniConfig::parse_string(
+                       "[hyperparameters]\nssp_stalenes = 3\n")),
+               common::Error);
+  EXPECT_THROW((void)core::ExperimentSpec::from_ini(
+                   common::IniConfig::parse_string(
+                       "[output]\ntrace_path = /tmp/x\n")),
+               common::Error);
+  // A [campaign] section gets the dedicated dtrain --campaign hint.
+  try {
+    (void)core::ExperimentSpec::from_ini(common::IniConfig::parse_string(
+        "[campaign]\naxis.workers = 2, 4\n[experiment]\nworkers = 4\n"));
+    FAIL() << "[campaign] accepted by the single-run loader";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--campaign"), std::string::npos);
+  }
+}
+
+TEST(Experiment, IniSchemaResolvesKeysToUniqueSections) {
+  EXPECT_TRUE(core::experiment_ini_known("experiment", "workers"));
+  EXPECT_TRUE(core::experiment_ini_known("cluster", "nic_gbps"));
+  EXPECT_FALSE(core::experiment_ini_known("cluster", "workers"));
+  EXPECT_FALSE(core::experiment_ini_known("nope", "workers"));
+  EXPECT_EQ(core::experiment_section_of("workers"), "experiment");
+  EXPECT_EQ(core::experiment_section_of("ssp_staleness"), "hyperparameters");
+  EXPECT_EQ(core::experiment_section_of("metrics_jsonl"), "output");
+  EXPECT_THROW((void)core::experiment_section_of("not_a_key"),
+               common::Error);
+  // Every key must live in exactly one section, or bare-key campaign axes
+  // would be ambiguous.
+  std::map<std::string, int> counts;
+  for (const auto& section : core::experiment_ini_schema()) {
+    for (const auto& key : section.keys) counts[key]++;
+  }
+  for (const auto& [key, n] : counts) EXPECT_EQ(n, 1) << key;
 }
 
 TEST(Experiment, EndToEndTinyRun) {
