@@ -5,9 +5,17 @@
 // For BSP the breakdown is reported from the machine leaders (ranks 0 mod
 // l): non-leader workers fold the whole PS round into their local-broadcast
 // wait, exactly as a real profiler at the worker would see it.
+//
+// Columns come from the critical-path analyzer's per-worker wall
+// decomposition (docs/observability.md): compute and local agg are the
+// worker's own busy phases, global agg is PS queueing + aggregation service
+// on the worker's enabling path, comm is wire transit, and `wait` is the
+// residual blocking time (barrier convoy, straggler wait) that the old
+// phase accounting folded into global agg.
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "profile/critical_path.hpp"
 
 int main(int argc, char** argv) {
   using namespace dt;
@@ -29,13 +37,14 @@ int main(int argc, char** argv) {
   common::Table table("Figure 3 — training-time breakdown per worker (" +
                       std::to_string(workers) + " workers)");
   table.set_header({"model", "network", "algorithm", "compute", "local agg",
-                    "global agg", "comm", "iter time (s)"});
+                    "global agg", "comm", "wait", "iter time (s)"});
 
   for (const auto& model : models) {
     for (double gbps : {10.0, 56.0}) {
       for (core::Algo algo : algos) {
         core::TrainConfig cfg =
             bench::paper_throughput_config(algo, workers, gbps, args.iters);
+        cfg.profile = true;  // per-worker breakdown via the profiler
         bench::enable_observability(
             cfg, args,
             std::string(model.profile.name) + "-" + common::fmt(gbps, 0) +
@@ -44,35 +53,35 @@ int main(int argc, char** argv) {
             core::make_cost_workload(model.profile, model.batch);
         auto result = core::run_training(cfg, wl);
 
-        // Average phases over the "representative" workers: machine
-        // leaders for BSP (see header comment), every worker otherwise.
-        std::array<double, metrics::kNumPhases> sums{};
+        // Average the analyzer's per-worker wall decomposition over the
+        // "representative" workers: machine leaders for BSP (see header
+        // comment), every worker otherwise.
+        const profile::RunProfile& prof = *result.profile;
+        profile::ClassTotals sums;
         int counted = 0;
         for (int r = 0; r < workers; ++r) {
           if (algo == core::Algo::bsp &&
               r % cfg.cluster.workers_per_machine != 0) {
             continue;
           }
-          const auto& w = result.workers[static_cast<std::size_t>(r)];
-          for (int p = 0; p < metrics::kNumPhases; ++p) {
-            sums[static_cast<std::size_t>(p)] +=
-                w.phase_time(static_cast<metrics::Phase>(p));
+          const auto& w = prof.workers[static_cast<std::size_t>(r)];
+          for (int c = 0; c < profile::kNumCostClasses; ++c) {
+            const auto cls = static_cast<profile::CostClass>(c);
+            sums.add(cls, w.get(cls));
           }
           ++counted;
         }
-        double total = 0.0;
-        for (double s : sums) total += s;
+        const double total = sums.total();
         const double iters_per_worker = static_cast<double>(args.iters);
-        auto pct = [&](metrics::Phase p) {
-          return total > 0.0
-                     ? common::fmt_pct(sums[static_cast<int>(p)] / total, 1)
-                     : std::string("-");
+        auto pct = [&](profile::CostClass c) {
+          return total > 0.0 ? common::fmt_pct(sums.get(c) / total, 1)
+                             : std::string("-");
         };
         table.add_row(
             {model.profile.name, common::fmt(gbps, 0) + "G",
-             core::algo_name(algo), pct(metrics::Phase::compute),
-             pct(metrics::Phase::local_agg), pct(metrics::Phase::global_agg),
-             pct(metrics::Phase::comm),
+             core::algo_name(algo), pct(profile::CostClass::compute),
+             pct(profile::CostClass::local_agg), pct(profile::CostClass::ps),
+             pct(profile::CostClass::comm), pct(profile::CostClass::wait),
              common::fmt(total / (counted * iters_per_worker), 3)});
         std::cerr << "done: " << model.profile.name << " " << gbps << "G "
                   << core::algo_name(algo) << "\n";
@@ -86,6 +95,8 @@ int main(int argc, char** argv) {
          "dominated by local+global aggregation *waiting* that bandwidth\n"
          "does not remove; ASP/SSP are communication-dominated on 10 Gbps\n"
          "and improve sharply at 56 Gbps; VGG-16 shifts every algorithm\n"
-         "toward aggregation/communication (fc1 shard bottleneck).\n";
+         "toward aggregation/communication (fc1 shard bottleneck). The\n"
+         "`wait` column separates residual blocking (barrier convoy,\n"
+         "straggler wait) that the paper folds into its aggregation bars.\n";
   return 0;
 }

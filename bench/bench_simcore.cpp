@@ -1,0 +1,123 @@
+// Engine self-metrics bench: how fast does the simulator itself run?
+//
+// Replays a few representative cost-only configurations and reports the
+// scheduler's own counters (SimEngine::stats): events processed, wake
+// calls, peak ready-queue length, packets on the wire — and the host-side
+// events/second figure, the simulator's "throughput". The simulated
+// results of these runs are deterministic; the wall-clock and events/sec
+// columns are host measurements and are exactly the numbers the
+// determinism contract keeps OUT of run records. They live here instead.
+//
+// Output: an aligned table plus BENCH_simcore.json (--json= to relocate),
+// the artifact the CI bench job uploads to track simulator performance
+// over time.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/session.hpp"
+
+namespace {
+
+struct CaseResult {
+  std::string name;
+  double virtual_s = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t wakes = 0;
+  std::uint64_t peak_ready = 0;
+  std::uint64_t processes = 0;
+  std::uint64_t packets = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  auto args = bench::BenchArgs::parse(argc, argv, 0.0, 60);
+  std::string json_path = "BENCH_simcore.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) json_path = a.substr(7);
+  }
+
+  struct Case {
+    const char* name;
+    core::Algo algo;
+    int workers;
+  };
+  const std::vector<Case> cases = {
+      {"bsp-16w", core::Algo::bsp, 16},
+      {"asp-16w", core::Algo::asp, 16},
+      {"adpsgd-16w", core::Algo::adpsgd, 16},
+      {"bsp-24w", core::Algo::bsp, 24},
+  };
+
+  std::vector<CaseResult> results;
+  for (const Case& c : cases) {
+    const int workers = std::min(c.workers, args.max_workers);
+    core::TrainConfig cfg =
+        bench::paper_throughput_config(c.algo, workers, 56.0, args.iters);
+    core::Workload wl = core::make_cost_workload(cost::vgg16_profile(), 96);
+    core::Session session(cfg, wl);
+    const auto t0 = std::chrono::steady_clock::now();
+    const metrics::RunResult r = session.run();
+    CaseResult cr;
+    cr.name = c.name;
+    cr.virtual_s = r.virtual_duration;
+    cr.wall_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    cr.events = r.sim_events;
+    cr.wakes = r.sim_wakes;
+    cr.peak_ready = r.sim_peak_ready;
+    cr.processes = session.engine.stats().processes;
+    cr.packets = r.wire_messages;
+    results.push_back(cr);
+    std::cerr << "done: " << c.name << "\n";
+  }
+
+  common::Table table("simulator core throughput (host-side; not part of "
+                      "deterministic results)");
+  table.set_header({"case", "virtual s", "wall s", "events", "wakes",
+                    "peak ready", "packets", "events/sec"});
+  for (const CaseResult& r : results) {
+    table.add_row({r.name, common::fmt(r.virtual_s, 2),
+                   common::fmt(r.wall_s, 3), std::to_string(r.events),
+                   std::to_string(r.wakes), std::to_string(r.peak_ready),
+                   std::to_string(r.packets),
+                   common::fmt(r.events_per_sec(), 0)});
+  }
+  bench::emit(table, args);
+
+  std::ofstream out(json_path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << "{\"bench\":\"simcore\",\"cases\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    if (i) out << ",";
+    out << "{\"name\":\"" << r.name << "\",\"virtual_s\":" << r.virtual_s
+        << ",\"wall_s\":" << r.wall_s << ",\"events\":" << r.events
+        << ",\"wakes\":" << r.wakes << ",\"peak_ready\":" << r.peak_ready
+        << ",\"processes\":" << r.processes << ",\"packets\":" << r.packets
+        << ",\"events_per_sec\":" << r.events_per_sec() << "}";
+  }
+  double total_events = 0.0, total_wall = 0.0;
+  for (const CaseResult& r : results) {
+    total_events += static_cast<double>(r.events);
+    total_wall += r.wall_s;
+  }
+  out << "],\"events_per_sec\":"
+      << (total_wall > 0.0 ? total_events / total_wall : 0.0) << "}\n";
+  out.flush();
+  std::cout << "engine self-metrics written to " << json_path << "\n";
+  return out.good() ? 0 : 1;
+}

@@ -1,6 +1,11 @@
 // dtrain: run any experiment described by an INI configuration file.
 //
 //   dtrain <config.ini>          run the experiment, print a report
+//   dtrain --profile <config.ini>
+//                                also run the critical-path profiler: print
+//                                the bottleneck report and write the span
+//                                log (JSONL + Chrome trace) next to the
+//                                config unless [output] names paths
 //   dtrain --campaign <config.ini>
 //                                expand the [campaign] section into a run
 //                                matrix, execute it (cached, parallel), and
@@ -23,6 +28,7 @@
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "core/trainer.hpp"
+#include "profile/critical_path.hpp"
 
 namespace {
 
@@ -107,6 +113,9 @@ metrics_jsonl =           ; optional end-of-run metric dump (JSONL)
 timeseries_csv =          ; optional sampled counter/gauge series (CSV)
 sample_period = 0.25      ; virtual seconds between samples
 log_level =               ; debug | info | warn | error (default warn)
+profile = false           ; critical-path profiler (or dtrain --profile)
+profile_spans =           ; optional span-log JSONL path (implies profile)
+profile_trace =           ; optional span Chrome-trace path (implies profile)
 )ini";
 
 /// `dtrain --campaign`: expand, execute (cached + parallel), aggregate.
@@ -159,6 +168,7 @@ int main(int argc, char** argv) {
   bool log_level_forced = false;
   bool campaign_mode = false;
   bool force = false;
+  bool profile_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--template") {
@@ -167,6 +177,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--campaign") {
       campaign_mode = true;
+      continue;
+    }
+    if (arg == "--profile") {
+      profile_mode = true;
       continue;
     }
     if (arg == "--force") {
@@ -186,8 +200,9 @@ int main(int argc, char** argv) {
     }
     positional.push_back(arg);
   }
-  if (positional.size() != 1 || (force && !campaign_mode)) {
-    std::cerr << "usage: dtrain [--log-level=LEVEL] <config.ini>"
+  if (positional.size() != 1 || (force && !campaign_mode) ||
+      (profile_mode && campaign_mode)) {
+    std::cerr << "usage: dtrain [--log-level=LEVEL] [--profile] <config.ini>"
                  " | dtrain --campaign [--force] <config.ini>"
                  " | dtrain --template\n";
     return 2;
@@ -209,6 +224,16 @@ int main(int argc, char** argv) {
     core::ExperimentSpec spec = core::ExperimentSpec::from_ini(ini);
     // The CLI flag outranks the config file's [output] log_level.
     if (log_level_forced) common::set_log_level(cli_level);
+    if (profile_mode) {
+      spec.config.profile = true;
+      // Default span outputs land next to the config file.
+      if (spec.config.profile_spans_jsonl.empty()) {
+        spec.config.profile_spans_jsonl = arg + ".spans.jsonl";
+      }
+      if (spec.config.profile_trace.empty()) {
+        spec.config.profile_trace = arg + ".trace.json";
+      }
+    }
     core::Workload workload = spec.make_workload();
 
     std::cerr << "running " << core::algo_name(spec.config.algo) << " with "
@@ -240,6 +265,17 @@ int main(int argc, char** argv) {
     }
     report.print(std::cout);
 
+    if (result.profile) {
+      std::cout << "\n" << profile::format_report(*result.profile);
+      if (!spec.config.profile_spans_jsonl.empty()) {
+        std::cout << "spans written to " << spec.config.profile_spans_jsonl
+                  << "\n";
+      }
+      if (!spec.config.profile_trace.empty()) {
+        std::cout << "profile trace written to " << spec.config.profile_trace
+                  << "\n";
+      }
+    }
     if (!spec.config.trace_path.empty()) {
       std::cout << "trace written to " << spec.config.trace_path << "\n";
     }

@@ -80,6 +80,12 @@ Aggregate Aggregate::build(const std::vector<RunRecord>& records,
     }
     values[it->second].push_back(metric_of(rec, agg.metric_));
     durations[it->second].push_back(rec.virtual_duration);
+    CellStats& cell = agg.cells_[it->second];
+    cell.mean_cp[0] += rec.cp_compute;
+    cell.mean_cp[1] += rec.cp_local_agg;
+    cell.mean_cp[2] += rec.cp_comm;
+    cell.mean_cp[3] += rec.cp_ps;
+    cell.mean_cp[4] += rec.cp_wait;
   }
 
   for (std::size_t i = 0; i < agg.cells_.size(); ++i) {
@@ -90,6 +96,7 @@ Aggregate Aggregate::build(const std::vector<RunRecord>& records,
     for (double d : durations[i]) dsum += d;
     cell.mean = sum / cell.n;
     cell.mean_duration = dsum / cell.n;
+    for (double& v : cell.mean_cp) v /= cell.n;
     if (cell.n > 1) {
       double ss = 0.0;
       for (double v : values[i]) ss += (v - cell.mean) * (v - cell.mean);
@@ -128,6 +135,10 @@ common::Table Aggregate::to_table(const std::string& title) const {
   header.push_back("mean " + metric_);
   header.push_back("std");
   header.push_back("mean duration (s)");
+  for (const char* col :
+       {"cp compute", "cp local", "cp comm", "cp ps", "cp wait"}) {
+    header.emplace_back(col);
+  }
   if (any_paper) {
     header.push_back("paper");
     header.push_back("delta");
@@ -141,6 +152,11 @@ common::Table Aggregate::to_table(const std::string& title) const {
     row.push_back(common::fmt(cell.mean, 4));
     row.push_back(cell.n > 1 ? common::fmt(cell.stddev, 4) : "-");
     row.push_back(common::fmt(cell.mean_duration, 3));
+    for (double v : cell.mean_cp) {
+      row.push_back(cell.mean_duration > 0.0
+                        ? common::fmt_pct(v / cell.mean_duration)
+                        : "-");
+    }
     if (any_paper) {
       row.push_back(cell.paper ? common::fmt(*cell.paper, 4) : "-");
       row.push_back(cell.delta() ? common::fmt(*cell.delta(), 4) : "-");
@@ -211,7 +227,12 @@ void Aggregate::write_jsonl(std::ostream& os) const {
     os << "},\"metric\":\"" << json_escape(metric_) << "\",\"n\":" << cell.n
        << ",\"mean\":" << json_number(cell.mean)
        << ",\"stddev\":" << json_number(cell.stddev)
-       << ",\"mean_duration\":" << json_number(cell.mean_duration);
+       << ",\"mean_duration\":" << json_number(cell.mean_duration)
+       << ",\"cp\":{\"compute\":" << json_number(cell.mean_cp[0])
+       << ",\"local_agg\":" << json_number(cell.mean_cp[1])
+       << ",\"comm\":" << json_number(cell.mean_cp[2])
+       << ",\"ps\":" << json_number(cell.mean_cp[3])
+       << ",\"wait\":" << json_number(cell.mean_cp[4]) << "}";
     if (cell.paper) {
       os << ",\"paper\":" << json_number(*cell.paper)
          << ",\"delta\":" << json_number(*cell.delta());
@@ -249,7 +270,8 @@ void write_outputs(const std::string& dir, const std::string& title,
     for (const char* col :
          {"replicate", "seed", "algorithm", "workers", "final_accuracy",
           "virtual_duration", "throughput", "wire_bytes", "wire_messages",
-          "total_samples", "total_iterations", "param_hash"}) {
+          "total_samples", "total_iterations", "cp_compute", "cp_local_agg",
+          "cp_comm", "cp_ps", "cp_wait", "param_hash"}) {
       header.emplace_back(col);
     }
     runs_table.set_header(std::move(header));
@@ -267,6 +289,11 @@ void write_outputs(const std::string& dir, const std::string& title,
       row.push_back(std::to_string(rec.wire_messages));
       row.push_back(std::to_string(rec.total_samples));
       row.push_back(std::to_string(rec.total_iterations));
+      row.push_back(json_number(rec.cp_compute));
+      row.push_back(json_number(rec.cp_local_agg));
+      row.push_back(json_number(rec.cp_comm));
+      row.push_back(json_number(rec.cp_ps));
+      row.push_back(json_number(rec.cp_wait));
       row.push_back(rec.param_hash);
       runs_table.add_row(std::move(row));
     }

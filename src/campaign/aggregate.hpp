@@ -11,6 +11,7 @@
 // axis (series = the remaining axes).
 #pragma once
 
+#include <array>
 #include <map>
 #include <optional>
 #include <string>
@@ -32,6 +33,10 @@ struct CellStats {
   double mean = 0.0;
   double stddev = 0.0;  // sample std dev (n-1); 0 when n < 2
   double mean_duration = 0.0;
+  /// Mean critical-path seconds per class across replicates (compute,
+  /// local_agg, comm, ps, wait — docs/observability.md). Sums to
+  /// mean_duration: the analyzer's attribution tiles the makespan.
+  std::array<double, 5> mean_cp{};
   std::optional<double> paper;  // reference value, when provided
   /// mean - paper (absolute delta), when a reference is set.
   [[nodiscard]] std::optional<double> delta() const {

@@ -125,6 +125,11 @@ std::string RunRecord::serialize() const {
      << ",\"wire_messages\":" << json_number(wire_messages)
      << ",\"total_samples\":" << json_number(total_samples)
      << ",\"total_iterations\":" << json_number(total_iterations)
+     << ",\"cp_compute\":" << json_number(cp_compute)
+     << ",\"cp_local_agg\":" << json_number(cp_local_agg)
+     << ",\"cp_comm\":" << json_number(cp_comm)
+     << ",\"cp_ps\":" << json_number(cp_ps)
+     << ",\"cp_wait\":" << json_number(cp_wait)
      << ",\"param_hash\":\"" << json_escape(param_hash) << "\"}";
   const std::string line = os.str();
   return line + "\n{\"fnv64\":\"" + fnv1a_hex(line) + "\"}\n";
@@ -187,6 +192,16 @@ std::optional<RunRecord> RunRecord::parse(const std::string& text) {
         rec.total_samples = to_int<std::int64_t>(cur.parse_number_raw());
       } else if (key == "total_iterations") {
         rec.total_iterations = to_int<std::int64_t>(cur.parse_number_raw());
+      } else if (key == "cp_compute") {
+        rec.cp_compute = to_double(cur.parse_number_raw());
+      } else if (key == "cp_local_agg") {
+        rec.cp_local_agg = to_double(cur.parse_number_raw());
+      } else if (key == "cp_comm") {
+        rec.cp_comm = to_double(cur.parse_number_raw());
+      } else if (key == "cp_ps") {
+        rec.cp_ps = to_double(cur.parse_number_raw());
+      } else if (key == "cp_wait") {
+        rec.cp_wait = to_double(cur.parse_number_raw());
       } else {
         return std::nullopt;  // unknown field: not our format
       }

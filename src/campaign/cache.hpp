@@ -38,6 +38,15 @@ struct RunRecord {
   std::uint64_t wire_messages = 0;
   std::int64_t total_samples = 0;
   std::int64_t total_iterations = 0;
+  /// Critical-path decomposition (seconds; see docs/observability.md).
+  /// Always filled: campaign runs execute with the profiler on. The five
+  /// classes sum to virtual_duration; derived purely from virtual-time
+  /// spans, so they are as deterministic as the rest of the record.
+  double cp_compute = 0.0;
+  double cp_local_agg = 0.0;
+  double cp_comm = 0.0;
+  double cp_ps = 0.0;
+  double cp_wait = 0.0;
   /// FNV-1a over the final parameters of every worker replica (16 hex
   /// chars); empty for cost-only runs, which carry no parameters.
   std::string param_hash;

@@ -50,6 +50,10 @@ std::string workload_param_hash(core::Workload& wl) {
 RunRecord execute_run(const RunSpec& run, int compute_threads) {
   core::ExperimentSpec exp = core::ExperimentSpec::from_ini(run.resolved);
   if (compute_threads > 0) exp.config.compute_threads = compute_threads;
+  // Campaign runs always profile: the cp_* record fields come from the
+  // critical-path analyzer. Profiling is purely observational, so the
+  // fingerprinted results are unchanged (file outputs stay disabled).
+  exp.config.profile = true;
   core::Workload wl = exp.make_workload();
   const metrics::RunResult result = core::run_training(exp.config, wl);
 
@@ -67,6 +71,14 @@ RunRecord execute_run(const RunSpec& run, int compute_threads) {
   rec.wire_messages = result.wire_messages;
   rec.total_samples = result.total_samples;
   rec.total_iterations = result.total_iterations;
+  if (result.profile) {
+    const profile::RunProfile& p = *result.profile;
+    rec.cp_compute = p.critical.get(profile::CostClass::compute);
+    rec.cp_local_agg = p.critical.get(profile::CostClass::local_agg);
+    rec.cp_comm = p.critical.get(profile::CostClass::comm);
+    rec.cp_ps = p.critical.get(profile::CostClass::ps);
+    rec.cp_wait = p.critical.get(profile::CostClass::wait);
+  }
   rec.param_hash = workload_param_hash(wl);
   return rec;
 }

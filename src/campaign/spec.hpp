@@ -42,7 +42,8 @@ namespace dt::campaign {
 
 /// Bump when a simulation change invalidates previously cached run results
 /// (the tag is hashed into every run fingerprint).
-inline constexpr const char* kCacheEpoch = "dt-campaign-v1";
+// v2: RunRecord grew critical-path fields (cp_*).
+inline constexpr const char* kCacheEpoch = "dt-campaign-v2";
 
 /// One `[section] key = value` assignment applied on top of the base.
 struct Override {

@@ -86,6 +86,7 @@ void account_window(runtime::Process& self, metrics::WorkerMetrics& wm,
   wm.accumulate(Phase::global_agg, elapsed - comm);
   probes.window->observe(elapsed);
   probes.wait->observe(elapsed - comm);
+  wm.note_window(window_start, self.now());
 }
 
 // ---- crash recovery (see docs/faults.md); mirrors algo_centralized.cpp ----

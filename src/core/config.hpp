@@ -163,6 +163,22 @@ struct TrainConfig {
   std::string timeseries_csv;
   /// Virtual seconds between time-series samples.
   double sample_period = 0.25;
+
+  /// Critical-path profiler (docs/observability.md): when true, phase
+  /// spans, request windows, and message edges are captured and the
+  /// critical-path analyzer fills RunResult::profile. Purely observational
+  /// — simulated behavior and every other output are unchanged.
+  bool profile = false;
+  /// When non-empty, the profiler's span log is written here as JSONL
+  /// (implies `profile`).
+  std::string profile_spans_jsonl;
+  /// When non-empty, the span log is also exported as Chrome-tracing JSON
+  /// (implies `profile`).
+  std::string profile_trace;
+
+  [[nodiscard]] bool profiling_enabled() const noexcept {
+    return profile || !profile_spans_jsonl.empty() || !profile_trace.empty();
+  }
 };
 
 }  // namespace dt::core

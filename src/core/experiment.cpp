@@ -219,7 +219,7 @@ const std::vector<IniSectionSchema>& experiment_ini_schema() {
         "replicate_ps", "local_step_budget"}},
       {"output",
        {"trace", "metrics_jsonl", "timeseries_csv", "sample_period",
-        "log_level"}},
+        "log_level", "profile", "profile_spans", "profile_trace"}},
   };
   return schema;
 }
@@ -372,6 +372,9 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
   cfg.sample_period = ini.get_double("output", "sample_period", 0.25);
   common::check(cfg.sample_period > 0.0,
                 "output: sample_period must be > 0");
+  cfg.profile = ini.get_bool("output", "profile", false);
+  cfg.profile_spans_jsonl = ini.get("output", "profile_spans", "");
+  cfg.profile_trace = ini.get("output", "profile_trace", "");
   const std::string level = ini.get("output", "log_level", "");
   if (!level.empty()) {
     common::set_log_level(common::log_level_from_name(level));

@@ -334,6 +334,16 @@ metrics::RunResult Session::run() {
                      w.end);
     }
   }
+  if (cfg.profiling_enabled()) {
+    // Capture only: spans/edges are recorded on the simulated threads (one
+    // at a time), never read during the run, and change no simulated
+    // behavior — profiled runs stay byte-identical with unprofiled ones.
+    spans_ = std::make_unique<profile::SpanLog>();
+    network->set_spans(spans_.get());
+    for (int r = 0; r < cfg.num_workers; ++r) {
+      wmetrics[static_cast<std::size_t>(r)].set_spans(spans_.get(), r);
+    }
+  }
   if (!cfg.timeseries_csv.empty()) {
     sampler_ = std::make_unique<metrics::TimeSeriesSampler>(
         registry, cfg.sample_period);
@@ -378,6 +388,34 @@ metrics::RunResult Session::run() {
   if (sampler_) {
     sampler_->sample(engine.now());  // final row = end-of-run state
     sampler_->save_csv(cfg.timeseries_csv);
+  }
+  result.sim_events = engine.stats().events;
+  result.sim_wakes = engine.stats().wakes;
+  result.sim_peak_ready = engine.stats().peak_ready;
+  if (spans_) {
+    // Endpoint registration is deferred to here so launcher-created
+    // endpoints (collectives, backups) are covered too; edges recorded
+    // mid-run only carry ids.
+    for (int ep = 0; ep < network->num_endpoints(); ++ep) {
+      int rank = -1;
+      for (int r = 0; r < cfg.num_workers; ++r) {
+        if (worker_ep[static_cast<std::size_t>(r)] == ep) {
+          rank = r;
+          break;
+        }
+      }
+      spans_->register_endpoint(ep, network->endpoint_name(ep),
+                                network->machine_of(ep), rank);
+    }
+    result.profile = std::make_shared<const profile::RunProfile>(
+        profile::analyze(*spans_, result.virtual_duration, cfg.num_workers,
+                         wl.functional() ? wl.iterations_per_epoch() : 0));
+    if (!cfg.profile_spans_jsonl.empty()) {
+      spans_->save_jsonl(cfg.profile_spans_jsonl);
+    }
+    if (!cfg.profile_trace.empty()) {
+      spans_->save_chrome_json(cfg.profile_trace);
+    }
   }
   result.metrics = registry.snapshot();
   if (!cfg.metrics_jsonl.empty()) registry.save_jsonl(cfg.metrics_jsonl);

@@ -15,6 +15,8 @@
 #include "net/collectives.hpp"
 #include "net/network.hpp"
 #include "net/reliable.hpp"
+#include "profile/critical_path.hpp"
+#include "profile/spans.hpp"
 #include "ps/shard_state.hpp"
 #include "ps/sharding.hpp"
 #include "runtime/sim.hpp"
@@ -75,6 +77,11 @@ class Session {
   /// Trace sink for the run (nullptr unless cfg.trace_path is set). Set up
   /// before launch() so launchers and the network can record into it.
   [[nodiscard]] metrics::TraceLog* trace() noexcept { return trace_.get(); }
+
+  /// Profiler span log (nullptr unless cfg.profiling_enabled()). Filled
+  /// during the run through the SpanSink hooks; analyzed into
+  /// RunResult::profile afterwards.
+  [[nodiscard]] profile::SpanLog* spans() noexcept { return spans_.get(); }
 
   // ---- helpers -----------------------------------------------------------
   [[nodiscard]] int num_workers() const noexcept { return cfg.num_workers; }
@@ -192,6 +199,7 @@ class Session {
   bool ran_ = false;
   std::unique_ptr<metrics::TraceLog> trace_;
   std::unique_ptr<metrics::TimeSeriesSampler> sampler_;
+  std::unique_ptr<profile::SpanLog> spans_;
 };
 
 // Per-algorithm launchers (defined in algo_centralized.cpp /

@@ -8,13 +8,19 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "metrics/registry.hpp"
+#include "metrics/span_sink.hpp"
 #include "metrics/trace.hpp"
 #include "runtime/sim.hpp"
+
+namespace dt::profile {
+struct RunProfile;
+}
 
 namespace dt::metrics {
 
@@ -43,6 +49,25 @@ class WorkerMetrics {
   }
   [[nodiscard]] TraceLog* trace() const noexcept { return trace_; }
   [[nodiscard]] const std::string& track() const noexcept { return track_; }
+
+  /// Attaches a profiler span sink (see metrics/span_sink.hpp): every
+  /// PhaseTimer interval and account_window window is also emitted as a
+  /// span tagged with `rank` and the current iteration index.
+  void set_spans(SpanSink* sink, int rank) noexcept {
+    spans_ = sink;
+    rank_ = rank;
+  }
+  [[nodiscard]] SpanSink* spans() const noexcept { return spans_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+  /// Records a request-response window [start, end) into the span sink
+  /// (no-op without one). Called by the launchers' account_window next to
+  /// the comm/global_agg accumulation it performs.
+  void note_window(double start, double end) {
+    if (spans_ != nullptr && end > start) {
+      spans_->on_window(rank_, iterations_, start, end);
+    }
+  }
 
   /// Mirrors iteration/sample counts into registry counters (per-worker
   /// labels), so the time-series sampler sees training progress. Pointers
@@ -76,6 +101,8 @@ class WorkerMetrics {
   std::int64_t iterations_ = 0;
   std::int64_t samples_ = 0;
   TraceLog* trace_ = nullptr;
+  SpanSink* spans_ = nullptr;
+  int rank_ = 0;
   std::string track_;
   Counter* iter_counter_ = nullptr;
   Counter* sample_counter_ = nullptr;
@@ -93,6 +120,10 @@ class PhaseTimer {
     if (metrics_.trace() != nullptr && end > start_) {
       metrics_.trace()->record(metrics_.track(), phase_name(phase_), start_,
                                end);
+    }
+    if (metrics_.spans() != nullptr && end > start_) {
+      metrics_.spans()->on_phase(metrics_.rank(), metrics_.iterations(),
+                                 static_cast<int>(phase_), start_, end);
     }
   }
 
@@ -137,11 +168,23 @@ struct RunResult {
   /// docs/observability.md for the catalogue.
   MetricSnapshot metrics;
 
+  /// Critical-path analysis (docs/observability.md, "Critical-path
+  /// profiler"). Non-null only when the run's `profile` knob was set.
+  /// Derived exclusively from virtual-time spans, so its contents are
+  /// byte-identical across hosts and compute_threads settings.
+  std::shared_ptr<const profile::RunProfile> profile;
+
   // Host-side execution stats (wall clock, not virtual time). These never
   // feed back into simulated results; they describe how fast this host ran
-  // the simulation. See docs/performance.md.
+  // the simulation. See docs/performance.md. The sim_* counters describe
+  // the engine's own work (scheduler resumptions, wakes, peak ready-queue
+  // length); they are deterministic but kept out of metric dumps and
+  // campaign records — bench_simcore turns them into events/sec.
   double host_wall_s = 0.0;       // wall-clock seconds inside engine.run()
   int host_compute_threads = 0;   // resolved advance_compute pool size
+  std::uint64_t sim_events = 0;       // scheduler resumptions
+  std::uint64_t sim_wakes = 0;        // SimEngine::wake calls
+  std::uint64_t sim_peak_ready = 0;   // peak simultaneously-ready processes
 
   /// Samples per second of virtual time (paper: "images/sec").
   [[nodiscard]] double throughput() const noexcept {

@@ -116,6 +116,27 @@ void Histogram::observe(double v) noexcept {
   max_ = std::max(max_, v);
 }
 
+double Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = static_cast<double>(cum + counts_[i]);
+    if (next >= target) {
+      const double lo = i == 0 ? min_ : std::max(min_, bounds_[i - 1]);
+      const double hi =
+          i < bounds_.size() ? std::min(max_, bounds_[i]) : max_;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts_[i]);
+      const double est = lo + frac * (hi - lo);
+      return std::clamp(est, min_, max_);
+    }
+    cum += counts_[i];
+  }
+  return max_;
+}
+
 std::vector<double> Histogram::time_bounds() {
   return {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
           1e-1, 3e-1, 1.0,  3.0,  10.0, 30.0};
@@ -225,6 +246,9 @@ MetricSnapshot MetricRegistry::snapshot() const {
         m.sum = h.sum();
         m.min = h.count() > 0 ? h.min() : 0.0;
         m.max = h.count() > 0 ? h.max() : 0.0;
+        m.p50 = h.percentile(0.50);
+        m.p95 = h.percentile(0.95);
+        m.p99 = h.percentile(0.99);
         m.value = h.mean();
         break;
       }
@@ -250,7 +274,10 @@ void MetricRegistry::write_jsonl(std::ostream& os) const {
         const Histogram& h = *e.histogram;
         os << ",\"count\":" << h.count() << ",\"sum\":" << num(h.sum());
         if (h.count() > 0) {
-          os << ",\"min\":" << num(h.min()) << ",\"max\":" << num(h.max());
+          os << ",\"min\":" << num(h.min()) << ",\"max\":" << num(h.max())
+             << ",\"p50\":" << num(h.percentile(0.50))
+             << ",\"p95\":" << num(h.percentile(0.95))
+             << ",\"p99\":" << num(h.percentile(0.99));
         }
         os << ",\"buckets\":[";
         for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
@@ -282,23 +309,29 @@ void MetricRegistry::save_jsonl(const std::string& path) const {
 common::Table MetricRegistry::summary_table(const std::string& title) const {
   common::Table table(title);
   table.set_header({"metric", "labels", "kind", "value", "count", "mean",
-                    "min", "max"});
+                    "min", "p50", "p95", "p99", "max"});
   for (const auto& e : entries_) {
     switch (e.kind) {
       case MetricKind::counter:
         table.add_row({e.name, labels_to_string(e.labels), "counter",
-                       num(e.counter->value()), "-", "-", "-", "-"});
+                       num(e.counter->value()), "-", "-", "-", "-", "-", "-",
+                       "-"});
         break;
       case MetricKind::gauge:
         table.add_row({e.name, labels_to_string(e.labels), "gauge",
-                       num(e.gauge->value()), "-", "-", "-", "-"});
+                       num(e.gauge->value()), "-", "-", "-", "-", "-", "-",
+                       "-"});
         break;
       case MetricKind::histogram: {
         const Histogram& h = *e.histogram;
         const bool any = h.count() > 0;
         table.add_row({e.name, labels_to_string(e.labels), "histogram", "-",
                        std::to_string(h.count()), any ? num(h.mean()) : "-",
-                       any ? num(h.min()) : "-", any ? num(h.max()) : "-"});
+                       any ? num(h.min()) : "-",
+                       any ? num(h.percentile(0.50)) : "-",
+                       any ? num(h.percentile(0.95)) : "-",
+                       any ? num(h.percentile(0.99)) : "-",
+                       any ? num(h.max()) : "-"});
         break;
       }
     }

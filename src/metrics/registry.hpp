@@ -89,6 +89,13 @@ class Histogram {
     return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
   }
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the target rank, using the exact min/max as the edges
+  /// of the first/last occupied bucket. Clamped to [min, max], so p0 ==
+  /// min and p100 == max exactly; 0 when the histogram is empty. Accuracy
+  /// is bounded by bucket width, like any fixed-bucket quantile.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
   // Common bucket presets.
   static std::vector<double> time_bounds();   // 10 µs .. 30 s, log-ish
   static std::vector<double> count_bounds();  // 0 .. 512, powers of two
@@ -116,6 +123,10 @@ struct MetricValue {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  // Bucket-interpolated percentile estimates (see Histogram::percentile).
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Copyable end-of-run view of a registry, carried inside RunResult.

@@ -1,0 +1,37 @@
+// Capture interface of the critical-path profiler (dt::profile).
+//
+// The profiler needs two event streams that already flow through shared
+// choke points: per-worker phase intervals (metrics::PhaseTimer and the
+// launchers' account_window) and per-message network edges (net::Network).
+// This interface lives in dt::metrics so both layers can emit into it
+// without depending on dt::profile; profile::SpanLog is the one
+// implementation. Sinks are attached only when a run sets the `profile`
+// knob, so unprofiled runs stay byte-identical with previous builds.
+#pragma once
+
+#include <cstdint>
+
+namespace dt::metrics {
+
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+
+  /// One phase interval [start, end) of `worker` (virtual seconds), during
+  /// its `round`-th local iteration. `phase` is a metrics::Phase value.
+  virtual void on_phase(int worker, std::int64_t round, int phase,
+                        double start, double end) = 0;
+
+  /// One request-response window [start, end): the interval the launchers
+  /// split into comm + global_agg after the fact (account_window). The
+  /// analyzer explains it by tracing message edges instead.
+  virtual void on_window(int worker, std::int64_t round, double start,
+                         double end) = 0;
+
+  /// One delivered message: sent from `src_ep` at `sent`, arriving at
+  /// `dst_ep` at `arrival` (virtual seconds). Lost packets are not edges.
+  virtual void on_edge(int src_ep, int dst_ep, std::uint64_t bytes,
+                       double sent, double arrival, bool inter_machine) = 0;
+};
+
+}  // namespace dt::metrics

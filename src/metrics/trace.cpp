@@ -81,7 +81,12 @@ void TraceLog::write_chrome_json(std::ostream& os) const {
     if (!first) os << ",\n";
     first = false;
   };
-  // Thread-name metadata so the viewer shows worker names.
+  // Process/thread-name metadata so the viewer shows run and worker names.
+  if (!process_name_.empty()) {
+    sep();
+    os << R"({"ph":"M","pid":0,"name":"process_name","args":{"name":")"
+       << escape(process_name_) << R"("}})";
+  }
   for (const auto& [track, tid] : tids) {
     sep();
     os << R"({"ph":"M","pid":0,"tid":)" << tid

@@ -44,6 +44,15 @@ class TraceLog {
             const std::string& name, double sent, double arrival,
             std::uint64_t id);
 
+  /// Names the (single) trace process — emitted as a "process_name"
+  /// metadata event so Perfetto's track group shows e.g. "dtrain bsp"
+  /// instead of the bare pid. Empty (default) emits no such event, keeping
+  /// pre-existing traces byte-identical.
+  void set_process_name(std::string name) { process_name_ = std::move(name); }
+  [[nodiscard]] const std::string& process_name() const noexcept {
+    return process_name_;
+  }
+
   /// Total recorded events (slices + counters + flows + instants).
   [[nodiscard]] std::size_t size() const noexcept {
     return events_.size() + counter_events_.size() + flow_events_.size() +
@@ -99,6 +108,7 @@ class TraceLog {
   }
 
  private:
+  std::string process_name_;
   std::vector<Event> events_;
   std::vector<CounterEvent> counter_events_;
   std::vector<FlowEvent> flow_events_;

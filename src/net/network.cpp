@@ -197,6 +197,10 @@ void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
 
   const auto enqueue = [&](Packet p, double arr) {
     if (in_flight_ != nullptr) in_flight_->add(1.0);
+    if (spans_ != nullptr) {
+      spans_->on_edge(src_endpoint, dst_endpoint, p.wire_bytes, now, arr,
+                      src_machine != dst_machine);
+    }
     if (trace_ != nullptr) {
       trace_->flow(endpoint_name(src_endpoint), endpoint_name(dst_endpoint),
                    endpoint_name(src_endpoint) + "->" +
@@ -241,6 +245,10 @@ void Network::transfer(runtime::Process& self, int src_endpoint,
   if (spec_.send_overhead > 0.0) self.advance(spec_.send_overhead);
   const double now = engine_.now();
   const double arrival = model_transfer(src_machine, dst_machine, bytes, now);
+  if (spans_ != nullptr) {
+    spans_->on_edge(src_endpoint, dst_endpoint, bytes, now, arrival,
+                    src_machine != dst_machine);
+  }
   if (trace_ != nullptr) {
     trace_->flow(endpoint_name(src_endpoint), endpoint_name(dst_endpoint),
                  "recover " + endpoint_name(src_endpoint) + "->" +

@@ -29,6 +29,7 @@
 
 #include "faults/faults.hpp"
 #include "metrics/registry.hpp"
+#include "metrics/span_sink.hpp"
 #include "net/packet.hpp"
 #include "runtime/sim.hpp"
 
@@ -114,6 +115,11 @@ class Network {
   /// endpoint's track to the destination's (arrows in Perfetto).
   void set_trace(metrics::TraceLog* trace) noexcept { trace_ = trace; }
 
+  /// Attaches a profiler span sink: every delivered message (send and bulk
+  /// transfer; duplicates too, lost packets not) is recorded as a message
+  /// edge for the critical-path analyzer. Attached only for profiled runs.
+  void set_spans(metrics::SpanSink* spans) noexcept { spans_ = spans; }
+
   /// Attaches a fault plan: sends whose virtual time falls inside a link
   /// degradation window of either endpoint's machine see their bandwidth
   /// and latency scaled by the window multipliers, and — when the plan has
@@ -178,6 +184,7 @@ class Network {
 
   // Observability sinks (optional; resolved once in set_metrics).
   metrics::TraceLog* trace_ = nullptr;
+  metrics::SpanSink* spans_ = nullptr;
   const faults::FaultPlan* faults_ = nullptr;
   bool msg_faults_on_ = false;
   common::Rng msg_rng_;  // dedicated message-fault stream (set_faults)

@@ -144,23 +144,28 @@ Process& SimEngine::spawn(std::string name, std::function<void(Process&)> body,
   proc->ready_time_ = 0.0;
   proc->ready_seq_ = ++seq_counter_;
   processes_.push_back(std::move(proc));
+  ++stats_.processes;
   return *processes_.back();
 }
 
 Process* SimEngine::pick_next_locked() {
   Process* best = nullptr;
+  std::uint64_t ready = 0;
   for (auto& p : processes_) {
     if (p->state_ != Process::State::ready) continue;
+    ++ready;
     if (!best || p->ready_time_ < best->ready_time_ ||
         (p->ready_time_ == best->ready_time_ &&
          p->ready_seq_ < best->ready_seq_)) {
       best = p.get();
     }
   }
+  stats_.peak_ready = std::max(stats_.peak_ready, ready);
   return best;
 }
 
 void SimEngine::resume_locked(std::unique_lock<std::mutex>& lock, Process& p) {
+  ++stats_.events;
   running_ = &p;
   p.cv_.notify_one();
   engine_cv_.wait(lock, [this] { return running_ == nullptr; });
@@ -249,6 +254,7 @@ ThreadPool* SimEngine::compute_pool_or_null() {
 void SimEngine::wake(Process& p, double at) {
   std::unique_lock<std::mutex> lock(mu_);
   common::check(running_ != nullptr, "SimEngine::wake from outside a process");
+  ++stats_.wakes;
   const double at_clamped = std::max(at, now_);
   if (p.state_ == Process::State::blocked) {
     p.state_ = Process::State::ready;

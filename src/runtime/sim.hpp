@@ -46,6 +46,18 @@ class SimEngine;
 /// regular processes finished. Process bodies must let it propagate.
 class ProcessKilled {};
 
+/// Engine self-metrics: how much work the scheduler itself did. These are
+/// deterministic for a fixed run (the schedule is), but they describe the
+/// simulator, not the simulated system — they stay out of metric dumps and
+/// campaign records, and are surfaced via RunResult's host-side section and
+/// bench_simcore (events/sec).
+struct SimStats {
+  std::uint64_t events = 0;      // process resumptions (scheduler picks)
+  std::uint64_t wakes = 0;       // wake() calls
+  std::uint64_t processes = 0;   // processes ever spawned
+  std::uint64_t peak_ready = 0;  // max simultaneously-ready processes
+};
+
 class Process {
  public:
   Process(const Process&) = delete;
@@ -155,6 +167,10 @@ class SimEngine {
     return processes_.size();
   }
 
+  /// Engine self-metrics (see SimStats). Valid at any point; complete once
+  /// run() returns.
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+
  private:
   friend class Process;
 
@@ -174,6 +190,7 @@ class SimEngine {
   Process* running_ = nullptr;  // nullptr = engine holds the baton
   double now_ = 0.0;
   std::uint64_t seq_counter_ = 0;
+  SimStats stats_;
   bool started_ = false;
   int compute_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;

@@ -65,6 +65,57 @@ TEST(Histogram, BucketsAndExactStats) {
   EXPECT_DOUBLE_EQ(h.mean(), 104.5 / 4.0);
 }
 
+TEST(Histogram, PercentileEstimates) {
+  MetricRegistry reg;
+  // Single observation: every percentile is that exact value (the exact
+  // min/max clamp the interpolation, even in the +inf tail bucket).
+  Histogram& one = reg.histogram("one", {}, {1.0, 2.0, 4.0});
+  one.observe(5.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.99), 5.0);
+
+  // Two samples in one bucket: the estimate interpolates between the exact
+  // min and max, not the (wider) bucket edges.
+  Histogram& pair = reg.histogram("pair", {}, {10.0});
+  pair.observe(2.0);
+  pair.observe(8.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(0.50), 5.0);
+
+  // Empty histogram: percentiles read 0 rather than NaN.
+  Histogram& empty = reg.histogram("empty", {}, {1.0});
+  EXPECT_DOUBLE_EQ(empty.percentile(0.50), 0.0);
+
+  Histogram& h = reg.histogram("lat2", {}, {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(100.0);
+  // p50 lands at the top of the first bucket; p99 interpolates inside the
+  // +inf tail, whose upper edge is the exact max.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 4.0 + 0.96 * 96.0);
+  EXPECT_LE(h.percentile(0.99), h.max());
+}
+
+TEST(MetricSnapshot, PercentilesInSnapshotAndJsonl) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("lat", {}, {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+
+  const MetricSnapshot snap = reg.snapshot();
+  const MetricValue* m = snap.find("lat", {});
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->p50, h.percentile(0.50));
+  EXPECT_DOUBLE_EQ(m->p95, h.percentile(0.95));
+  EXPECT_DOUBLE_EQ(m->p99, h.percentile(0.99));
+
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  EXPECT_NE(os.str().find(R"("p50":)"), std::string::npos);
+  EXPECT_NE(os.str().find(R"("p99":)"), std::string::npos);
+}
+
 TEST(Histogram, RejectsUnsortedBounds) {
   MetricRegistry reg;
   EXPECT_THROW(reg.histogram("bad", {}, {2.0, 1.0}), common::Error);
