@@ -79,7 +79,7 @@ Packet grad_packet(Session& s, int rank, std::size_t slot, double epoch,
       compress::QuantizedSlot q = compress::quantize(grad.data(), qcfg, rng);
       tensor::Tensor restored(grad.shape());
       q.dequantize(restored.data());
-      pkt.tensors.push_back(std::move(restored));
+      pkt.emplace_payload().tensors.push_back(std::move(restored));
     }
     return pkt;
   }
@@ -89,8 +89,9 @@ Packet grad_packet(Session& s, int rank, std::size_t slot, double epoch,
       auto sparse =
           dgc->compress(slot, s.wl.grad_slot(rank, slot).data(), epoch);
       pkt.wire_bytes = sparse.wire_bytes();
-      pkt.sparse_indices.push_back(std::move(sparse.indices));
-      pkt.sparse_values.push_back(std::move(sparse.values));
+      auto& pl = pkt.emplace_payload();
+      pl.sparse_indices.push_back(std::move(sparse.indices));
+      pl.sparse_values.push_back(std::move(sparse.values));
     } else {
       const double bytes = static_cast<double>(s.wl.slot_wire_bytes(slot)) *
                            dgc_steady_density(s) * 2.0;
@@ -101,7 +102,7 @@ Packet grad_packet(Session& s, int rank, std::size_t slot, double epoch,
     pkt.tag = kTagGrad;
     pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
     if (s.wl.functional()) {
-      pkt.tensors.push_back(s.wl.grad_slot(rank, slot));
+      pkt.emplace_payload().tensors.push_back(s.wl.grad_slot(rank, slot));
     }
   }
   return pkt;
@@ -168,7 +169,7 @@ void await_params(Session& s, runtime::Process& self, int rank, int ep,
     }
     if (s.wl.functional()) {
       s.wl.set_param_slot(rank, static_cast<std::size_t>(pkt.b),
-                          pkt.tensors.at(0));
+                          pkt.tensor(0));
     }
   }
 }
@@ -273,9 +274,16 @@ struct CurveRecorder {
   }
 };
 
+/// When the same (shard, slot) reply fans out to many ranks in one round,
+/// pass a `payload_cache`: the first call snapshots the parameter tensor
+/// into a shared payload and every later call reuses the handle, so the
+/// broadcast allocates the model slot once instead of once per rank. Safe
+/// because only the shard's own process mutates its parameters, so the
+/// snapshot cannot change while the reply loop yields in send().
 void send_param_reply(Session& s, runtime::Process& self, int shard,
                       std::size_t slot, int dst_ep,
-                      const PsProbes* probes = nullptr) {
+                      const PsProbes* probes = nullptr,
+                      net::PayloadHandle* payload_cache = nullptr) {
   const auto& st = *s.shards[static_cast<std::size_t>(shard)];
   Packet reply;
   reply.tag = kTagParams;
@@ -284,7 +292,13 @@ void send_param_reply(Session& s, runtime::Process& self, int shard,
   reply.c = st.version(st.local_index(slot));
   reply.wire_bytes = s.wl.slot_wire_bytes(slot);
   if (s.wl.functional()) {
-    reply.tensors.push_back(st.param(st.local_index(slot)));
+    if (payload_cache != nullptr && *payload_cache != nullptr) {
+      reply.payload = *payload_cache;
+    } else {
+      reply.emplace_payload().tensors.push_back(
+          st.param(st.local_index(slot)));
+      if (payload_cache != nullptr) *payload_cache = reply.payload;
+    }
   }
   if (probes != nullptr) {
     probes->bytes_served->inc(static_cast<double>(reply.wire_bytes));
@@ -408,7 +422,8 @@ void reliable_push(Session& s, runtime::Process& self, int wep, int shard,
 void send_param_reply_rel(Session& s, runtime::Process& self,
                           const ps::ShardState& st, int shard, int src_ep,
                           std::size_t slot, int dst_ep, std::int64_t round_id,
-                          const PsProbes* probes) {
+                          const PsProbes* probes,
+                          net::PayloadHandle* payload_cache = nullptr) {
   Packet reply;
   reply.tag = kTagParams;
   reply.a = shard;
@@ -417,7 +432,13 @@ void send_param_reply_rel(Session& s, runtime::Process& self,
   reply.d = round_id;
   reply.wire_bytes = s.wl.slot_wire_bytes(slot);
   if (s.wl.functional()) {
-    reply.tensors.push_back(st.param(st.local_index(slot)));
+    if (payload_cache != nullptr && *payload_cache != nullptr) {
+      reply.payload = *payload_cache;
+    } else {
+      reply.emplace_payload().tensors.push_back(
+          st.param(st.local_index(slot)));
+      if (payload_cache != nullptr) *payload_cache = reply.payload;
+    }
   }
   if (probes != nullptr) {
     probes->bytes_served->inc(static_cast<double>(reply.wire_bytes));
@@ -452,7 +473,7 @@ void await_replies_rel(Session& s, runtime::Process& self, int rank, int wep,
       --remaining;
       if (basis != nullptr) basis->at(slot) = pkt.c;
       if (s.wl.functional()) {
-        s.wl.set_param_slot(rank, slot, pkt.tensors.at(0));
+        s.wl.set_param_slot(rank, slot, pkt.tensor(0));
       }
     } catch (const net::TimeoutError&) {
       for (std::size_t slot : slots) {
@@ -593,6 +614,7 @@ void launch_bsp_reliable(Session& s) {
             }
             st.bump_version(local);
             const std::int64_t closed = (*round)[local]++;
+            net::PayloadHandle reply_payload;  // one snapshot for the fan-out
             for (int r = 0; r < n_workers; ++r) {
               auto& owed = (*pending)[local][static_cast<std::size_t>(r)];
               if (owed == 0) continue;
@@ -601,7 +623,7 @@ void launch_bsp_reliable(Session& s) {
               send_param_reply_rel(
                   s, self, st, shard, ep, slot,
                   s.worker_ep[static_cast<std::size_t>(r)], closed,
-                  probes.get());
+                  probes.get(), &reply_payload);
             }
           };
 
@@ -613,7 +635,7 @@ void launch_bsp_reliable(Session& s) {
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             if (s.wl.functional()) {
               st.stage_dense(local, static_cast<int>(rank),
-                             pkt.tensors.at(0).data());
+                             pkt.tensor(0).data());
             }
             (*last_id)[rank][local] = pkt.d;
             (*lr_latest)[local] = static_cast<float>(pkt.x);
@@ -716,7 +738,7 @@ void launch_asp_reliable(Session& s) {
             }
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             if (s.wl.functional()) {
-              st.apply_dense(local, pkt.tensors.at(0).data(),
+              st.apply_dense(local, pkt.tensor(0).data(),
                              static_cast<float>(pkt.x), inv_n);
             }
             st.bump_version(local);
@@ -814,7 +836,7 @@ void launch_asp_reliable(Session& s) {
                   --remaining;
                   basis[slot] = pkt.c;
                   if (s.wl.functional()) {
-                    s.wl.set_param_slot(rank, slot, pkt.tensors.at(0));
+                    s.wl.set_param_slot(rank, slot, pkt.tensor(0));
                   }
                 } catch (const net::TimeoutError&) {
                   for (std::size_t slot = 0; slot < n_slots && !degraded;
@@ -915,7 +937,7 @@ void launch_ssp_reliable(Session& s) {
           }
           self.advance(s.wl.agg_time(pkt.wire_bytes));
           if (s.wl.functional()) {
-            st.apply_dense(local, pkt.tensors.at(0).data(),
+            st.apply_dense(local, pkt.tensor(0).data(),
                            static_cast<float>(pkt.x), inv_n);
           }
           st.bump_version(local);
@@ -1032,8 +1054,8 @@ void launch_easgd_reliable(Session& s) {
             if (s.wl.functional()) {
               // The exchange mutates the center, so it runs for mirrors
               // too (that is what keeps the replicas bitwise identical).
-              reply.tensors.push_back(
-                  st.elastic_exchange(local, pkt.tensors.at(0), alpha));
+              reply.emplace_payload().tensors.push_back(
+                  st.elastic_exchange(local, pkt.tensor(0), alpha));
             }
             st.bump_version(local);
             reply.c = st.version(local);
@@ -1096,7 +1118,8 @@ void launch_easgd_reliable(Session& s) {
                 pkt.d = round_id;
                 pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
                 if (s.wl.functional()) {
-                  pkt.tensors.push_back(s.wl.param_slot(rank, slot));
+                  pkt.emplace_payload().tensors.push_back(
+                      s.wl.param_slot(rank, slot));
                 }
                 reliable_push(s, self, wep, s.plan.shard_of(slot), pkt);
               };
@@ -1181,6 +1204,7 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
               self.advance(s.wl.agg_time(s.wl.slot_wire_bytes(slot)));
             }
             st.bump_version(local);
+            net::PayloadHandle reply_payload;  // one snapshot for the fan-out
             for (int r : pusher_ranks) {
               if (drop_mode &&
                   (s.rank_down(r, self.now()) || s.rank_finished(r))) {
@@ -1188,7 +1212,7 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
               }
               send_param_reply(s, self, shard, slot,
                                s.worker_ep[static_cast<std::size_t>(r)],
-                               &probes);
+                               &probes, &reply_payload);
             }
           };
           for (;;) {
@@ -1218,10 +1242,10 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             if (s.wl.functional()) {
               if (pkt.tag == kTagGrad) {
-                st.accumulate_dense(local, pkt.tensors.at(0).data());
+                st.accumulate_dense(local, pkt.tensor(0).data());
               } else {
-                st.accumulate_sparse(local, pkt.sparse_indices.at(0),
-                                     pkt.sparse_values.at(0));
+                st.accumulate_sparse(local, pkt.sparse_indices(0),
+                                     pkt.sparse_values(0));
               }
             }
             lr_latest[local] = static_cast<float>(pkt.x);
@@ -1274,7 +1298,8 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
                 pkt.b = static_cast<std::int64_t>(slot);
                 pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
                 if (s.wl.functional()) {
-                  pkt.tensors.push_back(s.wl.grad_slot(rank, slot));
+                  pkt.emplace_payload().tensors.push_back(
+                      s.wl.grad_slot(rank, slot));
                 }
                 s.network->send(self, wep, leader_ep, std::move(pkt));
               };
@@ -1294,7 +1319,7 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
                 if (s.wl.functional()) {
                   s.wl.accumulate_grad_slot(
                       rank, static_cast<std::size_t>(pkt.b),
-                      pkt.tensors.at(0));
+                      pkt.tensor(0));
                 }
               }
             }
@@ -1316,6 +1341,11 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
 
               if (local_agg_enabled && peers.size() > 1) {
                 PhaseTimer t(self, wm, Phase::local_agg);
+                // Per-slot payload snapshots shared across the peer
+                // broadcast: the leader's params don't change while this
+                // double loop yields in send(), so the first peer's
+                // snapshot serves every peer.
+                std::vector<net::PayloadHandle> bcast(n_slots);
                 for (int peer : peers) {
                   if (peer == rank) continue;
                   for (std::size_t slot = 0; slot < n_slots; ++slot) {
@@ -1325,7 +1355,12 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
                     pkt.b = static_cast<std::int64_t>(slot);
                     pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
                     if (s.wl.functional()) {
-                      pkt.tensors.push_back(s.wl.param_slot(rank, slot));
+                      if (bcast[slot] == nullptr) {
+                        auto fresh = std::make_shared<net::Payload>();
+                        fresh->tensors.push_back(s.wl.param_slot(rank, slot));
+                        bcast[slot] = std::move(fresh);
+                      }
+                      pkt.payload = bcast[slot];
                     }
                     s.network->send(
                         self, wep,
@@ -1341,7 +1376,7 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
                 Packet pkt = s.network->recv(self, wep, kTagLocalParams);
                 if (s.wl.functional()) {
                   s.wl.set_param_slot(rank, static_cast<std::size_t>(pkt.b),
-                                      pkt.tensors.at(0));
+                                      pkt.tensor(0));
                 }
               }
             }
@@ -1402,10 +1437,10 @@ void launch_asp_impl(Session& s) {
             if (s.wl.functional()) {
               const float lr = static_cast<float>(pkt.x);
               if (pkt.tag == kTagGrad) {
-                st.apply_dense(local, pkt.tensors.at(0).data(), lr, inv_n);
+                st.apply_dense(local, pkt.tensor(0).data(), lr, inv_n);
               } else {
-                st.apply_sparse(local, pkt.sparse_indices.at(0),
-                                pkt.sparse_values.at(0), lr, inv_n);
+                st.apply_sparse(local, pkt.sparse_indices(0),
+                                pkt.sparse_values(0), lr, inv_n);
               }
             }
             st.bump_version(local);
@@ -1507,10 +1542,10 @@ void launch_ssp_impl(Session& s) {
             if (s.wl.functional()) {
               const float lr = static_cast<float>(pkt.x);
               if (pkt.tag == kTagGrad) {
-                st.apply_dense(local, pkt.tensors.at(0).data(), lr, inv_n);
+                st.apply_dense(local, pkt.tensor(0).data(), lr, inv_n);
               } else {
-                st.apply_sparse(local, pkt.sparse_indices.at(0),
-                                pkt.sparse_values.at(0), lr, inv_n);
+                st.apply_sparse(local, pkt.sparse_indices(0),
+                                pkt.sparse_values(0), lr, inv_n);
               }
             }
             st.bump_version(local);
@@ -1654,8 +1689,8 @@ void launch_easgd_impl(Session& s) {
             reply.b = pkt.b;
             reply.wire_bytes = s.wl.slot_wire_bytes(slot);
             if (s.wl.functional()) {
-              reply.tensors.push_back(
-                  st.elastic_exchange(local, pkt.tensors.at(0), alpha));
+              reply.emplace_payload().tensors.push_back(
+                  st.elastic_exchange(local, pkt.tensor(0), alpha));
             }
             st.bump_version(local);
             reply.c = st.version(local);
@@ -1711,7 +1746,8 @@ void launch_easgd_impl(Session& s) {
                 pkt.c = basis[slot];
                 pkt.wire_bytes = s.wl.slot_wire_bytes(slot);
                 if (s.wl.functional()) {
-                  pkt.tensors.push_back(s.wl.param_slot(rank, slot));
+                  pkt.emplace_payload().tensors.push_back(
+                      s.wl.param_slot(rank, slot));
                 }
                 s.network->send(
                     self, wep,

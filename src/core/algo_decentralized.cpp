@@ -35,7 +35,7 @@ Packet param_packet(Session& s, int rank, int tag) {
   pkt.tag = tag;
   pkt.a = rank;
   pkt.wire_bytes = model_wire_bytes(s);
-  if (s.wl.functional()) pkt.tensors = s.wl.params(rank);
+  if (s.wl.functional()) pkt.emplace_payload().tensors = s.wl.params(rank);
   return pkt;
 }
 
@@ -403,7 +403,7 @@ void launch_gosgd_impl(Session& s) {
             const double w_in = pkt.x;
             const double w_new = w_self + w_in;
             if (s.wl.functional()) {
-              s.wl.blend_params(rank, pkt.tensors,
+              s.wl.blend_params(rank, pkt.tensors(),
                                 static_cast<float>(w_in / w_new));
             }
             w[static_cast<std::size_t>(rank)] = w_new;
@@ -525,7 +525,7 @@ void launch_adpsgd_impl(Session& s) {
                 s.fprobes.dropped_pushes->inc();
               }
             } else if (s.wl.functional()) {
-              s.wl.blend_params(rank, pkt.tensors, 0.5f);
+              s.wl.blend_params(rank, pkt.tensors(), 0.5f);
             }
           }
         },
@@ -600,7 +600,7 @@ void launch_adpsgd_impl(Session& s) {
               account_window(self, wm, t0, est, sync);
               exchanges.inc();
               if (s.wl.functional()) {
-                s.wl.blend_params(rank, reply.tensors, 0.5f);
+                s.wl.blend_params(rank, reply.tensors(), 0.5f);
               }
             }
 
@@ -662,8 +662,13 @@ void launch_dpsgd_impl(Session& s) {
 
             {
               PhaseTimer t(self, wm, Phase::comm);
+              // One parameter snapshot shared by every neighbor send: the
+              // Packet copies below bump the payload refcount instead of
+              // duplicating the model. Safe because only this rank's own
+              // process blends into its replica (after the recv below).
+              const Packet proto = param_packet(s, rank, tag);
               for (int nb : neighbors) {
-                Packet pkt = param_packet(s, rank, tag);
+                Packet pkt = proto;
                 s.network->send(self, wep,
                                 s.worker_ep[static_cast<std::size_t>(nb)],
                                 std::move(pkt));
@@ -707,7 +712,7 @@ void launch_dpsgd_impl(Session& s) {
                 // convex blends: blending packet k (0-based) with weight
                 // 1/(k+2) keeps a running mean.
                 for (std::size_t k = 0; k < received.size(); ++k) {
-                  s.wl.blend_params(rank, received[k].tensors,
+                  s.wl.blend_params(rank, received[k].tensors(),
                                     1.0f / static_cast<float>(k + 2));
                 }
               }

@@ -63,8 +63,8 @@ void ring_allreduce(runtime::Process& self, const Communicator& comm,
     out.a = send_chunk;
     if (!data.empty()) {
       const ChunkRange r = chunk_range(data.size(), n, send_chunk);
-      out.sparse_values.emplace_back(data.begin() + r.begin,
-                                     data.begin() + r.end);
+      out.emplace_payload().sparse_values.emplace_back(data.begin() + r.begin,
+                                                       data.begin() + r.end);
     }
     net.send(self, comm.my_endpoint(),
              comm.endpoints[static_cast<std::size_t>(right)], std::move(out));
@@ -73,7 +73,7 @@ void ring_allreduce(runtime::Process& self, const Communicator& comm,
     common::check(in.a == recv_chunk, "ring_allreduce: chunk order violated");
     if (!data.empty()) {
       const ChunkRange r = chunk_range(data.size(), n, recv_chunk);
-      const auto& vals = in.sparse_values.at(0);
+      const auto& vals = in.sparse_values(0);
       common::check(vals.size() == r.size(), "ring_allreduce: chunk size");
       for (std::size_t i = 0; i < vals.size(); ++i) {
         data[r.begin + i] += vals[i];
@@ -92,8 +92,8 @@ void ring_allreduce(runtime::Process& self, const Communicator& comm,
     out.a = send_chunk;
     if (!data.empty()) {
       const ChunkRange r = chunk_range(data.size(), n, send_chunk);
-      out.sparse_values.emplace_back(data.begin() + r.begin,
-                                     data.begin() + r.end);
+      out.emplace_payload().sparse_values.emplace_back(data.begin() + r.begin,
+                                                       data.begin() + r.end);
     }
     net.send(self, comm.my_endpoint(),
              comm.endpoints[static_cast<std::size_t>(right)], std::move(out));
@@ -102,7 +102,7 @@ void ring_allreduce(runtime::Process& self, const Communicator& comm,
     common::check(in.a == recv_chunk, "ring_allreduce: gather order violated");
     if (!data.empty()) {
       const ChunkRange r = chunk_range(data.size(), n, recv_chunk);
-      const auto& vals = in.sparse_values.at(0);
+      const auto& vals = in.sparse_values(0);
       common::check(vals.size() == r.size(), "ring_allreduce: chunk size");
       std::copy(vals.begin(), vals.end(), data.begin() + r.begin);
     }

@@ -211,10 +211,16 @@ void Network::send(runtime::Process& self, int src_endpoint, int dst_endpoint,
     p.sent_at = now;
     p.arrival = arr;
     // Insert keeping the queue sorted by arrival (stable for equal times).
-    auto it = std::upper_bound(
-        dst.queue.begin(), dst.queue.end(), arr,
-        [](double a, const Packet& q) { return a < q.arrival; });
-    dst.queue.insert(it, std::move(p));
+    // Fast path: arrivals are usually non-decreasing, so the common case is
+    // an append — equal-arrival FIFO order matches upper_bound placement.
+    if (dst.queue.empty() || dst.queue.back().arrival <= arr) {
+      dst.queue.push_back(std::move(p));
+    } else {
+      auto it = std::upper_bound(
+          dst.queue.begin(), dst.queue.end(), arr,
+          [](double a, const Packet& q) { return a < q.arrival; });
+      dst.queue.insert(it, std::move(p));
+    }
     if (dst.owner != nullptr && dst.owner != &self) {
       engine_.wake(*dst.owner, arr);
     }

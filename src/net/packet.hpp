@@ -6,9 +6,28 @@
 // index/value pair for DGC) that the receiving algorithm actually computes
 // with. Keeping both on one struct lets every algorithm share a single code
 // path for functional and cost-only execution.
+//
+// The payload lives behind a shared immutable handle so that copying a
+// Packet never deep-copies tensor data: a PS broadcast to N workers, a
+// replication mirror, a reliable-transport retransmit copy, and a
+// fault-injected duplicate delivery all share one allocation. The rules:
+//
+//  - `emplace_payload()` — sender-side: allocate a fresh, unshared payload
+//    and fill it in. The same handle may then be stowed on many packets
+//    (fan-out) before any of them is sent.
+//  - read accessors (`tensors()`, `sparse_indices(i)`, ...) — receiver-side:
+//    borrow the shared data without copying. Valid only while the Packet
+//    (or another handle owner) is alive.
+//  - `owned_payload()` — receiver-side mutation: copy-on-write. If the
+//    payload is shared it is cloned first; the caller gets a private
+//    mutable copy. Receivers that only read must NOT use this.
+//
+// Cost-only runs never allocate a payload at all: the handle stays null and
+// the hot Packet struct is scalars only.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -17,6 +36,22 @@ namespace dt::net {
 
 /// Matches any tag in recv/try_recv.
 inline constexpr int kAnyTag = -1;
+
+/// Functional payload of a Packet. Immutable once the packet is sent
+/// (enforced by the const handle); mutate only via Packet::emplace_payload
+/// (fresh) or Packet::owned_payload (copy-on-write).
+struct Payload {
+  // Dense payload: slot-ordered tensors.
+  std::vector<tensor::Tensor> tensors;
+
+  // Sparse payload (DGC): parallel index/value arrays per slot.
+  std::vector<std::vector<std::uint32_t>> sparse_indices;
+  std::vector<std::vector<float>> sparse_values;
+};
+
+/// Shared immutable payload reference; Packet copies bump the refcount
+/// instead of duplicating tensor data.
+using PayloadHandle = std::shared_ptr<const Payload>;
 
 struct Packet {
   int tag = 0;
@@ -35,16 +70,66 @@ struct Packet {
   // packets that never went through the transport.
   std::int64_t rel_seq = -1;
 
-  // Dense functional payload (slot-ordered tensors), empty in cost-only runs.
-  std::vector<tensor::Tensor> tensors;
-
-  // Sparse functional payload (DGC): parallel index/value arrays per slot.
-  std::vector<std::vector<std::uint32_t>> sparse_indices;
-  std::vector<std::vector<float>> sparse_values;
+  // Functional payload; null in cost-only runs and on control packets.
+  PayloadHandle payload;
 
   // Filled by the network on delivery.
   double sent_at = 0.0;
   double arrival = 0.0;
+
+  [[nodiscard]] bool has_payload() const noexcept {
+    return payload != nullptr;
+  }
+
+  /// Dense tensors (empty when there is no payload).
+  [[nodiscard]] const std::vector<tensor::Tensor>& tensors() const {
+    return payload != nullptr ? payload->tensors : empty_tensors();
+  }
+
+  /// Dense tensor for slot-position `i`; bounds-checked.
+  [[nodiscard]] const tensor::Tensor& tensor(std::size_t i) const {
+    return tensors().at(i);
+  }
+
+  /// Sparse indices for slot-position `i`; bounds-checked.
+  [[nodiscard]] const std::vector<std::uint32_t>& sparse_indices(
+      std::size_t i) const {
+    static const std::vector<std::vector<std::uint32_t>> empty;
+    return (payload != nullptr ? payload->sparse_indices : empty).at(i);
+  }
+
+  /// Sparse values for slot-position `i`; bounds-checked.
+  [[nodiscard]] const std::vector<float>& sparse_values(std::size_t i) const {
+    static const std::vector<std::vector<float>> empty;
+    return (payload != nullptr ? payload->sparse_values : empty).at(i);
+  }
+
+  /// Sender-side: drop any current payload and return a fresh, unshared,
+  /// mutable one to fill in.
+  Payload& emplace_payload() {
+    auto fresh = std::make_shared<Payload>();
+    Payload& ref = *fresh;
+    payload = std::move(fresh);
+    return ref;
+  }
+
+  /// Receiver-side copy-on-write: a mutable view of this packet's payload.
+  /// Clones the payload first if it is shared with other packets (or absent).
+  /// The const_cast is safe: every Payload is created non-const through
+  /// make_shared above and only viewed through the const handle.
+  Payload& owned_payload() {
+    if (payload == nullptr) return emplace_payload();
+    if (payload.use_count() != 1) {
+      payload = std::make_shared<Payload>(*payload);
+    }
+    return const_cast<Payload&>(*payload);
+  }
+
+ private:
+  static const std::vector<tensor::Tensor>& empty_tensors() {
+    static const std::vector<tensor::Tensor> empty;
+    return empty;
+  }
 };
 
 }  // namespace dt::net

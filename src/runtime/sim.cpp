@@ -1,14 +1,101 @@
 #include "runtime/sim.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
 
+#if DT_SIM_FIBERS
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+// libstdc++/libc++abi keep the in-flight-exception bookkeeping in a
+// per-OS-thread structure. All fibers of an engine share one OS thread, so
+// this state is saved and restored at every context switch — otherwise an
+// exception unwinding in one fiber (ProcessKilled through a destructor, a
+// TimeoutError retry loop) would corrupt `std::uncaught_exceptions` and the
+// caught-exception stack seen by the others. Mirror of the ABI struct; the
+// layout is fixed by the Itanium C++ ABI.
+namespace __cxxabiv1 {
+struct __cxa_eh_globals {
+  void* caughtExceptions;
+  unsigned int uncaughtExceptions;
+};
+extern "C" __cxa_eh_globals* __cxa_get_globals() noexcept;
+}  // namespace __cxxabiv1
+#endif
+
 namespace dt::runtime {
 
+#if DT_SIM_FIBERS
+namespace {
+
+std::size_t fiber_stack_bytes() {
+  // Stacks are lazily committed by the kernel, so generous virtual sizing
+  // costs only touched pages. DT_SIM_STACK_KB overrides (min 64 KiB).
+  static const std::size_t bytes = [] {
+    std::size_t kb = 256;
+    if (const char* env = std::getenv("DT_SIM_STACK_KB")) {
+      const long v = std::atol(env);
+      if (v >= 64) kb = static_cast<std::size_t>(v);
+    }
+    return kb * 1024;
+  }();
+  return bytes;
+}
+
+void eh_save(detail::EhState& into) {
+  std::memcpy(into.bytes, __cxxabiv1::__cxa_get_globals(),
+              sizeof(__cxxabiv1::__cxa_eh_globals));
+}
+
+void eh_load(const detail::EhState& from) {
+  std::memcpy(__cxxabiv1::__cxa_get_globals(), from.bytes,
+              sizeof(__cxxabiv1::__cxa_eh_globals));
+}
+
+}  // namespace
+#endif
+
 // ---- Process ------------------------------------------------------------------
+
+#if DT_SIM_FIBERS
+
+Process::Process(SimEngine* engine, int id, std::string name,
+                 std::function<void(Process&)> body, bool daemon)
+    : engine_(engine),
+      id_(id),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      daemon_(daemon) {
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  stack_bytes_ = fiber_stack_bytes() + page;
+  stack_base_ = ::mmap(nullptr, stack_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  common::check(stack_base_ != MAP_FAILED,
+                "SimEngine: cannot allocate a fiber stack");
+  // Guard page at the low end: stacks grow downward, so a runaway frame
+  // faults instead of silently scribbling over the neighbouring fiber.
+  ::mprotect(stack_base_, page, PROT_NONE);
+  ::getcontext(&ctx_);
+  ctx_.uc_stack.ss_sp = static_cast<char*>(stack_base_) + page;
+  ctx_.uc_stack.ss_size = stack_bytes_ - page;
+  ctx_.uc_link = &engine_->sched_ctx_;
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&Process::fiber_entry), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xFFFFFFFFu));
+}
+
+Process::~Process() {
+  if (stack_base_ != nullptr) ::munmap(stack_base_, stack_bytes_);
+}
+
+#else  // !DT_SIM_FIBERS
 
 Process::Process(SimEngine* engine, int id, std::string name,
                  std::function<void(Process&)> body, bool daemon)
@@ -21,35 +108,57 @@ Process::Process(SimEngine* engine, int id, std::string name,
     {
       std::unique_lock<std::mutex> lock(engine_->mu_);
       cv_.wait(lock, [this] { return engine_->running_ == this; });
-      if (kill_requested_) {
-        state_ = State::done;
-        engine_->running_ = nullptr;
-        engine_->engine_cv_.notify_one();
-        return;
-      }
-      state_ = State::running;
     }
-    try {
-      body_(*this);
-    } catch (const ProcessKilled&) {
-      // normal daemon shutdown
-    } catch (...) {
-      failure_ = std::current_exception();
-    }
-    {
-      std::unique_lock<std::mutex> lock(engine_->mu_);
-      state_ = State::done;
-      engine_->running_ = nullptr;
-      engine_->engine_cv_.notify_one();
-    }
+    context_main();
   });
 }
 
-void Process::yield_locked(std::unique_lock<std::mutex>& lock) {
-  engine_->running_ = nullptr;
-  engine_->engine_cv_.notify_one();
-  cv_.wait(lock, [this] { return engine_->running_ == this; });
+Process::~Process() = default;
+
+#endif  // DT_SIM_FIBERS
+
+void Process::context_main() {
+  {
+    SimEngine::SchedLock lock(engine_->mu_);
+    if (kill_requested_) {
+      // Killed before ever running (engine torn down without run()).
+      finish_locked();
+      return;
+    }
+    state_ = State::running;
+  }
+  try {
+    body_(*this);
+  } catch (const ProcessKilled&) {
+    // normal daemon shutdown
+  } catch (...) {
+    failure_ = std::current_exception();
+  }
+  SimEngine::SchedLock lock(engine_->mu_);
+  finish_locked();
+}
+
+void Process::finish_locked() {
+  state_ = State::done;
+  if (!daemon_) --engine_->live_regular_;
+  if (failure_ && engine_->failed_ == nullptr) engine_->failed_ = this;
+  engine_->transfer_from_finished(*this, engine_->pick_handoff_locked());
+}
+
+void Process::advance(double seconds) {
+  common::check(seconds >= 0.0, "Process::advance: negative duration");
+  SimEngine::SchedLock lock(engine_->mu_);
+  common::check(engine_->running_ == this,
+                "Process::advance called from outside the process");
+  state_ = State::ready;
+  ready_time_ = engine_->now_ + seconds;
+  ready_seq_ = ++engine_->seq_counter_;
   wakeable_ = false;
+  engine_->heap_push_locked(*this);
+  if (!engine_->try_self_resume_locked(*this)) {
+    engine_->suspend(lock, *this, engine_->pick_handoff_locked());
+    wakeable_ = false;
+  }
   state_ = State::running;
   if (kill_requested_) {
     // If the stack is already unwinding (a destructor yielded while
@@ -57,18 +166,6 @@ void Process::yield_locked(std::unique_lock<std::mutex>& lock) {
     // unwind continue instead.
     if (std::uncaught_exceptions() == 0) throw ProcessKilled{};
   }
-}
-
-void Process::advance(double seconds) {
-  common::check(seconds >= 0.0, "Process::advance: negative duration");
-  std::unique_lock<std::mutex> lock(engine_->mu_);
-  common::check(engine_->running_ == this,
-                "Process::advance called from outside the process");
-  state_ = State::ready;
-  ready_time_ = engine_->now_ + seconds;
-  ready_seq_ = ++engine_->seq_counter_;
-  wakeable_ = false;
-  yield_locked(lock);
 }
 
 void Process::advance_compute(double seconds, std::function<void()> work) {
@@ -94,33 +191,55 @@ void Process::advance_compute(double seconds, std::function<void()> work) {
 }
 
 void Process::wait_event() {
-  std::unique_lock<std::mutex> lock(engine_->mu_);
+  SimEngine::SchedLock lock(engine_->mu_);
   common::check(engine_->running_ == this,
                 "Process::wait_event called from outside the process");
   state_ = State::blocked;
   wakeable_ = true;
-  yield_locked(lock);
+  engine_->suspend(lock, *this, engine_->pick_handoff_locked());
+  wakeable_ = false;
+  state_ = State::running;
+  if (kill_requested_) {
+    if (std::uncaught_exceptions() == 0) throw ProcessKilled{};
+  }
 }
 
 void Process::wait_event_until(double at) {
-  std::unique_lock<std::mutex> lock(engine_->mu_);
+  SimEngine::SchedLock lock(engine_->mu_);
   common::check(engine_->running_ == this,
                 "Process::wait_event_until called from outside the process");
   state_ = State::ready;
   ready_time_ = std::max(at, engine_->now_);
   ready_seq_ = ++engine_->seq_counter_;
   wakeable_ = true;
-  yield_locked(lock);
+  engine_->heap_push_locked(*this);
+  if (!engine_->try_self_resume_locked(*this)) {
+    engine_->suspend(lock, *this, engine_->pick_handoff_locked());
+  }
+  wakeable_ = false;
+  state_ = State::running;
+  if (kill_requested_) {
+    if (std::uncaught_exceptions() == 0) throw ProcessKilled{};
+  }
 }
 
 double Process::now() const noexcept { return engine_->now_; }
 
+#if DT_SIM_FIBERS
+void Process::fiber_entry(unsigned hi, unsigned lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Process*>(bits)->context_main();
+}
+#endif
+
 // ---- SimEngine ------------------------------------------------------------------
 
 SimEngine::~SimEngine() {
-  // Unblock and join every thread, killing processes that never finished
-  // (e.g. when run() threw or was never called).
-  std::unique_lock<std::mutex> lock(mu_);
+  // Unblock every process that never finished (e.g. when run() threw or was
+  // never called), letting ProcessKilled unwind their stacks.
+  SchedLock lock(mu_);
+  shutdown_ = true;
   for (auto& p : processes_) {
     p->kill_requested_ = true;
     while (p->state_ != Process::State::done) {
@@ -128,14 +247,16 @@ SimEngine::~SimEngine() {
     }
   }
   lock.unlock();
+#if !DT_SIM_FIBERS
   for (auto& p : processes_) {
     if (p->thread_.joinable()) p->thread_.join();
   }
+#endif
 }
 
 Process& SimEngine::spawn(std::string name, std::function<void(Process&)> body,
                           bool daemon) {
-  std::unique_lock<std::mutex> lock(mu_);
+  SchedLock lock(mu_);
   common::check(!started_, "SimEngine::spawn after run() started");
   auto proc = std::unique_ptr<Process>(new Process(
       this, static_cast<int>(processes_.size()), std::move(name),
@@ -144,34 +265,179 @@ Process& SimEngine::spawn(std::string name, std::function<void(Process&)> body,
   proc->ready_time_ = 0.0;
   proc->ready_seq_ = ++seq_counter_;
   processes_.push_back(std::move(proc));
+  Process& ref = *processes_.back();
+  heap_push_locked(ref);
+  if (!daemon) ++live_regular_;
   ++stats_.processes;
-  return *processes_.back();
+  return ref;
 }
 
-Process* SimEngine::pick_next_locked() {
-  Process* best = nullptr;
-  std::uint64_t ready = 0;
-  for (auto& p : processes_) {
-    if (p->state_ != Process::State::ready) continue;
-    ++ready;
-    if (!best || p->ready_time_ < best->ready_time_ ||
-        (p->ready_time_ == best->ready_time_ &&
-         p->ready_seq_ < best->ready_seq_)) {
-      best = p.get();
-    }
+// ---- ready heap -----------------------------------------------------------------
+
+bool SimEngine::heap_before(const Process& a, const Process& b) noexcept {
+  return a.ready_time_ < b.ready_time_ ||
+         (a.ready_time_ == b.ready_time_ && a.ready_seq_ < b.ready_seq_);
+}
+
+void SimEngine::heap_sift_up_locked(std::size_t i) {
+  Process* const p = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_before(*p, *heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_[i]->heap_index_ = static_cast<int>(i);
+    i = parent;
   }
-  stats_.peak_ready = std::max(stats_.peak_ready, ready);
-  return best;
+  heap_[i] = p;
+  p->heap_index_ = static_cast<int>(i);
 }
 
-void SimEngine::resume_locked(std::unique_lock<std::mutex>& lock, Process& p) {
+void SimEngine::heap_sift_down_locked(std::size_t i) {
+  Process* const p = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_before(*heap_[child + 1], *heap_[child])) {
+      ++child;
+    }
+    if (!heap_before(*heap_[child], *p)) break;
+    heap_[i] = heap_[child];
+    heap_[i]->heap_index_ = static_cast<int>(i);
+    i = child;
+  }
+  heap_[i] = p;
+  p->heap_index_ = static_cast<int>(i);
+}
+
+void SimEngine::heap_push_locked(Process& p) {
+  p.heap_index_ = static_cast<int>(heap_.size());
+  heap_.push_back(&p);
+  heap_sift_up_locked(heap_.size() - 1);
+}
+
+Process* SimEngine::heap_pop_min_locked() {
+  Process* const top = heap_.front();
+  top->heap_index_ = -1;
+  Process* const last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    last->heap_index_ = 0;
+    heap_sift_down_locked(0);
+  }
+  return top;
+}
+
+void SimEngine::heap_remove_locked(Process& p) {
+  const auto i = static_cast<std::size_t>(p.heap_index_);
+  p.heap_index_ = -1;
+  Process* const last = heap_.back();
+  heap_.pop_back();
+  if (i < heap_.size()) {
+    heap_[i] = last;
+    last->heap_index_ = static_cast<int>(i);
+    heap_sift_down_locked(i);
+    heap_sift_up_locked(static_cast<std::size_t>(last->heap_index_));
+  }
+}
+
+// ---- dispatch -------------------------------------------------------------------
+
+Process* SimEngine::pop_next_locked() {
+  stats_.peak_ready =
+      std::max(stats_.peak_ready, static_cast<std::uint64_t>(heap_.size()));
+  if (heap_.empty()) return nullptr;
+  return heap_pop_min_locked();
+}
+
+Process* SimEngine::pick_handoff_locked() {
+  // Stop conditions return the baton to the engine context (run()'s loop, a
+  // kill driver, or the destructor); otherwise it goes straight to the next
+  // ready process and the engine context stays suspended.
+  if (shutdown_ || failed_ != nullptr || live_regular_ == 0 ||
+      heap_.empty()) {
+    running_ = nullptr;
+    return nullptr;
+  }
+  Process* const next = pop_next_locked();
+  now_ = std::max(now_, next->ready_time_);
   ++stats_.events;
-  running_ = &p;
-  p.cv_.notify_one();
+  running_ = next;
+  return next;
+}
+
+bool SimEngine::try_self_resume_locked(Process& p) {
+  // `p` was just pushed, so the heap is non-empty. The root is the true
+  // earliest event (seqs are unique, the order is total), so continuing to
+  // run `p` is exactly what a full yield-and-pick would have chosen.
+  if (shutdown_ || heap_.front() != &p) return false;
+  stats_.peak_ready =
+      std::max(stats_.peak_ready, static_cast<std::uint64_t>(heap_.size()));
+  heap_pop_min_locked();
+  now_ = std::max(now_, p.ready_time_);
+  ++stats_.events;
+  return true;
+}
+
+#if DT_SIM_FIBERS
+
+void SimEngine::suspend(SchedLock&, Process& from, Process* to) {
+  eh_save(from.eh_state_);
+  eh_load(to != nullptr ? to->eh_state_ : sched_eh_state_);
+  ::swapcontext(&from.ctx_, to != nullptr ? &to->ctx_ : &sched_ctx_);
+  // Resumed: whoever switched here restored our eh_state_ first.
+}
+
+void SimEngine::dispatch(SchedLock&, Process& to) {
+  eh_save(sched_eh_state_);
+  eh_load(to.eh_state_);
+  ::swapcontext(&sched_ctx_, &to.ctx_);
+  // Control only returns here once some process set running_ = nullptr.
+}
+
+void SimEngine::transfer_from_finished(Process& from, Process* to) {
+  eh_save(from.eh_state_);  // discarded; keeps the switch protocol uniform
+  eh_load(to != nullptr ? to->eh_state_ : sched_eh_state_);
+  ::swapcontext(&from.ctx_, to != nullptr ? &to->ctx_ : &sched_ctx_);
+  // Never reached: a done process is not resumed.
+}
+
+#else  // !DT_SIM_FIBERS
+
+void SimEngine::suspend(SchedLock& lock, Process& from, Process* to) {
+  if (to != nullptr) {
+    to->cv_.notify_one();
+  } else {
+    engine_cv_.notify_one();
+  }
+  from.cv_.wait(lock, [this, &from] { return running_ == &from; });
+}
+
+void SimEngine::dispatch(SchedLock& lock, Process& to) {
+  to.cv_.notify_one();
   engine_cv_.wait(lock, [this] { return running_ == nullptr; });
 }
 
-void SimEngine::kill_daemons_locked(std::unique_lock<std::mutex>& lock) {
+void SimEngine::transfer_from_finished(Process&, Process* to) {
+  if (to != nullptr) {
+    to->cv_.notify_one();
+  } else {
+    engine_cv_.notify_one();
+  }
+}
+
+#endif  // DT_SIM_FIBERS
+
+void SimEngine::resume_locked(SchedLock& lock, Process& p) {
+  ++stats_.events;
+  if (p.heap_index_ >= 0) heap_remove_locked(p);
+  running_ = &p;
+  dispatch(lock, p);
+}
+
+void SimEngine::kill_daemons_locked(SchedLock& lock) {
+  shutdown_ = true;  // yields now return the baton to this driver
   for (auto& p : processes_) {
     if (p->state_ == Process::State::done) continue;
     p->kill_requested_ = true;
@@ -184,51 +450,47 @@ void SimEngine::kill_daemons_locked(std::unique_lock<std::mutex>& lock) {
 }
 
 void SimEngine::run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  SchedLock lock(mu_);
   common::check(!started_, "SimEngine::run called twice");
   started_ = true;
 
   std::exception_ptr failure;
   for (;;) {
-    Process* next = pick_next_locked();
+    if (failed_ != nullptr) {
+      failure = failed_->failure_;
+      break;
+    }
+    if (live_regular_ == 0) break;  // only daemons left: normal end
+    Process* const next = pop_next_locked();
     if (next == nullptr) {
-      bool regular_remaining = false;
       std::ostringstream blocked_names;
       for (auto& p : processes_) {
         if (p->state_ == Process::State::done || p->daemon_) continue;
-        regular_remaining = true;
         blocked_names << ' ' << p->name_;
       }
-      if (!regular_remaining) break;  // only daemons left: normal end
       kill_daemons_locked(lock);
       lock.unlock();
       common::fail("SimEngine: deadlock — blocked processes:" +
                    blocked_names.str());
     }
     now_ = std::max(now_, next->ready_time_);
-    resume_locked(lock, *next);
-    if (next->failure_) {
-      failure = next->failure_;
-      break;
-    }
-    // Check whether any non-daemon process is still alive.
-    bool regular_remaining = false;
-    for (auto& p : processes_) {
-      if (!p->daemon_ && p->state_ != Process::State::done) {
-        regular_remaining = true;
-        break;
-      }
-    }
-    if (!regular_remaining) break;
+    ++stats_.events;
+    running_ = next;
+    // Processes hand off among themselves; the engine context regains the
+    // baton only when a stop condition held at some yield point.
+    dispatch(lock, *next);
   }
 
   kill_daemons_locked(lock);
   lock.unlock();
+#if !DT_SIM_FIBERS
   for (auto& p : processes_) {
     if (p->thread_.joinable()) p->thread_.join();
   }
+#endif
   if (!failure) {
-    // A process other than the last-resumed one may have failed earlier.
+    // A process other than the failure latch's pick may have failed during
+    // shutdown unwinding; surface the first in spawn order.
     for (auto& p : processes_) {
       if (p->failure_) {
         failure = p->failure_;
@@ -240,7 +502,7 @@ void SimEngine::run() {
 }
 
 void SimEngine::set_compute_threads(int threads) {
-  std::unique_lock<std::mutex> lock(mu_);
+  SchedLock lock(mu_);
   common::check(!started_, "SimEngine::set_compute_threads after run()");
   compute_threads_ = std::max(1, threads);
 }
@@ -252,7 +514,7 @@ ThreadPool* SimEngine::compute_pool_or_null() {
 }
 
 void SimEngine::wake(Process& p, double at) {
-  std::unique_lock<std::mutex> lock(mu_);
+  SchedLock lock(mu_);
   common::check(running_ != nullptr, "SimEngine::wake from outside a process");
   ++stats_.wakes;
   const double at_clamped = std::max(at, now_);
@@ -260,10 +522,14 @@ void SimEngine::wake(Process& p, double at) {
     p.state_ = Process::State::ready;
     p.ready_time_ = at_clamped;
     p.ready_seq_ = ++seq_counter_;
+    heap_push_locked(p);
   } else if (p.state_ == Process::State::ready && p.wakeable_) {
     if (at_clamped < p.ready_time_) {
+      // Decrease-key: the new (time, seq) is strictly smaller in time, so
+      // the entry can only move toward the root.
       p.ready_time_ = at_clamped;
       p.ready_seq_ = ++seq_counter_;
+      heap_sift_up_locked(static_cast<std::size_t>(p.heap_index_));
     }
   }
   // Running/done/non-wakeable-ready processes are left untouched: the

@@ -1,11 +1,11 @@
 // Cooperative virtual-time process runtime.
 //
 // Every actor in an experiment (worker, PS shard, background communication
-// thread) is a Process: a real std::thread whose execution is serialized by
-// the SimEngine so that EXACTLY ONE process runs at any instant. Time is
-// virtual: a process consumes it only through advance(), and the engine
-// always resumes the process with the smallest next-event time (FIFO
-// tie-break). The result is a discrete-event simulation that
+// thread) is a Process: straight-line blocking code whose execution is
+// serialized by the SimEngine so that EXACTLY ONE process runs at any
+// instant. Time is virtual: a process consumes it only through advance(),
+// and the engine always resumes the process with the smallest next-event
+// time (FIFO tie-break). The result is a discrete-event simulation that
 //   - is bit-for-bit deterministic for a fixed seed, regardless of host
 //     core count or load;
 //   - lets worker code be written as straight-line blocking code (send /
@@ -14,9 +14,27 @@
 //     of parameter updates is decided by the modeled compute/network times,
 //     exactly as staleness arises on a physical cluster.
 //
-// Threading protocol: one global mutex guards the scheduler state; each
-// process has its own condition variable so a context switch wakes exactly
-// one thread. Processes yield back to the engine at every advance()/block().
+// Scheduling: ready processes live in an indexed binary min-heap keyed by
+// (ready_time, ready_seq), so each dispatch costs O(log P) instead of a
+// linear scan — the property that lets runs scale to thousands of virtual
+// workers. wake() moving a wakeable sleeper earlier is a decrease-key
+// (sift-up); liveness is an O(1) counter of unfinished non-daemon
+// processes; peak_ready is the high-water mark of the heap size.
+//
+// Execution backend: on plain Linux builds each process is a ucontext
+// fiber — all processes share the OS thread that called run(), and a
+// context switch is a ~100ns swapcontext instead of a multi-microsecond
+// futex round trip. Each fiber gets its own guard-paged stack and its own
+// saved C++ exception-handling state (an in-flight exception in one fiber
+// is invisible to the others). Under ASan/TSan — which cannot follow raw
+// stack switches — the engine falls back to one std::thread per process
+// with per-process condition variables. BOTH backends take scheduling
+// decisions from the same heap, so simulated output is bit-identical
+// across them. Two shortcuts keep the hot path lean without changing the
+// schedule: a yielding process hands the baton DIRECTLY to the next ready
+// process (the engine context only wakes on failure, completion, or
+// deadlock), and a process that is still the earliest event after yielding
+// simply keeps running with no switch at all.
 //
 // Compute offload (advance_compute): the *virtual* schedule stays strictly
 // sequential, but the *real* numerics of a modeled busy interval may run on
@@ -25,6 +43,26 @@
 // order is a pure function of virtual times, the simulation stays
 // bit-for-bit identical to compute_threads=1 (see docs/performance.md).
 #pragma once
+
+// Backend selection: DT_SIM_FIBERS=1 (ucontext fibers) on Linux, unless a
+// sanitizer that tracks stacks is active or the build overrides it with
+// -DDT_SIM_FIBERS=0.
+#if !defined(DT_SIM_FIBERS)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DT_SIM_FIBERS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DT_SIM_FIBERS 0
+#endif
+#endif
+#endif
+#if !defined(DT_SIM_FIBERS)
+#if defined(__linux__)
+#define DT_SIM_FIBERS 1
+#else
+#define DT_SIM_FIBERS 0
+#endif
+#endif
 
 #include <condition_variable>
 #include <cstdint>
@@ -35,6 +73,10 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#if DT_SIM_FIBERS
+#include <ucontext.h>
+#endif
 
 #include "runtime/thread_pool.hpp"
 
@@ -58,10 +100,21 @@ struct SimStats {
   std::uint64_t peak_ready = 0;  // max simultaneously-ready processes
 };
 
+#if DT_SIM_FIBERS
+namespace detail {
+// Saved per-fiber C++ exception-handling state (__cxa_eh_globals): large
+// enough for { __cxa_exception* caughtExceptions; unsigned uncaught; }.
+struct EhState {
+  alignas(alignof(void*)) unsigned char bytes[2 * sizeof(void*)] = {};
+};
+}  // namespace detail
+#endif
+
 class Process {
  public:
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
+  ~Process();
 
   /// Consumes `seconds` of virtual time. Must be called from inside the
   /// process body. `seconds` may be zero (yields and re-runs at the same
@@ -106,9 +159,17 @@ class Process {
   Process(SimEngine* engine, int id, std::string name,
           std::function<void(Process&)> body, bool daemon);
 
-  // Yields to the engine; the caller must have set state_ and ready_time_
-  // while holding the engine mutex. Rechecks the kill flag on resume.
-  void yield_locked(std::unique_lock<std::mutex>& lock);
+  // Entry point of the execution context: runs body_, records failures,
+  // then finishes. In fiber mode this is the makecontext target.
+  void context_main();
+#if DT_SIM_FIBERS
+  static void fiber_entry(unsigned hi, unsigned lo);
+#endif
+
+  // Marks this process done, updates the live counter / failure latch, and
+  // passes the baton on (never resumes this process again). Requires the
+  // scheduler to be held by this process.
+  void finish_locked();
 
   SimEngine* engine_;
   int id_;
@@ -119,11 +180,20 @@ class Process {
   State state_ = State::created;
   double ready_time_ = 0.0;
   std::uint64_t ready_seq_ = 0;  // FIFO tie-break for equal ready times
+  int heap_index_ = -1;          // slot in SimEngine::heap_, -1 if absent
   bool wakeable_ = false;        // true only while waiting for an event
   bool kill_requested_ = false;
+  std::exception_ptr failure_;
+
+#if DT_SIM_FIBERS
+  ucontext_t ctx_;                // suspension point (entry before start)
+  void* stack_base_ = nullptr;    // mmap'd stack, guard page at low end
+  std::size_t stack_bytes_ = 0;   // total mapping size incl. guard
+  detail::EhState eh_state_;      // saved exception-handling globals
+#else
   std::condition_variable cv_;
   std::thread thread_;
-  std::exception_ptr failure_;
+#endif
 };
 
 class SimEngine {
@@ -174,26 +244,82 @@ class SimEngine {
  private:
   friend class Process;
 
-  // Scheduler loop helpers; all require mu_ held.
-  Process* pick_next_locked();
-  void resume_locked(std::unique_lock<std::mutex>& lock, Process& p);
-  void kill_daemons_locked(std::unique_lock<std::mutex>& lock);
+#if DT_SIM_FIBERS
+  // Single OS thread: scheduler state needs no lock.
+  struct SchedLock {
+    explicit SchedLock(std::mutex&) noexcept {}
+    void unlock() noexcept {}
+  };
+#else
+  using SchedLock = std::unique_lock<std::mutex>;
+#endif
+
+  // Indexed binary min-heap over ready processes, keyed by
+  // (ready_time_, ready_seq_). heap_index_ on each Process makes wake()'s
+  // decrease-key and resume_locked()'s removal O(log P). All helpers
+  // require the scheduler lock.
+  static bool heap_before(const Process& a, const Process& b) noexcept;
+  void heap_push_locked(Process& p);
+  Process* heap_pop_min_locked();
+  void heap_remove_locked(Process& p);
+  void heap_sift_up_locked(std::size_t i);
+  void heap_sift_down_locked(std::size_t i);
+
+  // Samples peak_ready and pops the earliest ready process (nullptr if
+  // none).
+  Process* pop_next_locked();
+
+  // Picks who runs after the current process gives up the baton: the next
+  // ready process (heap minimum, clock advanced, event counted, running_
+  // set) or nullptr — the engine context — when a stop condition holds
+  // (shutdown, failure, no regular process left, nothing ready).
+  Process* pick_handoff_locked();
+
+  // Fast path: `p` just became ready; if it is still the earliest event,
+  // pop it and let it keep running without a context switch. Returns true
+  // on success.
+  bool try_self_resume_locked(Process& p);
+
+  // Mechanism-specific control transfer. suspend(): the running process
+  // stops and `to` (nullptr = engine context) continues; returns when this
+  // process is resumed. dispatch(): the engine context resumes `to` (whose
+  // running_ must already be set) and returns when the baton comes back.
+  // transfer_from_finished(): like suspend() but the caller is done and is
+  // never resumed.
+  void suspend(SchedLock& lock, Process& from, Process* to);
+  void dispatch(SchedLock& lock, Process& to);
+  void transfer_from_finished(Process& from, Process* to);
+
+  // Shutdown-mode drive: resume `p` and wait for it to yield the baton
+  // back. Used only by kill_daemons_locked and the destructor.
+  void resume_locked(SchedLock& lock, Process& p);
+  void kill_daemons_locked(SchedLock& lock);
 
   // Lazily built pool for advance_compute (nullptr when compute_threads_
   // <= 1). Only the currently running process touches it, and process
-  // execution is serialized through mu_, so no extra locking is needed.
+  // execution is serialized, so no extra locking is needed.
   ThreadPool* compute_pool_or_null();
 
   std::mutex mu_;
-  std::condition_variable engine_cv_;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Process*> heap_;
   Process* running_ = nullptr;  // nullptr = engine holds the baton
+  Process* failed_ = nullptr;   // first process whose body threw
   double now_ = 0.0;
   std::uint64_t seq_counter_ = 0;
+  std::uint64_t live_regular_ = 0;  // unfinished non-daemon processes
   SimStats stats_;
   bool started_ = false;
+  bool shutdown_ = false;  // yields return to the engine (kill driving)
   int compute_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
+
+#if DT_SIM_FIBERS
+  ucontext_t sched_ctx_;          // engine context (run() / kill drivers)
+  detail::EhState sched_eh_state_;
+#else
+  std::condition_variable engine_cv_;
+#endif
 };
 
 }  // namespace dt::runtime

@@ -1,0 +1,110 @@
+// Golden A/B tests against the pre-rewrite engine: the fixtures in
+// tests/golden/ were captured from the seed build (linear-scan scheduler,
+// by-value packet payloads) for a fault-free and a fault-injected BSP run.
+// The current engine must reproduce them BYTE FOR BYTE — metrics JSONL,
+// final-parameter hash, and virtual duration — which pins the heap
+// scheduler's (ready_time, ready_seq) dispatch order and the zero-copy
+// payload numerics to the old engine's behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/trainer.hpp"
+
+namespace dt::core {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// FNV-1a over the raw float bits of every worker's parameters — the same
+/// hash the fixture capture used.
+std::uint64_t param_hash(Workload& wl, int workers) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (int w = 0; w < workers; ++w) {
+    for (const auto& t : wl.params(w)) {
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        std::uint32_t bits;
+        const float v = t[static_cast<std::size_t>(i)];
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int b = 0; b < 4; ++b) {
+          h ^= (bits >> (8 * b)) & 0xFFu;
+          h *= 1099511628211ull;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+/// Reruns the fixture configuration (BSP, 4 workers, functional workload,
+/// seeds 23/7 — exactly what captured tests/golden/) and compares against
+/// the named fixture pair.
+void expect_matches_golden(bool with_faults, const std::string& stem) {
+  FunctionalWorkloadSpec spec;
+  spec.train_samples = 256;
+  spec.test_samples = 64;
+  spec.input_dim = 12;
+  spec.hidden_dim = 16;
+  spec.num_classes = 4;
+  spec.batch = 8;
+  spec.num_workers = 4;
+  spec.seed = 23;
+  Workload wl = make_functional_workload(spec);
+
+  const std::string jsonl = "/tmp/dtrainlib_golden_" + stem + ".jsonl";
+  TrainConfig cfg;
+  cfg.algo = Algo::bsp;
+  cfg.num_workers = 4;
+  cfg.epochs = 2.0;
+  cfg.lr = nn::LrSchedule::paper(4, cfg.epochs, 0.02);
+  cfg.cluster.workers_per_machine = 2;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.seed = 7;
+  cfg.metrics_jsonl = jsonl;
+  if (with_faults) {
+    cfg.faults.slow_ranks.push_back({1, 2.0});
+    faults::Crash c;
+    c.rank = 2;
+    c.at = 0.5;
+    c.downtime = 0.4;
+    cfg.faults.crashes.push_back(c);
+  }
+  auto result = run_training(cfg, wl);
+
+  const std::string dir = DT_GOLDEN_DIR;
+  EXPECT_EQ(slurp(jsonl), slurp(dir + "/" + stem + ".jsonl"))
+      << "metrics JSONL deviates from the seed engine";
+  std::ostringstream meta;
+  meta << "param_hash=" << param_hash(wl, 4) << "\n";
+  std::ostringstream vd;
+  vd.precision(17);
+  vd << result.virtual_duration;
+  meta << "virtual_duration=" << vd.str() << "\n";
+  EXPECT_EQ(meta.str(), slurp(dir + "/" + stem + ".meta"))
+      << "final params or virtual duration deviate from the seed engine";
+  std::remove(jsonl.c_str());
+}
+
+TEST(Golden, BspRunIsByteIdenticalToSeedEngine) {
+  expect_matches_golden(false, "bsp_seed");
+}
+
+TEST(Golden, BspFaultInjectedRunIsByteIdenticalToSeedEngine) {
+  // Straggler + crash/recovery: exercises wake(), recv_until deadlines,
+  // and drain on the heap path with the exact seed-engine tie-breaks.
+  expect_matches_golden(true, "bsp_faults_seed");
+}
+
+}  // namespace
+}  // namespace dt::core

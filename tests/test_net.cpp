@@ -156,6 +156,65 @@ TEST(Network, FifoPerFlowAndTagFiltering) {
   EXPECT_EQ(got, (std::vector<std::int64_t>{101, 100}));
 }
 
+TEST(Network, EqualArrivalSendsKeepFifoOrder) {
+  // Zero-byte intra-machine packets all arrive at exactly now +
+  // local_latency, so every enqueue hits the send fast path with an
+  // arrival EQUAL to the queue tail. The append must preserve send order
+  // (the same placement std::upper_bound gives for equal keys).
+  runtime::SimEngine engine;
+  Network net(engine, two_machine_spec());
+  const int rx = net.add_endpoint(0), tx = net.add_endpoint(0);
+  std::vector<std::int64_t> order;
+  engine.spawn("rx", [&](runtime::Process& self) {
+    net.bind(rx, self);
+    for (int i = 0; i < 6; ++i) order.push_back(net.recv(self, rx).a);
+  });
+  engine.spawn("tx", [&](runtime::Process& self) {
+    net.bind(tx, self);
+    for (int i = 0; i < 6; ++i) {
+      Packet p;
+      p.a = i;
+      p.wire_bytes = 0;
+      net.send(self, tx, rx, std::move(p));
+    }
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Network, OutOfOrderArrivalInsertsBeforeTailKeepingEqualKeyFifo) {
+  // One process sends a slow inter-machine packet, then two zero-byte
+  // local packets to the same destination endpoint: the local ones arrive
+  // earlier than the already-queued slow one, forcing the ordered-insert
+  // slow path. They must land before the slow packet and keep FIFO order
+  // between themselves (equal arrivals).
+  runtime::SimEngine engine;
+  Network net(engine, two_machine_spec());
+  const int rx = net.add_endpoint(0);
+  const int tx_remote = net.add_endpoint(1);
+  const int tx_local = net.add_endpoint(0);
+  std::vector<std::int64_t> order;
+  engine.spawn("rx", [&](runtime::Process& self) {
+    net.bind(rx, self);
+    for (int i = 0; i < 3; ++i) order.push_back(net.recv(self, rx).a);
+  });
+  engine.spawn("tx", [&](runtime::Process& self) {
+    net.bind(tx_remote, self);
+    Packet slow;
+    slow.a = 0;
+    slow.wire_bytes = 500'000'000;  // 0.5 s inter-machine
+    net.send(self, tx_remote, rx, std::move(slow));
+    for (int i = 1; i <= 2; ++i) {
+      Packet fast;
+      fast.a = i;
+      fast.wire_bytes = 0;  // arrives at local_latency, before the slow one
+      net.send(self, tx_local, rx, std::move(fast));
+    }
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::int64_t>{1, 2, 0}));
+}
+
 TEST(Network, TryRecvAndPoll) {
   runtime::SimEngine engine;
   Network net(engine, two_machine_spec());

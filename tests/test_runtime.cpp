@@ -3,8 +3,10 @@
 // propagation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <future>
 #include <memory>
@@ -265,6 +267,124 @@ TEST(Sim, DestructorCleansUpWithoutRun) {
   engine->spawn("never-run", [](Process& self) { self.advance(1.0); });
   engine.reset();
   SUCCEED();
+}
+
+TEST(Sim, HeapDispatchMatchesLinearScanReference) {
+  // A/B check of the scheduler's total order: the heap must dispatch in
+  // exactly the (ready_time, ready_seq) order the old per-event linear
+  // scan produced. The reference below IS that linear scan — spawn readies
+  // every process at t=0 in spawn order, each advance re-readies at t+d
+  // with the next global seq, min_element picks (time, seq).
+  constexpr int kProcs = 12;
+  constexpr int kSteps = 20;
+  const auto delta = [](int id, int k) {
+    return 0.5 * static_cast<double>((id * 7 + k * 3) % 5) + 0.25;
+  };
+
+  std::vector<std::pair<double, int>> expected;
+  {
+    struct Ev {
+      double t;
+      std::uint64_t seq;
+      int id;
+      int k;  // advances completed when this dispatch runs
+    };
+    std::vector<Ev> ready;
+    std::uint64_t next_seq = 0;
+    for (int i = 0; i < kProcs; ++i) ready.push_back({0.0, next_seq++, i, 0});
+    while (!ready.empty()) {
+      const auto it =
+          std::min_element(ready.begin(), ready.end(), [](const Ev& a,
+                                                          const Ev& b) {
+            return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+          });
+      const Ev e = *it;
+      ready.erase(it);
+      if (e.k > 0) expected.emplace_back(e.t, e.id);
+      if (e.k < kSteps) {
+        ready.push_back({e.t + delta(e.id, e.k), next_seq++, e.id, e.k + 1});
+      }
+    }
+  }
+
+  SimEngine engine;
+  std::vector<std::pair<double, int>> log;
+  for (int i = 0; i < kProcs; ++i) {
+    engine.spawn("p" + std::to_string(i), [&log, delta, i](Process& self) {
+      for (int k = 0; k < kSteps; ++k) {
+        self.advance(delta(i, k));
+        log.emplace_back(self.now(), i);
+      }
+    });
+  }
+  engine.run();
+  EXPECT_EQ(log, expected);
+}
+
+TEST(Sim, WakeReordersWakeableSleeperAmongPeers) {
+  // Decrease-key path: waking the LAST-spawned of three equal-deadline
+  // sleepers to an earlier time must move it to the front of the dispatch
+  // order, while the untouched two keep their FIFO tie-break at t=10.
+  SimEngine engine;
+  std::vector<std::string> log;
+  std::vector<Process*> sleepers;
+  for (int i = 0; i < 3; ++i) {
+    sleepers.push_back(
+        &engine.spawn("s" + std::to_string(i), [&log, i](Process& self) {
+          self.wait_event_until(10.0);
+          log.push_back("s" + std::to_string(i) + "@" +
+                        std::to_string(static_cast<int>(self.now())));
+        }));
+  }
+  engine.spawn("waker", [&](Process& self) {
+    self.advance(1.0);
+    self.engine().wake(*sleepers[2], 5.0);
+  });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"s2@5", "s0@10", "s1@10"}));
+}
+
+TEST(Sim, TwoThousandDaemonsShutDownPromptly) {
+  // Shutdown goes through the heap path: killing 2048 blocked daemons
+  // after the single regular process finishes must be near-instant, both
+  // via run() and via the destructor without run().
+  const auto t0 = std::chrono::steady_clock::now();
+  int cleaned = 0;
+  {
+    SimEngine engine;
+    for (int i = 0; i < 2048; ++i) {
+      engine.spawn(
+          "d" + std::to_string(i),
+          [&cleaned](Process& self) {
+            struct Cleanup {
+              int* c;
+              ~Cleanup() { ++*c; }
+            } guard{&cleaned};
+            for (;;) self.wait_event();
+          },
+          /*daemon=*/true);
+    }
+    engine.spawn("w", [](Process& self) { self.advance(1.0); });
+    engine.run();
+  }
+  EXPECT_EQ(cleaned, 2048);
+
+  {
+    auto engine = std::make_unique<SimEngine>();
+    for (int i = 0; i < 2048; ++i) {
+      engine->spawn(
+          "d" + std::to_string(i),
+          [](Process& self) {
+            for (;;) self.wait_event();
+          },
+          /*daemon=*/true);
+    }
+    engine.reset();  // destructor kill path
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(wall, 20.0) << "daemon shutdown is not prompt";
 }
 
 // ---- ThreadPool -------------------------------------------------------------
