@@ -21,6 +21,7 @@ double paper_reference(dt::core::Algo algo) {
     case dt::core::Algo::arsgd: return 0.7511; // == BSP (synchronous)
     case dt::core::Algo::gosgd: return 0.3938; // p = 0.01
     case dt::core::Algo::adpsgd: return 0.7411;
+    default: break;  // dssp/dpsgd: extensions, not in the paper's table
   }
   return 0.0;
 }

@@ -34,12 +34,13 @@ namespace {
 
 constexpr const char* kTemplate = R"ini(# dtrain experiment configuration
 [experiment]
-algorithm = adpsgd        ; bsp asp ssp easgd arsgd gosgd adpsgd dpsgd
+algorithm = adpsgd        ; bsp asp ssp dssp easgd arsgd gosgd adpsgd dpsgd
 mode      = functional    ; functional (accuracy) | throughput
 workers   = 8
 epochs    = 15            ; functional mode
 iterations = 30           ; throughput mode
 seed      = 42
+target_loss = 0           ; >0: record time-to-target-loss (campaign metric)
 
 [cluster]
 workers_per_machine = 4
@@ -55,6 +56,9 @@ shard_policy = round_robin ; or greedy
 
 [hyperparameters]
 ssp_staleness = 10
+dssp_s_min = 1            ; dssp: adaptive staleness-bound range
+dssp_s_max = 10
+dssp_window = 2.0         ; dssp: push-rate window (virtual seconds)
 easgd_tau = 8
 gosgd_p = 0.01
 lr_per_worker = 0.004

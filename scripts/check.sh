@@ -16,6 +16,11 @@
 #                                    # checkpoint-recovery run, under
 #                                    # AddressSanitizer, then
 #                                    # ThreadSanitizer
+#   scripts/check.sh dssp            # DSSP smoke: the ctest label `dssp`
+#                                    # (tests/test_dssp) plus the
+#                                    # staleness-sensitivity campaign
+#                                    # (straggler + lossy links), plain
+#                                    # Release build
 #
 # Sanitized builds go to build-<sanitizer>/ so they never pollute the plain
 # build tree.
@@ -37,6 +42,20 @@ if [[ "$SANITIZER" == "faults" ]]; then
     # crash restored from a periodic CRC-checked snapshot, sanitized.
     "$DIR/examples/dtrain" examples/configs/fault_study_checkpoint.ini
   done
+  exit 0
+fi
+
+if [[ "$SANITIZER" == "dssp" ]]; then
+  # DSSP smoke: the labeled suite, then the committed staleness-sensitivity
+  # campaign — a straggler plus lossy links, the exact configuration that
+  # once livelocked the reliable transport on a finished worker's lost ack.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$(nproc)" --target test_dssp dtrain
+  ctest --test-dir build --output-on-failure -j "$(nproc)" -L dssp
+  TMP="$(mktemp -d)"
+  trap 'rm -rf "$TMP"' EXIT
+  (cd "$TMP" && "$OLDPWD/build/examples/dtrain" --campaign \
+    "$OLDPWD/examples/configs/dssp_sensitivity.ini")
   exit 0
 fi
 

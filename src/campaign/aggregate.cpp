@@ -35,6 +35,7 @@ double metric_of(const RunRecord& rec, const std::string& metric) {
   if (metric == "accuracy") return rec.final_accuracy;
   if (metric == "throughput") return rec.throughput;
   if (metric == "duration") return rec.virtual_duration;
+  if (metric == "time_to_target") return rec.time_to_target;
   common::fail("campaign: unknown metric '" + metric + "'");
 }
 
@@ -225,9 +226,15 @@ void Aggregate::write_jsonl(std::ostream& os) const {
          << json_escape(cell.axes[i].second) << '"';
     }
     os << "},\"metric\":\"" << json_escape(metric_) << "\",\"n\":" << cell.n
-       << ",\"mean\":" << json_number(cell.mean)
-       << ",\"stddev\":" << json_number(cell.stddev)
-       << ",\"mean_duration\":" << json_number(cell.mean_duration)
+       << ",\"mean\":" << json_number(cell.mean) << ",\"stddev\":";
+    // A sample standard deviation needs n >= 2; with a single replicate
+    // emit null instead of a misleading 0 (matches the table's "-").
+    if (cell.n > 1) {
+      os << json_number(cell.stddev);
+    } else {
+      os << "null";
+    }
+    os << ",\"mean_duration\":" << json_number(cell.mean_duration)
        << ",\"cp\":{\"compute\":" << json_number(cell.mean_cp[0])
        << ",\"local_agg\":" << json_number(cell.mean_cp[1])
        << ",\"comm\":" << json_number(cell.mean_cp[2])
@@ -269,7 +276,8 @@ void write_outputs(const std::string& dir, const std::string& title,
     }
     for (const char* col :
          {"replicate", "seed", "algorithm", "workers", "final_accuracy",
-          "virtual_duration", "throughput", "wire_bytes", "wire_messages",
+          "virtual_duration", "time_to_target", "throughput", "wire_bytes",
+          "wire_messages",
           "total_samples", "total_iterations", "cp_compute", "cp_local_agg",
           "cp_comm", "cp_ps", "cp_wait", "param_hash"}) {
       header.emplace_back(col);
@@ -284,6 +292,7 @@ void write_outputs(const std::string& dir, const std::string& title,
       row.push_back(std::to_string(rec.workers));
       row.push_back(json_number(rec.final_accuracy));
       row.push_back(json_number(rec.virtual_duration));
+      row.push_back(json_number(rec.time_to_target));
       row.push_back(json_number(rec.throughput));
       row.push_back(std::to_string(rec.wire_bytes));
       row.push_back(std::to_string(rec.wire_messages));

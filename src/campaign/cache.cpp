@@ -120,6 +120,7 @@ std::string RunRecord::serialize() const {
      << ",\"workers\":" << workers
      << ",\"final_accuracy\":" << json_number(final_accuracy)
      << ",\"virtual_duration\":" << json_number(virtual_duration)
+     << ",\"time_to_target\":" << json_number(time_to_target)
      << ",\"throughput\":" << json_number(throughput)
      << ",\"wire_bytes\":" << json_number(wire_bytes)
      << ",\"wire_messages\":" << json_number(wire_messages)
@@ -182,6 +183,8 @@ std::optional<RunRecord> RunRecord::parse(const std::string& text) {
         rec.final_accuracy = to_double(cur.parse_number_raw());
       } else if (key == "virtual_duration") {
         rec.virtual_duration = to_double(cur.parse_number_raw());
+      } else if (key == "time_to_target") {
+        rec.time_to_target = to_double(cur.parse_number_raw());
       } else if (key == "throughput") {
         rec.throughput = to_double(cur.parse_number_raw());
       } else if (key == "wire_bytes") {

@@ -33,6 +33,9 @@ struct RunRecord {
   int workers = 0;
   double final_accuracy = 0.0;
   double virtual_duration = 0.0;
+  /// Virtual time to the configured target loss (metrics::RunResult). 0
+  /// when the run had no target_loss set.
+  double time_to_target = 0.0;
   double throughput = 0.0;
   std::uint64_t wire_bytes = 0;
   std::uint64_t wire_messages = 0;

@@ -66,6 +66,7 @@ RunRecord execute_run(const RunSpec& run, int compute_threads) {
   rec.workers = result.num_workers;
   rec.final_accuracy = result.final_accuracy;
   rec.virtual_duration = result.virtual_duration;
+  rec.time_to_target = result.time_to_target;
   rec.throughput = result.throughput();
   rec.wire_bytes = result.wire_bytes;
   rec.wire_messages = result.wire_messages;

@@ -153,9 +153,10 @@ CampaignSpec CampaignSpec::from_ini(const common::IniConfig& ini) {
   spec.output_dir = ini.get("campaign", "output_dir", spec.output_dir);
   spec.metric = ini.get("campaign", "metric", spec.metric);
   common::check(spec.metric == "auto" || spec.metric == "accuracy" ||
-                    spec.metric == "throughput" || spec.metric == "duration",
-                "campaign: metric must be auto, accuracy, throughput or "
-                "duration");
+                    spec.metric == "throughput" || spec.metric == "duration" ||
+                    spec.metric == "time_to_target",
+                "campaign: metric must be auto, accuracy, throughput, "
+                "duration or time_to_target");
   spec.chart_axis = ini.get("campaign", "chart_axis", spec.chart_axis);
 
   // Axes: `axis.<target>` keys in section order (lexicographic). Bundle

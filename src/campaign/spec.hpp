@@ -43,7 +43,9 @@ namespace dt::campaign {
 /// Bump when a simulation change invalidates previously cached run results
 /// (the tag is hashed into every run fingerprint).
 // v2: RunRecord grew critical-path fields (cp_*).
-inline constexpr const char* kCacheEpoch = "dt-campaign-v2";
+// v3: RunRecord grew time_to_target; SSP staleness gate moved from "less
+//     than s" to the paper's "at most s" (syncs every s+2 iterations).
+inline constexpr const char* kCacheEpoch = "dt-campaign-v3";
 
 /// One `[section] key = value` assignment applied on top of the base.
 struct Override {

@@ -1,5 +1,6 @@
-// Centralized distributed training algorithms: BSP, ASP, SSP, EASGD
-// (paper Section III), over the PS framework of src/ps.
+// Centralized distributed training algorithms: BSP, ASP, SSP, DSSP, EASGD
+// (paper Section III; DSSP follows Zhao et al. 2019), over the PS
+// framework of src/ps.
 //
 // Wire protocol recap (see core/protocol.hpp): gradient pushes and parameter
 // replies are per-slot packets; each slot is owned by one PS shard
@@ -7,6 +8,7 @@
 // *global* schedule value lr(epoch) = 0.05*N-style; synchronous algorithms
 // apply it to the averaged gradient, asynchronous ones apply lr/N to each
 // individual gradient so all algorithms target the same effective step.
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <memory>
@@ -19,6 +21,7 @@
 #include "compress/quantize.hpp"
 #include "core/protocol.hpp"
 #include "core/session.hpp"
+#include "core/staleness_policy.hpp"
 #include "metrics/metrics.hpp"
 
 namespace dt::core {
@@ -158,14 +161,20 @@ double compute_iteration(
 /// Receives `count` kTagParams packets on `ep`, loading each into the
 /// worker's replica in functional mode. When `basis` is given, the PS
 /// update clock carried by each reply (Packet.c) is stored per slot so the
-/// next gradient push can be stamped with the version it builds on.
+/// next gradient push can be stamped with the version it builds on. When
+/// `grant_out` is given, replies from shard `grant_shard` carry a DSSP
+/// staleness-bound grant in Packet.x; the last one received wins.
 void await_params(Session& s, runtime::Process& self, int rank, int ep,
                   std::size_t count,
-                  std::vector<std::int64_t>* basis = nullptr) {
+                  std::vector<std::int64_t>* basis = nullptr,
+                  int grant_shard = -1, int* grant_out = nullptr) {
   for (std::size_t i = 0; i < count; ++i) {
     Packet pkt = s.network->recv(self, ep, kTagParams);
     if (basis != nullptr) {
       basis->at(static_cast<std::size_t>(pkt.b)) = pkt.c;
+    }
+    if (grant_out != nullptr && static_cast<int>(pkt.a) == grant_shard) {
+      *grant_out = static_cast<int>(std::llround(pkt.x));
     }
     if (s.wl.functional()) {
       s.wl.set_param_slot(rank, static_cast<std::size_t>(pkt.b),
@@ -280,16 +289,20 @@ struct CurveRecorder {
 /// broadcast allocates the model slot once instead of once per rank. Safe
 /// because only the shard's own process mutates its parameters, so the
 /// snapshot cannot change while the reply loop yields in send().
+/// `grant` (DSSP only): the staleness bound granted to the pulling worker,
+/// carried in Packet.x — the lr/weight field is unused on kTagParams.
 void send_param_reply(Session& s, runtime::Process& self, int shard,
                       std::size_t slot, int dst_ep,
                       const PsProbes* probes = nullptr,
-                      net::PayloadHandle* payload_cache = nullptr) {
+                      net::PayloadHandle* payload_cache = nullptr,
+                      double grant = 0.0) {
   const auto& st = *s.shards[static_cast<std::size_t>(shard)];
   Packet reply;
   reply.tag = kTagParams;
   reply.a = shard;
   reply.b = static_cast<std::int64_t>(slot);
   reply.c = st.version(st.local_index(slot));
+  reply.x = grant;
   reply.wire_bytes = s.wl.slot_wire_bytes(slot);
   if (s.wl.functional()) {
     if (payload_cache != nullptr && *payload_cache != nullptr) {
@@ -353,9 +366,23 @@ struct CrashCheckpoint {
 /// mailbox (stale parameter replies), then either restore the last local
 /// checkpoint or pull fresh parameters from every shard. Either way the
 /// worker resumes with a coherent replica and a fresh staleness basis.
+/// `rejoin_shard` >= 0 (DSSP): a fire-and-forget kTagRejoin control
+/// message tells that shard's staleness policy to restart this rank's
+/// push-rate window — sent ahead of the recovery pull, so the first
+/// post-rejoin grant already sees the fresh window.
 void recover_from_ps(Session& s, runtime::Process& self, int rank, int wep,
-                     std::vector<std::int64_t>* basis, CrashCheckpoint& ck) {
+                     std::vector<std::int64_t>* basis, CrashCheckpoint& ck,
+                     int rejoin_shard = -1) {
   s.network->drain(wep);
+  if (rejoin_shard >= 0) {
+    Packet note;
+    note.tag = kTagRejoin;
+    note.a = rank;
+    note.wire_bytes = net::kControlBytes;
+    s.network->send(self, wep,
+                    s.ps_ep[static_cast<std::size_t>(rejoin_shard)],
+                    std::move(note));
+  }
   if (ck.restore(s, self, rank)) return;
   for (int shard = 0; shard < s.num_shards(); ++shard) {
     Packet pull;
@@ -378,9 +405,9 @@ void recover_from_ps(Session& s, runtime::Process& self, int rank, int wep,
 // backup ("ps<k>b") that mirrors the primary's applies and serves workers
 // after the primary fail-stops.
 
-/// Reliable send to a peer that cannot die (a worker, or the backup).
-/// A retransmit-budget timeout under extreme loss is retried with the same
-/// sequence number so the receiver never sees a gap.
+/// Reliable send to a peer that cannot die and never exits (the backup
+/// mirror endpoint). A retransmit-budget timeout under extreme loss is
+/// retried with the same sequence number so the receiver never sees a gap.
 void reliable_send_live(Session& s, runtime::Process& self, int src_ep,
                         int dst_ep, const Packet& pkt) {
   std::int64_t seq = -1;
@@ -389,6 +416,28 @@ void reliable_send_live(Session& s, runtime::Process& self, int src_ep,
       s.reliable->send(self, src_ep, dst_ep, pkt, &seq);
       return;
     } catch (const net::TimeoutError&) {
+    }
+  }
+}
+
+/// Reliable send to a worker endpoint. Like reliable_send_live, but gives
+/// up once the destination rank has finished all its iterations: a departed
+/// worker can never ack (its fiber has returned), and a reply it no longer
+/// waits for is safe to drop. Without this bound a PS daemon whose last ack
+/// from a finishing worker is lost retransmits forever — and while blocked
+/// it only acks-and-buffers other workers' pushes, never serving them, so
+/// one fast worker's exit can wedge the whole shard (and every straggler
+/// still polling it).
+void reliable_send_worker(Session& s, runtime::Process& self, int src_ep,
+                          int rank, const Packet& pkt) {
+  const int dst_ep = s.worker_ep[static_cast<std::size_t>(rank)];
+  std::int64_t seq = -1;
+  for (;;) {
+    try {
+      s.reliable->send(self, src_ep, dst_ep, pkt, &seq);
+      return;
+    } catch (const net::TimeoutError&) {
+      if (s.rank_finished(rank)) return;
     }
   }
 }
@@ -421,15 +470,17 @@ void reliable_push(Session& s, runtime::Process& self, int wep, int shard,
 /// echoing the push's round id so the worker can match and dedup it.
 void send_param_reply_rel(Session& s, runtime::Process& self,
                           const ps::ShardState& st, int shard, int src_ep,
-                          std::size_t slot, int dst_ep, std::int64_t round_id,
-                          const PsProbes* probes,
-                          net::PayloadHandle* payload_cache = nullptr) {
+                          std::size_t slot, int dst_rank,
+                          std::int64_t round_id, const PsProbes* probes,
+                          net::PayloadHandle* payload_cache = nullptr,
+                          double grant = 0.0) {
   Packet reply;
   reply.tag = kTagParams;
   reply.a = shard;
   reply.b = static_cast<std::int64_t>(slot);
   reply.c = st.version(st.local_index(slot));
   reply.d = round_id;
+  reply.x = grant;
   reply.wire_bytes = s.wl.slot_wire_bytes(slot);
   if (s.wl.functional()) {
     if (payload_cache != nullptr && *payload_cache != nullptr) {
@@ -443,7 +494,7 @@ void send_param_reply_rel(Session& s, runtime::Process& self,
   if (probes != nullptr) {
     probes->bytes_served->inc(static_cast<double>(reply.wire_bytes));
   }
-  reliable_send_live(s, self, src_ep, dst_ep, reply);
+  reliable_send_worker(s, self, src_ep, dst_rank, reply);
 }
 
 /// Collects one exchange round's kTagParams replies (one per entry of
@@ -451,12 +502,15 @@ void send_param_reply_rel(Session& s, runtime::Process& self,
 /// duplicates — possible after a failover re-push — are dropped. When the
 /// wait times out and a missing slot's primary is down, the worker fails
 /// over and re-pushes that shard once via `repush_shard` (the backup
-/// dedups by round id and replies from current state).
+/// dedups by round id and replies from current state). When `grant_out`
+/// is given, replies from shard `grant_shard` carry a DSSP staleness-bound
+/// grant in Packet.x.
 void await_replies_rel(Session& s, runtime::Process& self, int rank, int wep,
                        const std::vector<std::size_t>& slots,
                        std::int64_t round_id,
                        std::vector<std::int64_t>* basis,
-                       const std::function<void(int)>& repush_shard) {
+                       const std::function<void(int)>& repush_shard,
+                       int grant_shard = -1, int* grant_out = nullptr) {
   std::vector<char> got(s.wl.num_slots(), 1);
   for (std::size_t slot : slots) got[slot] = 0;
   std::size_t remaining = slots.size();
@@ -472,6 +526,9 @@ void await_replies_rel(Session& s, runtime::Process& self, int rank, int wep,
       got[slot] = 1;
       --remaining;
       if (basis != nullptr) basis->at(slot) = pkt.c;
+      if (grant_out != nullptr && static_cast<int>(pkt.a) == grant_shard) {
+        *grant_out = static_cast<int>(std::llround(pkt.x));
+      }
       if (s.wl.functional()) {
         s.wl.set_param_slot(rank, slot, pkt.tensor(0));
       }
@@ -620,10 +677,8 @@ void launch_bsp_reliable(Session& s) {
               if (owed == 0) continue;
               owed = 0;
               if (!replies_ok) continue;  // death drain: backup will serve
-              send_param_reply_rel(
-                  s, self, st, shard, ep, slot,
-                  s.worker_ep[static_cast<std::size_t>(r)], closed,
-                  probes.get(), &reply_payload);
+              send_param_reply_rel(s, self, st, shard, ep, slot, r, closed,
+                                   probes.get(), &reply_payload);
             }
           };
 
@@ -651,7 +706,8 @@ void launch_bsp_reliable(Session& s) {
               // us): the worker only lost the reply — serve it now.
               if (allow_replies) {
                 send_param_reply_rel(s, self, st, shard, ep, slot,
-                                     s.worker_ep[rank], pkt.d, probes.get());
+                                     static_cast<int>(rank), pkt.d,
+                                     probes.get());
               }
             } else {
               (*pending)[local][rank] = 1;  // round open: reply at close
@@ -702,6 +758,7 @@ void launch_bsp_reliable(Session& s) {
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
+          s.mark_finished(rank);
         });
   }
 }
@@ -748,13 +805,14 @@ void launch_asp_reliable(Session& s) {
             }
             if (!mirror_src && allow_replies) {
               send_param_reply_rel(s, self, st, shard, ep, slot,
-                                   s.worker_ep[rank], pkt.d, probes.get());
+                                   static_cast<int>(rank), pkt.d,
+                                   probes.get());
             }
           } else if (!mirror_src && allow_replies) {
             // Failover re-push: already applied (the dead primary mirrored
             // it) — the worker only lost the reply.
             send_param_reply_rel(s, self, st, shard, ep, slot,
-                                 s.worker_ep[rank], pkt.d, probes.get());
+                                 static_cast<int>(rank), pkt.d, probes.get());
           }
         };
       });
@@ -886,6 +944,7 @@ void launch_asp_reliable(Session& s) {
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
+          s.mark_finished(rank);
         });
   }
 }
@@ -896,12 +955,22 @@ void launch_asp_reliable(Session& s) {
 // is the delivery guarantee; the shard sends no reply), so only the pull
 // rounds need failover-aware reply collection.
 
-void launch_ssp_reliable(Session& s) {
+/// Reliable / replicated SSP and DSSP (see launch_ssp_impl for the shared
+/// protocol shape). Under replication each endpoint of the controller
+/// shard — primary and backup — keeps its *own* StalenessPolicy fed by the
+/// pushes it observes (the backup's by the primary's mirrors), so after a
+/// failover the backup grants from its own complete rate window instead of
+/// starting cold. Workers never crash under the reliable transport
+/// (Session::validate_reliability), so the kTagRejoin path cannot occur
+/// here.
+void launch_ssp_reliable(Session& s, bool adaptive) {
   const float inv_n = 1.0f / static_cast<float>(s.cfg.num_workers);
+  const int controller = s.plan.shard_of(0);
 
   spawn_replicated_shards(
-      s, [&s, inv_n](runtime::Process& self, ps::ShardState& st, int ep,
-                     int mirror_ep, bool backup) {
+      s, [&s, inv_n, adaptive, controller](runtime::Process& self,
+                                           ps::ShardState& st, int ep,
+                                           int mirror_ep, bool backup) {
         const int shard = st.shard();
         const int primary_ep = s.ps_ep[static_cast<std::size_t>(shard)];
         auto probes = std::make_shared<PsProbes>(PsProbes::make(
@@ -909,19 +978,31 @@ void launch_ssp_reliable(Session& s) {
         auto last_id = std::make_shared<std::vector<std::vector<std::int64_t>>>(
             static_cast<std::size_t>(s.cfg.num_workers),
             std::vector<std::int64_t>(st.num_local(), -1));
+        std::shared_ptr<StalenessPolicy> policy;
+        if (adaptive && shard == controller) {
+          policy = std::make_shared<StalenessPolicy>(
+              DsspConfig{s.cfg.dssp_s_min, s.cfg.dssp_s_max,
+                         s.cfg.dssp_window_s},
+              s.cfg.num_workers);
+        }
 
         return [&s, &self, &st, ep, mirror_ep, backup, shard, primary_ep,
-                inv_n, probes, last_id](Packet& pkt, bool allow_replies) {
+                inv_n, probes, last_id,
+                policy](Packet& pkt, bool allow_replies) {
           probes->on_request(s, ep);
           const bool mirror_src = backup && pkt.src_endpoint == primary_ep;
           if (pkt.tag == kTagPull) {
             // Idempotent read; duplicate replies are deduped by the worker.
             if (!allow_replies) return;
+            const double grant =
+                policy != nullptr
+                    ? static_cast<double>(
+                          policy->grant(static_cast<int>(pkt.a), self.now()))
+                    : 0.0;
             for (std::size_t slot : st.slots()) {
-              send_param_reply_rel(
-                  s, self, st, shard, ep, slot,
-                  s.worker_ep[static_cast<std::size_t>(pkt.a)], pkt.d,
-                  probes.get());
+              send_param_reply_rel(s, self, st, shard, ep, slot,
+                                   static_cast<int>(pkt.a), pkt.d,
+                                   probes.get(), nullptr, grant);
             }
             return;
           }
@@ -934,6 +1015,9 @@ void launch_ssp_reliable(Session& s) {
           if (!mirror_src) {
             probes->staleness->observe(
                 static_cast<double>(st.version(local) - pkt.c));
+          }
+          if (policy != nullptr && slot == 0) {
+            policy->on_push(static_cast<int>(pkt.a), self.now());
           }
           self.advance(s.wl.agg_time(pkt.wire_bytes));
           if (s.wl.functional()) {
@@ -949,7 +1033,7 @@ void launch_ssp_reliable(Session& s) {
   for (int rank = 0; rank < s.cfg.num_workers; ++rank) {
     s.engine.spawn(
         "worker" + std::to_string(rank),
-        [&s, rank, inv_n](runtime::Process& self) {
+        [&s, rank, inv_n, adaptive, controller](runtime::Process& self) {
           const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
           s.network->bind(wep, self);
           auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
@@ -959,10 +1043,20 @@ void launch_ssp_reliable(Session& s) {
           metrics::Histogram& local_staleness = s.registry.histogram(
               "ssp.local_staleness", {{"worker", std::to_string(rank)}},
               metrics::Histogram::count_bounds());
+          metrics::Histogram* bound_h = nullptr;
+          if (adaptive) {
+            bound_h = &s.registry.histogram(
+                "dssp.bound", {{"worker", std::to_string(rank)}},
+                metrics::Histogram::count_bounds());
+          }
           const std::size_t n_slots = s.wl.num_slots();
           const std::vector<std::size_t> slots = all_slots_of(s);
           const std::int64_t iters = s.iterations_per_worker();
           std::vector<std::int64_t> basis(n_slots, 0);
+          int bound = adaptive ? s.cfg.dssp_s_min : s.cfg.ssp_staleness;
+          if (bound_h != nullptr) {
+            bound_h->observe(static_cast<double>(bound));
+          }
           int staleness = 0;
 
           const auto send_pull = [&](int shard, std::int64_t round_id) {
@@ -987,7 +1081,7 @@ void launch_ssp_reliable(Session& s) {
             }
             local_staleness.observe(static_cast<double>(staleness));
 
-            if (staleness < s.cfg.ssp_staleness) {
+            if (staleness <= bound) {
               ++staleness;
               if (s.wl.functional()) {
                 s.wl.apply_gradients(rank, s.wl.gradients(rank),
@@ -998,15 +1092,23 @@ void launch_ssp_reliable(Session& s) {
               for (int shard = 0; shard < s.num_shards(); ++shard) {
                 send_pull(shard, it);
               }
+              int grant = bound;
               await_replies_rel(s, self, rank, wep, slots, it, &basis,
-                                [&](int shard) { send_pull(shard, it); });
+                                [&](int shard) { send_pull(shard, it); },
+                                adaptive ? controller : -1,
+                                adaptive ? &grant : nullptr);
               account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
                              sync);
               staleness = 0;
+              if (adaptive) {
+                bound = std::clamp(grant, s.cfg.dssp_s_min, s.cfg.dssp_s_max);
+                bound_h->observe(static_cast<double>(bound));
+              }
             }
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
+          s.mark_finished(rank);
         });
   }
 }
@@ -1066,7 +1168,8 @@ void launch_easgd_reliable(Session& s) {
             if (!mirror_src && allow_replies) {
               probes->bytes_served->inc(
                   static_cast<double>(reply.wire_bytes));
-              reliable_send_live(s, self, ep, s.worker_ep[rank], reply);
+              reliable_send_worker(s, self, ep, static_cast<int>(rank),
+                                   reply);
             }
           } else if (!mirror_src && allow_replies) {
             // Failover re-push of an exchange the dead primary already
@@ -1074,7 +1177,7 @@ void launch_easgd_reliable(Session& s) {
             // the worker adopts the current center instead — the
             // documented EASGD failover semantics (docs/faults.md).
             send_param_reply_rel(s, self, st, shard, ep, slot,
-                                 s.worker_ep[rank], pkt.d, probes.get());
+                                 static_cast<int>(rank), pkt.d, probes.get());
           }
         };
       });
@@ -1142,6 +1245,7 @@ void launch_easgd_reliable(Session& s) {
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
+          s.mark_finished(rank);
         });
   }
 }
@@ -1501,27 +1605,59 @@ void launch_asp_impl(Session& s) {
   }
 }
 
-// ======================== SSP ==============================================
+// ======================== SSP / DSSP =======================================
+//
+// One dispatch loop serves both protocols (the MasterMode idiom: the PS
+// loop is protocol-agnostic and the staleness decision lives in a small
+// pluggable policy object). Static SSP (`adaptive` false) holds every
+// worker to the configured bound s; DSSP (`adaptive` true) hosts a
+// core::StalenessPolicy on the *controller shard* — the shard owning slot
+// 0, which therefore sees exactly one slot-0 gradient per completed worker
+// iteration — and re-grants each worker's bound in [s_min, s_max] from its
+// observed push rate. Grants ride back on the controller's kTagParams
+// replies (Packet.x), so adaptation adds zero extra messages.
 
-void launch_ssp_impl(Session& s) {
+void launch_ssp_impl(Session& s, bool adaptive) {
   const float inv_n = 1.0f / static_cast<float>(s.cfg.num_workers);
+  const int controller = s.plan.shard_of(0);
 
   for (int shard = 0; shard < s.num_shards(); ++shard) {
     s.engine.spawn(
         "ps" + std::to_string(shard),
-        [&s, shard, inv_n](runtime::Process& self) {
+        [&s, shard, inv_n, adaptive, controller](runtime::Process& self) {
           const int ep = s.ps_ep[static_cast<std::size_t>(shard)];
           s.network->bind(ep, self);
           auto& st = *s.shards[static_cast<std::size_t>(shard)];
           const PsProbes probes = PsProbes::make(s, shard);
+          std::unique_ptr<StalenessPolicy> policy;
+          if (adaptive && shard == controller) {
+            policy = std::make_unique<StalenessPolicy>(
+                DsspConfig{s.cfg.dssp_s_min, s.cfg.dssp_s_max,
+                           s.cfg.dssp_window_s},
+                s.cfg.num_workers);
+          }
           for (;;) {
             Packet pkt = s.network->recv(self, ep);
             probes.on_request(s, ep);
+            if (pkt.tag == kTagRejoin) {
+              // Fire-and-forget reboot note: restart the rank's push-rate
+              // window so pre-crash speed does not color its first grants.
+              if (policy != nullptr) {
+                policy->on_rejoin(static_cast<int>(pkt.a));
+              }
+              continue;
+            }
             if (pkt.tag == kTagPull) {
+              const double grant =
+                  policy != nullptr
+                      ? static_cast<double>(
+                            policy->grant(static_cast<int>(pkt.a), self.now()))
+                      : 0.0;
               for (std::size_t slot : st.slots()) {
                 send_param_reply(
                     s, self, shard, slot,
-                    s.worker_ep[static_cast<std::size_t>(pkt.a)], &probes);
+                    s.worker_ep[static_cast<std::size_t>(pkt.a)], &probes,
+                    nullptr, grant);
               }
               continue;
             }
@@ -1538,6 +1674,9 @@ void launch_ssp_impl(Session& s) {
             const std::size_t local = st.local_index(slot);
             probes.staleness->observe(
                 static_cast<double>(st.version(local) - pkt.c));
+            if (policy != nullptr && slot == 0) {
+              policy->on_push(static_cast<int>(pkt.a), self.now());
+            }
             self.advance(s.wl.agg_time(pkt.wire_bytes));
             if (s.wl.functional()) {
               const float lr = static_cast<float>(pkt.x);
@@ -1557,7 +1696,7 @@ void launch_ssp_impl(Session& s) {
   for (int rank = 0; rank < s.cfg.num_workers; ++rank) {
     s.engine.spawn(
         "worker" + std::to_string(rank),
-        [&s, rank, inv_n](runtime::Process& self) {
+        [&s, rank, inv_n, adaptive, controller](runtime::Process& self) {
           const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
           s.network->bind(wep, self);
           auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
@@ -1569,10 +1708,20 @@ void launch_ssp_impl(Session& s) {
               "ssp.local_staleness",
               {{"worker", std::to_string(rank)}},
               metrics::Histogram::count_bounds());
+          metrics::Histogram* bound_h = nullptr;
+          if (adaptive) {
+            bound_h = &s.registry.histogram(
+                "dssp.bound", {{"worker", std::to_string(rank)}},
+                metrics::Histogram::count_bounds());
+          }
           const std::size_t n_slots = s.wl.num_slots();
           const std::int64_t iters = s.iterations_per_worker();
           std::vector<std::int64_t> basis(n_slots, 0);
           CrashCheckpoint ck = CrashCheckpoint::make(s);
+          int bound = adaptive ? s.cfg.dssp_s_min : s.cfg.ssp_staleness;
+          if (bound_h != nullptr) {
+            bound_h->observe(static_cast<double>(bound));
+          }
           int staleness = 0;
 
           for (std::int64_t it = 0; it < iters; ++it) {
@@ -1592,22 +1741,29 @@ void launch_ssp_impl(Session& s) {
                 s.crash_pending(rank, self.now())) {
               // SSP pushes never generate replies (workers pull explicitly),
               // so a crash here only loses the in-flight gradients. The
-              // recovery pull counts as the global sync.
+              // recovery pull counts as the global sync; a DSSP rejoiner
+              // also restarts from the conservative s_min grant.
               s.take_crash(self, rank);
-              recover_from_ps(s, self, rank, wep, &basis, ck);
+              recover_from_ps(s, self, rank, wep, &basis, ck,
+                              adaptive ? controller : -1);
               staleness = 0;
+              if (adaptive) {
+                bound = s.cfg.dssp_s_min;
+                bound_h->observe(static_cast<double>(bound));
+              }
               wm.count_iteration(s.wl.batch_size());
               curve.maybe_record(self, it + 1, loss);
               ck.maybe_snapshot(s, self, rank);
               continue;
             }
-            // Local clock distance from the last global sync — bounded by
-            // the configured SSP staleness s by construction.
+            // Local clock distance from the last global sync. With the
+            // at-most-s-ahead bound (<=) the observed values run 0..s+1:
+            // s+1 flags the iteration that triggers the global sync.
             local_staleness.observe(static_cast<double>(staleness));
 
-            if (staleness < s.cfg.ssp_staleness) {
-              // Within the staleness bound: update locally and continue
-              // without waiting for the PS.
+            if (staleness <= bound) {
+              // At or within the staleness bound: update locally and
+              // continue without waiting for the PS.
               ++staleness;
               if (s.wl.functional()) {
                 s.wl.apply_gradients(rank, s.wl.gradients(rank),
@@ -1624,10 +1780,17 @@ void launch_ssp_impl(Session& s) {
                                 s.ps_ep[static_cast<std::size_t>(shard)],
                                 std::move(pull));
               }
-              await_params(s, self, rank, wep, n_slots, &basis);
+              int grant = bound;
+              await_params(s, self, rank, wep, n_slots, &basis,
+                           adaptive ? controller : -1,
+                           adaptive ? &grant : nullptr);
               account_window(self, wm, t0, ps_roundtrip_estimate(s, rank),
                              sync);
               staleness = 0;
+              if (adaptive) {
+                bound = std::clamp(grant, s.cfg.dssp_s_min, s.cfg.dssp_s_max);
+                bound_h->observe(static_cast<double>(bound));
+              }
             }
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
@@ -1796,10 +1959,18 @@ void launch_asp(Session& s) {
 
 void launch_ssp(Session& s) {
   if (s.reliable_mode()) {
-    launch_ssp_reliable(s);
+    launch_ssp_reliable(s, /*adaptive=*/false);
     return;
   }
-  launch_ssp_impl(s);
+  launch_ssp_impl(s, /*adaptive=*/false);
+}
+
+void launch_dssp(Session& s) {
+  if (s.reliable_mode()) {
+    launch_ssp_reliable(s, /*adaptive=*/true);
+    return;
+  }
+  launch_ssp_impl(s, /*adaptive=*/true);
 }
 
 void launch_easgd(Session& s) {

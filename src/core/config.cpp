@@ -9,6 +9,7 @@ const char* algo_name(Algo a) noexcept {
     case Algo::bsp: return "BSP";
     case Algo::asp: return "ASP";
     case Algo::ssp: return "SSP";
+    case Algo::dssp: return "DSSP";
     case Algo::easgd: return "EASGD";
     case Algo::arsgd: return "AR-SGD";
     case Algo::gosgd: return "GoSGD";
@@ -20,7 +21,7 @@ const char* algo_name(Algo a) noexcept {
 
 bool is_centralized(Algo a) noexcept {
   return a == Algo::bsp || a == Algo::asp || a == Algo::ssp ||
-         a == Algo::easgd;
+         a == Algo::dssp || a == Algo::easgd;
 }
 
 bool is_synchronous(Algo a) noexcept {
@@ -29,7 +30,7 @@ bool is_synchronous(Algo a) noexcept {
 
 bool sends_gradients(Algo a) noexcept {
   return a == Algo::bsp || a == Algo::asp || a == Algo::ssp ||
-         a == Algo::arsgd;
+         a == Algo::dssp || a == Algo::arsgd;
 }
 
 net::ClusterSpec ClusterConfig::to_spec(int num_machines) const {

@@ -20,6 +20,10 @@ enum class Algo {
   bsp,      // centralized, synchronous
   asp,      // centralized, asynchronous
   ssp,      // centralized, stale-synchronous
+  dssp,     // centralized, stale-synchronous with an adaptive bound
+            // (Zhao et al. 2019, arXiv 1908.11848 — extension beyond the
+            // paper; the PS adapts each worker's staleness bound from its
+            // observed push rate)
   easgd,    // centralized, asynchronous, periodic elastic averaging
   arsgd,    // decentralized, synchronous AllReduce
   gosgd,    // decentralized, asynchronous asymmetric gossip
@@ -83,12 +87,26 @@ struct TrainConfig {
   int easgd_tau = 8;          // communication period
   double easgd_alpha = -1.0;  // moving rate; <0 => 0.9 / tau
   double gosgd_p = 0.01;      // gossip probability
+  /// DSSP (algo = dssp): the PS grants each worker a staleness bound in
+  /// [dssp_s_min, dssp_s_max], tightening fast workers toward s_min and
+  /// granting slow ones slack toward s_max, from push rates observed over
+  /// a sliding window of `dssp_window_s` virtual seconds (see
+  /// core/staleness_policy.hpp and docs/algorithms.md).
+  int dssp_s_min = 1;
+  int dssp_s_max = 10;
+  double dssp_window_s = 2.0;
 
   // --- functional training ---
   double epochs = 30.0;
   nn::SgdConfig sgd;
   nn::LrSchedule lr;          // built via LrSchedule::paper by the caller
   double eval_interval_epochs = 1.0;
+  /// When > 0 (functional mode), RunResult::time_to_target is the virtual
+  /// time of the first convergence-curve sample whose training loss is at
+  /// or below this target — the paper-style "time to target loss" scalar
+  /// campaigns can aggregate. A run that never reaches the target reports
+  /// its full virtual duration (a lower bound on the true time).
+  double target_loss = 0.0;
 
   // --- cost-only training ---
   /// When the workload is not functional, each worker runs exactly this

@@ -194,14 +194,16 @@ void parse_reliability(const common::IniConfig& ini, TrainConfig& cfg) {
 const std::vector<IniSectionSchema>& experiment_ini_schema() {
   static const std::vector<IniSectionSchema> schema = {
       {"experiment",
-       {"algorithm", "workers", "mode", "epochs", "iterations", "seed"}},
+       {"algorithm", "workers", "mode", "epochs", "iterations", "seed",
+        "target_loss"}},
       {"cluster", {"workers_per_machine", "nic_gbps", "latency_us"}},
       {"optimizations",
        {"ps_shards_per_machine", "wait_free_bp", "dgc", "qsgd_bits",
         "local_aggregation", "shard_policy"}},
       {"hyperparameters",
-       {"ssp_staleness", "easgd_tau", "easgd_alpha", "gosgd_p",
-        "lr_per_worker", "momentum", "weight_decay"}},
+       {"ssp_staleness", "dssp_s_min", "dssp_s_max", "dssp_window",
+        "easgd_tau", "easgd_alpha", "gosgd_p", "lr_per_worker", "momentum",
+        "weight_decay"}},
       {"workload",
        {"model", "batch", "train_samples", "test_samples",
         "functional_batch", "non_iid"}},
@@ -273,6 +275,7 @@ Algo algo_from_name(const std::string& name) {
   if (n == "bsp") return Algo::bsp;
   if (n == "asp") return Algo::asp;
   if (n == "ssp") return Algo::ssp;
+  if (n == "dssp" || n == "dynamicssp") return Algo::dssp;
   if (n == "easgd") return Algo::easgd;
   if (n == "arsgd" || n == "allreduce") return Algo::arsgd;
   if (n == "gosgd" || n == "gossip") return Algo::gosgd;
@@ -300,6 +303,9 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
   cfg.iterations = ini.get_int("experiment", "iterations", 30);
   cfg.seed = static_cast<std::uint64_t>(
       ini.get_int("experiment", "seed", 42));
+  cfg.target_loss = ini.get_double("experiment", "target_loss", 0.0);
+  common::check(cfg.target_loss >= 0.0,
+                "experiment: target_loss must be >= 0");
 
   // [cluster]
   cfg.cluster.workers_per_machine =
@@ -326,6 +332,18 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
   // [hyperparameters]
   cfg.ssp_staleness =
       static_cast<int>(ini.get_int("hyperparameters", "ssp_staleness", 10));
+  cfg.dssp_s_min =
+      static_cast<int>(ini.get_int("hyperparameters", "dssp_s_min", 1));
+  cfg.dssp_s_max =
+      static_cast<int>(ini.get_int("hyperparameters", "dssp_s_max", 10));
+  cfg.dssp_window_s =
+      ini.get_double("hyperparameters", "dssp_window", 2.0);
+  common::check(cfg.dssp_s_min >= 0,
+                "hyperparameters: dssp_s_min must be >= 0");
+  common::check(cfg.dssp_s_max >= cfg.dssp_s_min,
+                "hyperparameters: dssp_s_max must be >= dssp_s_min");
+  common::check(cfg.dssp_window_s > 0.0,
+                "hyperparameters: dssp_window must be > 0");
   cfg.easgd_tau =
       static_cast<int>(ini.get_int("hyperparameters", "easgd_tau", 8));
   cfg.easgd_alpha = ini.get_double("hyperparameters", "easgd_alpha", -1.0);

@@ -4,7 +4,7 @@
 // Example configuration:
 //
 //   [experiment]
-//   algorithm = adpsgd        ; bsp asp ssp easgd arsgd gosgd adpsgd dpsgd
+//   algorithm = adpsgd        ; bsp asp ssp dssp easgd arsgd gosgd adpsgd dpsgd
 //   mode      = functional    ; functional (accuracy) | throughput
 //   workers   = 8
 //   epochs    = 15            ; functional mode
@@ -23,6 +23,9 @@
 //
 //   [hyperparameters]
 //   ssp_staleness = 10
+//   dssp_s_min = 1
+//   dssp_s_max = 10
+//   dssp_window = 2.0
 //   easgd_tau = 8
 //   gosgd_p = 0.01
 //   lr_per_worker = 0.004

@@ -28,6 +28,9 @@ enum Tag : int {
   kTagAdpsgdReq = 9,    // AD-PSGD active -> passive (whole model)
   kTagAdpsgdReply = 10, // AD-PSGD passive -> active (whole model)
   kTagDpsgd = 11,       // D-PSGD ring exchange; +0/+1 by iteration parity
+  kTagRejoin = 12,      // DSSP worker -> controller shard: fire-and-forget
+                        // "I rebooted" note; restarts the rank's push-rate
+                        // window in the staleness policy. No reply.
   kTagBarrier = 100,    // +0/+1 reserved
   kTagAllreduce = 200,  // +0/+1 per bucket pair; buckets use +2*b
 };
@@ -41,8 +44,9 @@ enum Tag : int {
 ///       exchange exactly once across retransmissions and failover;
 ///       replies echo it so workers can drop stale/duplicate replies.
 ///       0 elsewhere. (Packet.rel_seq below d is owned by the transport.)
-///   x = learning rate in effect at the sender (centralized pushes) or
-///       gossip weight (GoSGD)
+///   x = learning rate in effect at the sender (centralized pushes),
+///       gossip weight (GoSGD), or — on kTagParams replies from the DSSP
+///       controller shard — the staleness bound granted to the receiver
 
 /// Gathers `slots[i]`-indexed tensors from a full slot-ordered vector.
 inline std::vector<tensor::Tensor> select_slots(

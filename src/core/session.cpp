@@ -271,6 +271,7 @@ void Session::launch() {
     case Algo::bsp: launch_bsp(*this); return;
     case Algo::asp: launch_asp(*this); return;
     case Algo::ssp: launch_ssp(*this); return;
+    case Algo::dssp: launch_dssp(*this); return;
     case Algo::easgd: launch_easgd(*this); return;
     case Algo::arsgd: launch_arsgd(*this); return;
     case Algo::gosgd: launch_gosgd(*this); return;
@@ -424,6 +425,15 @@ metrics::RunResult Session::run() {
             [](const metrics::CurvePoint& a, const metrics::CurvePoint& b) {
               return a.epoch < b.epoch;
             });
+  if (cfg.target_loss > 0.0) {
+    result.time_to_target = result.virtual_duration;
+    for (const auto& p : result.curve) {
+      if (p.train_loss <= cfg.target_loss) {
+        result.time_to_target = p.virtual_time;
+        break;
+      }
+    }
+  }
   return result;
 }
 

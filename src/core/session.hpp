@@ -207,6 +207,7 @@ class Session {
 void launch_bsp(Session& s);
 void launch_asp(Session& s);
 void launch_ssp(Session& s);
+void launch_dssp(Session& s);
 void launch_easgd(Session& s);
 void launch_arsgd(Session& s);
 void launch_gosgd(Session& s);

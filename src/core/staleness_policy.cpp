@@ -1,0 +1,68 @@
+#include "core/staleness_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::core {
+
+StalenessPolicy::StalenessPolicy(DsspConfig cfg, int num_workers)
+    : cfg_(cfg), pushes_(static_cast<std::size_t>(num_workers)) {
+  common::check(num_workers >= 1, "StalenessPolicy: need >= 1 worker");
+  common::check(cfg_.s_min >= 0, "dssp: s_min must be >= 0");
+  common::check(cfg_.s_max >= cfg_.s_min, "dssp: s_max must be >= s_min");
+  common::check(cfg_.window_s > 0.0, "dssp: window must be > 0");
+}
+
+void StalenessPolicy::prune(int rank, double now) {
+  auto& q = pushes_[static_cast<std::size_t>(rank)];
+  const double cutoff = now - cfg_.window_s;
+  while (!q.empty() && q.front() < cutoff) q.pop_front();
+}
+
+void StalenessPolicy::on_push(int rank, double now) {
+  prune(rank, now);
+  pushes_[static_cast<std::size_t>(rank)].push_back(now);
+}
+
+void StalenessPolicy::on_rejoin(int rank) {
+  pushes_[static_cast<std::size_t>(rank)].clear();
+}
+
+double StalenessPolicy::rate(int rank, double now) const {
+  const auto& q = pushes_[static_cast<std::size_t>(rank)];
+  const double cutoff = now - cfg_.window_s;
+  std::size_t n = 0;
+  for (auto it = q.rbegin(); it != q.rend() && *it >= cutoff; ++it) ++n;
+  // Early in a run the full window has not elapsed yet; clip it so the
+  // first grants are not uniformly underestimated.
+  const double window = std::min(cfg_.window_s, std::max(now, 1e-12));
+  return static_cast<double>(n) / window;
+}
+
+int StalenessPolicy::grant(int rank, double now) {
+  for (std::size_t r = 0; r < pushes_.size(); ++r) {
+    prune(static_cast<int>(r), now);
+  }
+  double rmax = 0.0;
+  for (std::size_t r = 0; r < pushes_.size(); ++r) {
+    rmax = std::max(rmax, rate(static_cast<int>(r), now));
+  }
+  const double own = rate(rank, now);
+  if (rmax <= 0.0 || own <= 0.0) {
+    // No signal yet (run start, or a fresh window after rejoin): start
+    // conservative and let the observed cadence earn slack.
+    return cfg_.s_min;
+  }
+  // Linear in relative slowness: the fastest worker gets s_min, a worker
+  // at half its rate the midpoint, a stopped one would get s_max.
+  const double slack = 1.0 - own / rmax;
+  const int bound =
+      cfg_.s_min +
+      static_cast<int>(std::llround(
+          slack * static_cast<double>(cfg_.s_max - cfg_.s_min)));
+  return std::clamp(bound, cfg_.s_min, cfg_.s_max);
+}
+
+}  // namespace dt::core

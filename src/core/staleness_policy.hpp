@@ -1,0 +1,62 @@
+// PS-side staleness-bound policy for the SSP family (the MasterMode idiom:
+// static SSP and DSSP share one PS dispatch loop and one worker loop in
+// algo_centralized.cpp; everything that differs between the two modes —
+// how the bound for a worker's next lease is decided — lives here).
+//
+// DSSP (Zhao et al. 2019, arXiv 1908.11848): instead of one fixed staleness
+// bound `s` for every worker, the parameter server observes each worker's
+// push rate (completed iterations per virtual second over a sliding window)
+// and grants a per-worker bound in [s_min, s_max]: the fastest worker is
+// tightened to s_min (it can afford to sync often, keeping its many
+// gradients fresh), and a worker at a fraction of the fastest rate is
+// granted proportionally more slack, up to s_max (it syncs rarely, so the
+// stragglers' scarce gradients keep flowing instead of stalling on pulls).
+//
+// Everything here is driven by virtual time and integer counts, so grants
+// are deterministic and byte-identical across hosts and compute_threads
+// settings (the A/B contract).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace dt::core {
+
+struct DsspConfig {
+  int s_min = 1;
+  int s_max = 10;
+  double window_s = 2.0;  // sliding rate window, virtual seconds
+};
+
+class StalenessPolicy {
+ public:
+  StalenessPolicy(DsspConfig cfg, int num_workers);
+
+  /// Records one completed-iteration push from `rank` at virtual time
+  /// `now` (the shard counts the arrival of a designated slot so one
+  /// iteration is one observation, regardless of the slot count).
+  void on_push(int rank, double now);
+
+  /// Crash+rejoin: the rank's rate window restarts empty, so its pre-crash
+  /// cadence cannot leak into the first post-rejoin grants.
+  void on_rejoin(int rank);
+
+  /// The staleness bound granted for `rank`'s next lease, in
+  /// [s_min, s_max]. Deterministic in (push history, now).
+  [[nodiscard]] int grant(int rank, double now);
+
+  /// Push rate of `rank` over the trailing window (iterations per virtual
+  /// second; the window is clipped to elapsed time early in a run).
+  [[nodiscard]] double rate(int rank, double now) const;
+
+  [[nodiscard]] const DsspConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void prune(int rank, double now);
+
+  DsspConfig cfg_;
+  std::vector<std::deque<double>> pushes_;  // per-rank arrival times
+};
+
+}  // namespace dt::core

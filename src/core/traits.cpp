@@ -11,7 +11,15 @@ const std::vector<AlgoTraits>& all_algo_traits() {
   static const std::vector<AlgoTraits> traits = {
       {Algo::bsp, true, true, "O(1/sqrt(NK))", "O(2MN * 1/l)"},
       {Algo::asp, true, false, "O(1/sqrt(NK))", "O(2MN)"},
-      {Algo::ssp, true, false, "O(sqrt(2(s+1)N/K))", "O((1+1/(s+1)) * MN)"},
+      // SSP permits a worker to run at most s iterations ahead of its last
+      // global sync (<=), so a full-model pull happens every s+2 iterations
+      // (s+1 local applies + the sync itself). The paper's Table I quotes
+      // O((1+1/(s+1))MN) under the stricter sync-every-s+1 convention.
+      {Algo::ssp, true, false, "O(sqrt(2(s+1)N/K))", "O((1+1/(s+2)) * MN)"},
+      // DSSP: per-worker adaptive bound in [s_min, s_max]; the traffic
+      // bound below is the all-workers-at-s_min worst case.
+      {Algo::dssp, true, false, "O(sqrt(2(s+1)N/K))",
+       "O((1+1/(s_min+2)) * MN)"},
       {Algo::easgd, true, false, "-", "O(2MN * 1/tau)"},
       {Algo::arsgd, false, true, "O(1/sqrt(NK))", "O(2MN)"},
       {Algo::gosgd, false, false, "-", "O(MN * p)"},
@@ -43,8 +51,17 @@ double expected_bytes_per_round(const TrainConfig& cfg,
     case Algo::asp:
       return 2.0 * m * n;
     case Algo::ssp: {
+      // Pushes every iteration + a full-model pull every s+2 iterations
+      // (the bound admits s+1 local applies between syncs; see the
+      // all_algo_traits note above).
       const double s = cfg.ssp_staleness;
-      return (1.0 + 1.0 / (s + 1.0)) * m * n;
+      return (1.0 + 1.0 / (s + 2.0)) * m * n;
+    }
+    case Algo::dssp: {
+      // Adaptive per-worker bound >= s_min: the static-s_min SSP volume is
+      // an upper bound on DSSP traffic (grants can only slacken syncs).
+      const double s = cfg.dssp_s_min;
+      return (1.0 + 1.0 / (s + 2.0)) * m * n;
     }
     case Algo::easgd:
       return 2.0 * m * n / static_cast<double>(cfg.easgd_tau);

@@ -154,6 +154,11 @@ struct RunResult {
   std::vector<CurvePoint> curve;
 
   double virtual_duration = 0.0;      // end-of-run virtual clock
+  /// Virtual time at which the training loss first reached the configured
+  /// target (TrainConfig::target_loss). 0 when no target is set; the full
+  /// virtual duration (a lower bound on the true time) when the run never
+  /// got there.
+  double time_to_target = 0.0;
   std::int64_t total_samples = 0;     // across all workers
   std::int64_t total_iterations = 0;  // across all workers
 

@@ -116,8 +116,16 @@ void Histogram::observe(double v) noexcept {
   max_ = std::max(max_, v);
 }
 
+// Edge contract: an empty histogram reports 0 for every quantile (callers
+// that need to distinguish check count() — the summary table and JSONL
+// writers print "-" / omit the field instead). With samples, any q <= 0
+// is the observed minimum and any q >= 1 the observed maximum; a
+// single-sample histogram reports that sample exactly at every q because
+// the bucket interpolation below is clamped to [min_, max_].
 double Histogram::percentile(double q) const noexcept {
   if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   const double target = q * static_cast<double>(count_);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {

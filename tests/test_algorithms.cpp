@@ -142,8 +142,10 @@ TEST_P(TrafficVolume, MatchesTableIFormula) {
   cfg.cluster.workers_per_machine = 1;  // workers on distinct machines
   cfg.opt.ps_shards_per_machine = 1;
   cfg.opt.local_aggregation = false;
-  cfg.iterations = 24;  // divisible by tau and s+1
-  cfg.ssp_staleness = 3;
+  cfg.iterations = 24;  // divisible by tau and the SSP sync period s+2
+  cfg.ssp_staleness = 4;
+  cfg.dssp_s_min = 4;  // degenerate [4, 4] range: DSSP reduces to SSP s=4,
+  cfg.dssp_s_max = 4;  // making Table-I accounting exact for it too
   cfg.easgd_tau = 4;
   cfg.gosgd_p = 1.0;  // deterministic gossip for exact accounting
   cfg.seed = 3;
@@ -163,6 +165,7 @@ INSTANTIATE_TEST_SUITE_P(
                       TrafficCase{Algo::asp, 4, 0.02},
                       TrafficCase{Algo::asp, 8, 0.02},
                       TrafficCase{Algo::ssp, 4, 0.05},
+                      TrafficCase{Algo::dssp, 4, 0.05},
                       TrafficCase{Algo::easgd, 4, 0.05},
                       TrafficCase{Algo::arsgd, 4, 0.02},
                       TrafficCase{Algo::arsgd, 7, 0.02},
@@ -210,6 +213,31 @@ std::uint64_t run_bytes(Algo algo, const std::function<void(TrainConfig&)>& twea
   cfg.seed = 5;
   tweak(cfg);
   return run_training(cfg, wl).wire_bytes;
+}
+
+TEST(Ssp, GateAdmitsAtMostSIterationsAhead) {
+  // Regression pin for the SSP bound semantics: a worker may run *at most*
+  // s iterations ahead of its last global sync (<=), so syncs land every
+  // s+2 iterations — s+1 local applies, then the pull. Exact accounting
+  // with one worker and one shard: every iteration pushes num_slots
+  // gradient packets, and each sync costs one pull request plus num_slots
+  // parameter replies. Under the stricter sync-every-s+1 reading this
+  // count would be 150 (6 syncs), not 132.
+  cost::ModelProfile profile =
+      cost::uniform_profile("uniform", 8, 250'000, 1e8);
+  Workload wl = make_cost_workload(profile, 32);
+  TrainConfig cfg;
+  cfg.algo = Algo::ssp;
+  cfg.num_workers = 1;
+  cfg.cluster.workers_per_machine = 1;
+  cfg.opt.ps_shards_per_machine = 1;
+  cfg.opt.local_aggregation = false;
+  cfg.ssp_staleness = 1;
+  cfg.iterations = 12;  // divisible by the sync period s+2 = 3
+  auto result = run_training(cfg, wl);
+  const std::uint64_t slots = 8;
+  const std::uint64_t syncs = 12 / 3;
+  EXPECT_EQ(result.wire_messages, 12 * slots + syncs * (1 + slots));
 }
 
 TEST(Ssp, LargerStalenessMeansFewerPulls) {

@@ -437,6 +437,35 @@ TEST(CampaignAggregate, ReplicatesCollapseToMeanStdWithPaperDeltas) {
   EXPECT_EQ(table.rows(), 2u);
 }
 
+TEST(CampaignAggregate, SingleReplicateEmitsNullStddevInJsonl) {
+  // A sample standard deviation needs n >= 2. With one replicate the
+  // aggregate JSONL must say `"stddev":null` — not a misleading 0 that is
+  // indistinguishable from "three replicates agreed perfectly".
+  CampaignSpec spec = tiny_functional_spec();
+  spec.cache_dir = scratch("stddev_one");
+  spec.replicates = 1;
+  const CampaignResult result = run_campaign(spec);
+  const Aggregate agg =
+      Aggregate::build(result.records, "auto", result.functional);
+  const std::string out = scratch("stddev_one_out");
+  write_outputs(out, "t", result.records, agg);
+  const std::string jsonl = slurp(out + "/aggregate.jsonl");
+  EXPECT_NE(jsonl.find("\"stddev\":null"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"stddev\":0,"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"stddev\":0}"), std::string::npos);
+
+  // With replicates the field is numeric again.
+  CampaignSpec multi = tiny_functional_spec();
+  multi.cache_dir = scratch("stddev_three");
+  multi.replicates = 3;
+  const CampaignResult r3 = run_campaign(multi);
+  const Aggregate agg3 = Aggregate::build(r3.records, "auto", r3.functional);
+  const std::string out3 = scratch("stddev_three_out");
+  write_outputs(out3, "t", r3.records, agg3);
+  EXPECT_EQ(slurp(out3 + "/aggregate.jsonl").find("\"stddev\":null"),
+            std::string::npos);
+}
+
 TEST(CampaignAggregate, ChartsNumericAxesAndRejectsOthers) {
   CampaignSpec spec;
   spec.base = tiny_throughput_base();

@@ -54,9 +54,9 @@ TEST_P(AllAlgosLearn, ReachesReasonableAccuracyWithFourWorkers) {
 
 INSTANTIATE_TEST_SUITE_P(Algos, AllAlgosLearn,
                          ::testing::Values(Algo::bsp, Algo::asp, Algo::ssp,
-                                           Algo::easgd, Algo::arsgd,
-                                           Algo::gosgd, Algo::adpsgd,
-                                           Algo::dpsgd));
+                                           Algo::dssp, Algo::easgd,
+                                           Algo::arsgd, Algo::gosgd,
+                                           Algo::adpsgd, Algo::dpsgd));
 
 TEST(Findings, InfrequentGossipHurtsAccuracy) {
   // Paper Table II/III: GoSGD with p = 0.01 loses substantial accuracy

@@ -65,7 +65,29 @@ TEST(StalenessProbe, SspLocalStalenessRespectsBound) {
   ASSERT_EQ(series.size(), 4u);  // one histogram per worker
   for (const metrics::MetricValue* h : series) {
     EXPECT_GT(h->count, 0u);
-    EXPECT_LE(h->max, 3.0);  // never beyond the configured slack s
+    // The at-most-s-ahead bound admits values 0..s+1: the s+1 observation
+    // is the iteration that triggers the global sync (see launch_ssp_impl).
+    EXPECT_LE(h->max, 4.0);
+  }
+}
+
+TEST(StalenessProbe, DsspBoundStaysWithinConfiguredRange) {
+  core::TrainConfig cfg = small_config(core::Algo::dssp, 4, 24);
+  cfg.dssp_s_min = 1;
+  cfg.dssp_s_max = 5;
+  auto result = run_small(cfg);
+  const auto bounds = result.metrics.all("dssp.bound");
+  ASSERT_EQ(bounds.size(), 4u);  // one histogram per worker
+  for (const metrics::MetricValue* h : bounds) {
+    EXPECT_GT(h->count, 0u);
+    EXPECT_GE(h->min, 1.0);
+    EXPECT_LE(h->max, 5.0);
+  }
+  // Local staleness stays within the granted bound + 1 (sync trigger).
+  const auto series = result.metrics.all("ssp.local_staleness");
+  ASSERT_EQ(series.size(), 4u);
+  for (const metrics::MetricValue* h : series) {
+    EXPECT_LE(h->max, 6.0);
   }
 }
 

@@ -84,6 +84,8 @@ TEST(Histogram, PercentileEstimates) {
   // Empty histogram: percentiles read 0 rather than NaN.
   Histogram& empty = reg.histogram("empty", {}, {1.0});
   EXPECT_DOUBLE_EQ(empty.percentile(0.50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
 
   Histogram& h = reg.histogram("lat2", {}, {1.0, 2.0, 4.0});
   h.observe(0.5);
@@ -95,6 +97,29 @@ TEST(Histogram, PercentileEstimates) {
   EXPECT_DOUBLE_EQ(h.percentile(0.50), 1.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.99), 4.0 + 0.96 * 96.0);
   EXPECT_LE(h.percentile(0.99), h.max());
+}
+
+TEST(Histogram, PercentileEdgeQuantiles) {
+  MetricRegistry reg;
+  // Out-of-range and boundary q: clamped to the observed extremes for any
+  // sample count, including the degenerate 1- and 2-sample histograms.
+  Histogram& one = reg.histogram("edge1", {}, {1.0, 2.0});
+  one.observe(1.5);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 1.5);
+  EXPECT_DOUBLE_EQ(one.percentile(-0.5), 1.5);
+  EXPECT_DOUBLE_EQ(one.percentile(2.0), 1.5);
+
+  Histogram& two = reg.histogram("edge2", {}, {10.0});
+  two.observe(2.0);
+  two.observe(8.0);
+  EXPECT_DOUBLE_EQ(two.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(two.percentile(1.0), 8.0);
+  // Interior quantiles never escape [min, max].
+  for (double q : {0.01, 0.25, 0.75, 0.99}) {
+    EXPECT_GE(two.percentile(q), 2.0);
+    EXPECT_LE(two.percentile(q), 8.0);
+  }
 }
 
 TEST(MetricSnapshot, PercentilesInSnapshotAndJsonl) {
