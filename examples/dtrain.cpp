@@ -12,12 +12,17 @@
 //                                print the replicate-aggregated table
 //   dtrain --campaign --force <config.ini>
 //                                ignore cached results, re-run everything
+//   dtrain --validate <config.ini>
+//                                dry run: parse and strictly validate the
+//                                config (single-run or campaign), print the
+//                                resolved settings, exit without simulating
 //   dtrain --template            print a documented template config
 //   dtrain --log-level=LEVEL <config.ini>
 //                                override verbosity (debug|info|warn|error)
 //
 // See core/experiment.hpp for the single-run key reference and
 // campaign/spec.hpp + docs/campaigns.md for the [campaign] section.
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -27,6 +32,7 @@
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/session.hpp"
 #include "core/trainer.hpp"
 #include "profile/critical_path.hpp"
 
@@ -93,7 +99,7 @@ crashes =                 ; rank:at:downtime, ...
 crash_rank = -1           ; singular spelling of one crash
 crash_time = 0.0
 crash_downtime = 1.0
-sync_policy = stall       ; stall | drop (BSP round handling)
+sync_policy = stall       ; stall | drop (crashed-member round handling)
 recovery = pull           ; pull | checkpoint
 checkpoint_period = 0     ; virtual seconds between snapshots
 ps_crashes =              ; shard:at, ... (fail-stop; needs replicate_ps)
@@ -110,6 +116,14 @@ max_timeout = 1.0         ; backoff cap (vseconds)
 max_retransmits = 10      ; budget before a typed TimeoutError
 replicate_ps = false      ; primary-backup PS shards + failover
 local_step_budget = 0     ; ASP local steps while a primary is down
+
+[membership]              ; failure detector + views (docs/faults.md)
+enabled = false           ; detect crashes via heartbeats on any crash run
+                          ; (auto-on for AR-SGD/D-PSGD drop with crashes)
+period = 0.05             ; heartbeat period (vseconds)
+suspect_timeout = 0.25    ; silence before a rank is suspected
+confirm = 0.1             ; extra silence before eviction (refutation
+                          ; window protects slow-but-alive ranks)
 
 [output]
 trace =                   ; optional Chrome-tracing JSON path
@@ -164,6 +178,116 @@ int run_campaign_mode(const std::string& path, bool force) {
   return 0;
 }
 
+/// Full validation of one resolved experiment config: the strict INI schema
+/// pass inside from_ini, then Session construction, which fires every
+/// cross-field check a real run performs (fault plan, reliability,
+/// membership) — without spawning a single process.
+dt::core::ExperimentSpec validate_experiment(const dt::common::IniConfig& ini) {
+  using namespace dt;
+  core::ExperimentSpec spec = core::ExperimentSpec::from_ini(ini);
+  core::Workload workload = spec.make_workload();
+  core::Session session(spec.config, workload);
+  return spec;
+}
+
+/// `dtrain --validate`: dry-run parse + strict validation, resolved-config
+/// report, no simulation.
+int run_validate_mode(const std::string& path) {
+  using namespace dt;
+  const common::IniConfig ini = common::IniConfig::load(path);
+  const std::vector<std::string> secs = ini.sections();
+  const bool is_campaign =
+      std::find(secs.begin(), secs.end(), "campaign") != secs.end();
+
+  if (is_campaign) {
+    const campaign::CampaignSpec spec = campaign::CampaignSpec::from_ini(ini);
+    const std::vector<campaign::RunSpec> runs = spec.expand();
+    // Replicates differ only by seed; validating one run per cell covers
+    // every distinct configuration.
+    for (const campaign::RunSpec& run : runs) {
+      if (run.replicate != 0) continue;
+      try {
+        (void)validate_experiment(run.resolved);
+      } catch (const std::exception& e) {
+        std::cerr << "dtrain --validate: cell " << run.cell_key()
+                  << " is invalid: " << e.what() << "\n";
+        return 1;
+      }
+    }
+    common::Table t("dtrain --validate: " + path);
+    t.set_header({"setting", "value"});
+    t.add_row({"campaign", spec.name});
+    for (const campaign::Axis& axis : spec.axes) {
+      std::string labels;
+      for (const campaign::AxisValue& v : axis.values) {
+        if (!labels.empty()) labels += ", ";
+        labels += v.label;
+      }
+      t.add_row({"axis " + axis.name, labels});
+    }
+    t.add_row({"cells", std::to_string(spec.num_cells())});
+    t.add_row({"replicates", std::to_string(spec.replicates)});
+    t.add_row({"total runs", std::to_string(runs.size())});
+    t.add_row({"metric", spec.metric});
+    t.print(std::cout);
+    std::cout << "config OK (" << spec.num_cells()
+              << " cells validated, nothing run)\n";
+    return 0;
+  }
+
+  const core::ExperimentSpec spec = validate_experiment(ini);
+  const core::TrainConfig& cfg = spec.config;
+  const faults::FaultConfig& fc = cfg.faults;
+  const int wpm = cfg.cluster.workers_per_machine;
+  const int machines = (cfg.num_workers + wpm - 1) / wpm;
+  const bool ring_drop =
+      (cfg.algo == core::Algo::arsgd || cfg.algo == core::Algo::dpsgd) &&
+      fc.sync_policy == faults::SyncPolicy::drop && !fc.crashes.empty();
+
+  common::Table t("dtrain --validate: " + path);
+  t.set_header({"setting", "value"});
+  t.add_row({"algorithm", core::algo_name(cfg.algo)});
+  t.add_row({"mode", spec.functional ? "functional" : "throughput"});
+  t.add_row({"model", spec.model});
+  t.add_row({"workers", std::to_string(cfg.num_workers)});
+  t.add_row({"machines", std::to_string(machines) + " (x" +
+                             std::to_string(wpm) + " workers)"});
+  if (spec.functional) {
+    t.add_row({"epochs", common::fmt(cfg.epochs, 2)});
+  } else {
+    t.add_row({"iterations", std::to_string(cfg.iterations)});
+  }
+  t.add_row({"seed", std::to_string(cfg.seed)});
+  t.add_row({"fault plan", fc.empty() ? "none"
+                                      : std::to_string(fc.crashes.size()) +
+                                            " crashes, " +
+                                            std::to_string(
+                                                fc.link_windows.size()) +
+                                            " link windows" +
+                                            (fc.msg.any() ? ", msg faults"
+                                                          : "")});
+  t.add_row({"sync_policy",
+             fc.sync_policy == faults::SyncPolicy::drop ? "drop" : "stall"});
+  t.add_row({"recovery", fc.recovery == faults::RecoveryMode::checkpoint
+                             ? "checkpoint"
+                             : "pull"});
+  t.add_row({"reliable transport",
+             cfg.reliability.engaged(fc) ? "engaged" : "off"});
+  const bool detector = cfg.membership.enabled || ring_drop;
+  std::string mem = detector ? (ring_drop ? "engaged (ring repair)"
+                                          : "engaged")
+                             : "off";
+  if (detector) {
+    mem += ": period=" + common::fmt(cfg.membership.period_s, 3) +
+           " timeout=" + common::fmt(cfg.membership.timeout_s, 3) +
+           " confirm=" + common::fmt(cfg.membership.confirm_s, 3);
+  }
+  t.add_row({"membership", mem});
+  t.print(std::cout);
+  std::cout << "config OK (nothing run)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,6 +297,7 @@ int main(int argc, char** argv) {
   bool campaign_mode = false;
   bool force = false;
   bool profile_mode = false;
+  bool validate_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--template") {
@@ -185,6 +310,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--profile") {
       profile_mode = true;
+      continue;
+    }
+    if (arg == "--validate") {
+      validate_mode = true;
       continue;
     }
     if (arg == "--force") {
@@ -205,13 +334,24 @@ int main(int argc, char** argv) {
     positional.push_back(arg);
   }
   if (positional.size() != 1 || (force && !campaign_mode) ||
-      (profile_mode && campaign_mode)) {
+      (profile_mode && campaign_mode) ||
+      (validate_mode && (campaign_mode || profile_mode || force))) {
     std::cerr << "usage: dtrain [--log-level=LEVEL] [--profile] <config.ini>"
                  " | dtrain --campaign [--force] <config.ini>"
+                 " | dtrain --validate <config.ini>"
                  " | dtrain --template\n";
     return 2;
   }
   const std::string arg = positional.front();
+
+  if (validate_mode) {
+    try {
+      return run_validate_mode(arg);
+    } catch (const std::exception& e) {
+      std::cerr << "dtrain: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   if (campaign_mode) {
     try {

@@ -21,6 +21,14 @@
 #                                    # staleness-sensitivity campaign
 #                                    # (straggler + lossy links), plain
 #                                    # Release build
+#   scripts/check.sh membership      # membership smoke: the ctest label
+#                                    # `membership` (tests/test_membership
+#                                    # — failure detector + ring repair)
+#                                    # plus the ring-repair campaign
+#                                    # (AR-SGD/D-PSGD x stall/drop x
+#                                    # clean/lossy links around a
+#                                    # crash-with-rejoin), under
+#                                    # AddressSanitizer
 #
 # Sanitized builds go to build-<sanitizer>/ so they never pollute the plain
 # build tree.
@@ -56,6 +64,23 @@ if [[ "$SANITIZER" == "dssp" ]]; then
   trap 'rm -rf "$TMP"' EXIT
   (cd "$TMP" && "$OLDPWD/build/examples/dtrain" --campaign \
     "$OLDPWD/examples/configs/dssp_sensitivity.ini")
+  exit 0
+fi
+
+if [[ "$SANITIZER" == "membership" ]]; then
+  # Membership smoke: the failure-detector + ring-repair suite, then the
+  # committed ring-repair campaign end to end — every cell takes a
+  # crash-with-rejoin, and the drop cells abort/flush/re-form the ring —
+  # all under AddressSanitizer (shares build-address/ with `address`).
+  DIR=build-address
+  cmake -B "$DIR" -S . -DDT_SANITIZE=address
+  cmake --build "$DIR" -j "$(nproc)" --target test_membership dtrain
+  ctest --test-dir "$DIR" --output-on-failure -j "$(nproc)" -L membership
+  TMP="$(mktemp -d)"
+  trap 'rm -rf "$TMP"' EXIT
+  "$DIR/examples/dtrain" --validate examples/configs/ring_repair.ini
+  (cd "$TMP" && "$OLDPWD/$DIR/examples/dtrain" --campaign \
+    "$OLDPWD/examples/configs/ring_repair.ini")
   exit 0
 fi
 

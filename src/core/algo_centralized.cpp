@@ -437,7 +437,7 @@ void reliable_send_worker(Session& s, runtime::Process& self, int src_ep,
       s.reliable->send(self, src_ep, dst_ep, pkt, &seq);
       return;
     } catch (const net::TimeoutError&) {
-      if (s.rank_finished(rank)) return;
+      if (s.member_departed(rank, self.now())) return;
     }
   }
 }
@@ -758,7 +758,7 @@ void launch_bsp_reliable(Session& s) {
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
-          s.mark_finished(rank);
+          s.mark_finished(rank, self.now());
         });
   }
 }
@@ -944,7 +944,7 @@ void launch_asp_reliable(Session& s) {
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
-          s.mark_finished(rank);
+          s.mark_finished(rank, self.now());
         });
   }
 }
@@ -1108,7 +1108,7 @@ void launch_ssp_reliable(Session& s, bool adaptive) {
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
-          s.mark_finished(rank);
+          s.mark_finished(rank, self.now());
         });
   }
 }
@@ -1245,7 +1245,7 @@ void launch_easgd_reliable(Session& s) {
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
-          s.mark_finished(rank);
+          s.mark_finished(rank, self.now());
         });
   }
 }
@@ -1276,8 +1276,11 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
           auto& st = *s.shards[static_cast<std::size_t>(shard)];
           const PsProbes probes = PsProbes::make(s, shard);
           // `drop` policy: a round closes once every *alive* pusher
-          // contributed, rescaled by the actual contributor count. Crash
-          // detection is message-driven (no timers), so a round whose
+          // contributed, rescaled by the actual contributor count. Liveness
+          // comes from the membership view when the detector is engaged
+          // (Session::member_down); the detector nudges a blocked round
+          // closed with a kTagViewChange note on every eviction. Without
+          // the detector, detection stays message-driven: a round whose
           // surviving pushes all arrived before the crash instant closes at
           // the crashed rank's next message instead (see docs/faults.md).
           const bool drop_mode =
@@ -1291,7 +1294,8 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
             if (drop_mode) {
               needed = 0;
               for (int r : pusher_ranks) {
-                if (!s.rank_down(r, self.now()) && !s.rank_finished(r)) {
+                if (!s.member_down(r, self.now()) &&
+                    !s.member_departed(r, self.now())) {
                   ++needed;
                 }
               }
@@ -1310,6 +1314,10 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
             st.bump_version(local);
             net::PayloadHandle reply_payload;  // one snapshot for the fan-out
             for (int r : pusher_ranks) {
+              // Fan-out skips use *instantaneous* liveness, not the lagged
+              // view: a rebooted worker may push again before its
+              // readmission is published, and skipping its reply here would
+              // strand it waiting while the next round waits on it.
               if (drop_mode &&
                   (s.rank_down(r, self.now()) || s.rank_finished(r))) {
                 continue;
@@ -1330,6 +1338,13 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
                     s, self, shard, slot,
                     s.worker_ep[static_cast<std::size_t>(pkt.a)], &probes);
               }
+              if (drop_mode) {
+                for (std::size_t slot : st.slots()) try_apply(slot);
+              }
+              continue;
+            }
+            if (pkt.tag == kTagViewChange) {
+              // The view lost a member; rounds waiting on it can now close.
               if (drop_mode) {
                 for (std::size_t slot : st.slots()) try_apply(slot);
               }
@@ -1491,7 +1506,7 @@ void launch_bsp(Session& s, bool local_agg_enabled) {
           }
           // Drop-mode membership: a worker that ran out of iterations has
           // left the cluster; remaining rounds close without it.
-          s.mark_finished(rank);
+          s.mark_finished(rank, self.now());
         });
   }
 }
@@ -1520,8 +1535,13 @@ void launch_asp_impl(Session& s) {
               }
               continue;
             }
+            if (pkt.tag == kTagViewChange) continue;  // detector note
             common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
                           "ASP PS: unexpected tag");
+            // Incarnation filter, deliberately *instantaneous* (not the
+            // lagged view): a push in flight when its sender crashed is
+            // stale, but a rebooted sender's new push must never be
+            // discarded while its readmission is still pending.
             if (s.fault_plan.has_crashes() &&
                 s.rank_down(static_cast<int>(pkt.a), self.now())) {
               // In-flight push from a crashed incarnation: discard it and
@@ -1661,8 +1681,10 @@ void launch_ssp_impl(Session& s, bool adaptive) {
               }
               continue;
             }
+            if (pkt.tag == kTagViewChange) continue;  // detector note
             common::check(pkt.tag == kTagGrad || pkt.tag == kTagSparseGrad,
                           "SSP PS: unexpected tag");
+            // Instantaneous incarnation filter (see the ASP PS note).
             if (s.fault_plan.has_crashes() &&
                 s.rank_down(static_cast<int>(pkt.a), self.now())) {
               if (s.fprobes.dropped_pushes != nullptr) {
@@ -1830,8 +1852,10 @@ void launch_easgd_impl(Session& s) {
               }
               continue;
             }
+            if (pkt.tag == kTagViewChange) continue;  // detector note
             common::check(pkt.tag == kTagEasgdPush,
                           "EASGD PS: unexpected tag");
+            // Instantaneous incarnation filter (see the ASP PS note).
             if (s.fault_plan.has_crashes() &&
                 s.rank_down(static_cast<int>(pkt.a), self.now())) {
               if (s.fprobes.dropped_pushes != nullptr) {

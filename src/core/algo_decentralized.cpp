@@ -6,11 +6,11 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
-#include "common/log.hpp"
 #include "compress/dgc.hpp"
 #include "core/protocol.hpp"
 #include "core/session.hpp"
@@ -190,12 +190,6 @@ void launch_arsgd_impl(Session& s) {
   const int n = s.cfg.num_workers;
   const float inv_n = 1.0f / static_cast<float>(n);
   const bool dgc_on = s.cfg.opt.dgc;
-  if (s.fault_plan.has_crashes() &&
-      s.fault_plan.sync_policy() == faults::SyncPolicy::drop) {
-    common::log_warn(
-        "AR-SGD cannot drop ring members; crashed ranks stall the ring "
-        "until they rejoin (sync_policy=drop ignored)");
-  }
   const double dgc_density =
       1.0 - compress::DgcCompressor::sparsity_at(s.cfg.opt.dgc_config, 1e9);
 
@@ -359,6 +353,232 @@ void launch_arsgd_impl(Session& s) {
             wm.count_iteration(s.wl.batch_size());
             curve.maybe_record(self, it + 1, loss);
           }
+        });
+  }
+}
+
+// ---- elastic ring repair (membership views; docs/faults.md) ---------------
+//
+// AR-SGD and D-PSGD under sync_policy=drop rebuild their ring from the
+// oracle's epoch-numbered views: survivors abort the in-flight round when a
+// new view is published, flush the aborted round's parked chunks, and
+// deterministically re-form the ring over the live member set (chunk ranges
+// rescale inside net::collectives). A crashed rank pulls state from its
+// nearest live member and is readmitted at the next epoch boundary.
+
+/// True when the launcher must use the view-driven elastic path. Kept
+/// narrower than membership_engaged(): enabled-only runs (measurement) keep
+/// the legacy stall behavior bit-identical.
+bool ring_repair_active(const Session& s) {
+  return s.membership_engaged() && s.fault_plan.has_crashes() &&
+         s.fault_plan.sync_policy() == faults::SyncPolicy::drop;
+}
+
+/// Communicator over the view's member set; my_rank is the index of `rank`
+/// in the (sorted) member list. `rank` must be a member.
+net::Communicator view_comm(Session& s, const std::vector<int>& members,
+                            int rank) {
+  net::Communicator comm{.net = s.network.get(), .endpoints = {}, .my_rank = 0};
+  comm.endpoints.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    comm.endpoints.push_back(
+        s.worker_ep[static_cast<std::size_t>(members[i])]);
+    if (members[i] == rank) comm.my_rank = static_cast<int>(i);
+  }
+  return comm;
+}
+
+/// Nearest live view member clockwise of `rank` (-1 when none).
+int nearest_live_member(Session& s, runtime::Process& self, int rank) {
+  const int n = s.cfg.num_workers;
+  for (int d = 1; d < n; ++d) {
+    const int cand = (rank + d) % n;
+    if (!s.oracle().in_view(cand)) continue;
+    if (s.rank_down(cand, self.now())) continue;
+    return cand;
+  }
+  return -1;
+}
+
+/// Post-reboot recovery for the elastic ring (the drop-mode counterpart of
+/// recover_from_peer). Two cases:
+///
+///  * still in the view — the outage was refuted before eviction, so the
+///    ring stalled but never re-formed and peers are parked inside the
+///    current round. Copy the nearest live member's replica and resume;
+///    no abort happened, the round completes normally.
+///  * evicted — pull state from a live member of the current view via an
+///    out-of-band transfer, re-pulling when the view moves or the source
+///    dies mid-pull (crash-during-repair: the copied bytes could span two
+///    versions), then request readmission. The detector publishes it at
+///    the next epoch boundary; survivors abort their round and re-form
+///    the ring including this rank.
+void elastic_rejoin(Session& s, runtime::Process& self, int rank) {
+  auto& oracle = s.oracle();
+  const double poll = oracle.config().period_s;
+  const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+  const bool fn = s.wl.functional();
+
+  if (oracle.in_view(rank)) {
+    const int src = nearest_live_member(s, self, rank);
+    if (src >= 0) {
+      s.network->transfer(self, s.worker_ep[static_cast<std::size_t>(src)],
+                          wep, model_wire_bytes(s));
+      if (fn) s.wl.set_params(rank, s.wl.params(src));
+    }
+    return;
+  }
+
+  for (;;) {
+    if (oracle.view().members.empty()) break;  // no state holder left
+    const std::int64_t e = oracle.epoch();
+    const int src = nearest_live_member(s, self, rank);
+    if (src < 0) {
+      self.advance(poll);  // members exist but are all down — wait
+      continue;
+    }
+    s.network->transfer(self, s.worker_ep[static_cast<std::size_t>(src)],
+                        wep, model_wire_bytes(s));
+    if (oracle.epoch() == e && !s.rank_down(src, self.now())) {
+      if (fn) s.wl.set_params(rank, s.wl.params(src));
+      break;
+    }
+  }
+  oracle.request_join(rank);
+  while (!oracle.in_view(rank)) self.advance(poll);
+}
+
+/// AR-SGD with ring repair: each round reduces ONE dense bucket over the
+/// current view's ring via the elastic collective, retrying under
+/// successive views until an attempt completes, and rescales by the
+/// contributor count of the completed round.
+void launch_arsgd_elastic(Session& s) {
+  const int n = s.cfg.num_workers;
+  for (int rank = 0; rank < n; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
+          auto& oracle = s.oracle();
+          const double poll = oracle.config().period_s;
+
+          // One dense bucket per round: a retry re-reduces the whole
+          // gradient, so per-bucket pipelining (wait-free BP) and
+          // compression are excluded by the Session validation.
+          const Bucket bucket = make_buckets(s, 1).front();
+          const std::int64_t iters = s.iterations_per_worker();
+          const bool fn = s.wl.functional();
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            if (s.crash_pending(rank, self.now())) {
+              s.take_crash(self, rank);
+              elastic_rejoin(s, self, rank);
+            }
+            const double epoch = s.epoch_of(it);
+            const float lr = s.lr_at(epoch);
+
+            double loss = 0.0;
+            {
+              PhaseTimer t(self, wm, Phase::compute);
+              const double fwd =
+                  s.fault_stretch(self, rank, s.wl.forward_time(rng));
+              if (fn) {
+                self.advance_compute(fwd, [&s, &loss, rank] {
+                  loss = s.wl.compute_gradients(rank);
+                });
+              } else {
+                self.advance(fwd);
+              }
+              self.advance(
+                  s.fault_stretch(self, rank, s.wl.backward_time(rng)));
+            }
+
+            // Pristine flattened gradient: every retry re-reduces from
+            // this copy (an aborted attempt leaves partial sums in `work`).
+            std::vector<float> flat;
+            if (fn) {
+              flat.assign(static_cast<std::size_t>(bucket.numel), 0.0f);
+              std::size_t off = 0;
+              for (std::size_t slot = bucket.first_slot;
+                   slot < bucket.last_slot; ++slot) {
+                const auto& g = s.wl.grad_slot(rank, slot);
+                std::copy(g.data().begin(), g.data().end(),
+                          flat.begin() + static_cast<std::ptrdiff_t>(off));
+                off += static_cast<std::size_t>(s.wl.slot_numel(slot));
+              }
+            }
+
+            const double t0 = self.now();
+            std::vector<float> work;
+            int contributors = 1;
+            double est = 0.0;
+            for (;;) {
+              if (!oracle.in_view(rank)) {
+                // Evicted while live (a straggler silent beyond
+                // timeout+confirm): ask back in, wait for the boundary.
+                oracle.request_join(rank);
+                self.advance(poll);
+                continue;
+              }
+              const std::int64_t e = oracle.epoch();
+              const std::vector<int> members = oracle.view().members;
+              if (members.size() <= 1) {
+                work = flat;  // solo round: own gradient, scale 1
+                break;
+              }
+              s.mprobes.flushed_packets->inc(net::flush_stale_epochs(
+                  self, *s.network, wep, kTagElasticAllreduce, e));
+              const net::Communicator comm = view_comm(s, members, rank);
+              work = flat;
+              const net::ElasticStatus st = net::ring_allreduce_elastic(
+                  self, comm, work, bucket.wire_bytes, kTagElasticAllreduce,
+                  e, poll, [&oracle, e] { return oracle.epoch() != e; });
+              if (st.completed) {
+                const int k = comm.size();
+                const std::uint64_t chunk = std::max<std::uint64_t>(
+                    1, bucket.wire_bytes / static_cast<std::uint64_t>(k));
+                const int right_ep = comm.endpoints[static_cast<std::size_t>(
+                    (comm.my_rank + 1) % k)];
+                est = 2.0 * static_cast<double>(k - 1) *
+                      s.uncontended_time(chunk, wep, right_ep);
+                contributors = k;
+                break;
+              }
+              s.mprobes.aborted_rounds->inc();
+            }
+            account_window(self, wm, t0, est, sync);
+
+            if (fn) {
+              // Average over the contributors of the COMPLETED round and
+              // apply locally: every member of that round applies the
+              // identical averaged gradient, so their replicas stay
+              // synchronized.
+              const float inv = 1.0f / static_cast<float>(contributors);
+              std::size_t off = 0;
+              for (std::size_t slot = bucket.first_slot;
+                   slot < bucket.last_slot; ++slot) {
+                const auto numel =
+                    static_cast<std::size_t>(s.wl.slot_numel(slot));
+                tensor::Tensor g(s.wl.grad_slot(rank, slot).shape());
+                for (std::size_t j = 0; j < numel; ++j) {
+                  g[j] = work[off + j] * inv;
+                }
+                off += numel;
+                s.wl.apply_slot_gradient(rank, slot, g, lr);
+              }
+            }
+
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+          // Leave the view (immediate publication): remaining members
+          // shrink their ring instead of waiting on a departed peer.
+          s.mark_finished(rank, self.now());
         });
   }
 }
@@ -730,11 +950,168 @@ void launch_dpsgd_impl(Session& s) {
   }
 }
 
+/// D-PSGD with ring repair: neighbors come from the current view's ring,
+/// round parity is counted per epoch (every member resets its counter when
+/// a new view is published, so neighbor parities realign after any abort),
+/// and a round whose exchange aborts on a view change falls back to a solo
+/// step (own gradient only) instead of retrying — parameters were already
+/// sent, so the retry semantics of AR-SGD do not apply.
+void launch_dpsgd_elastic(Session& s) {
+  const int n = s.cfg.num_workers;
+  for (int rank = 0; rank < n; ++rank) {
+    s.engine.spawn(
+        "worker" + std::to_string(rank),
+        [&s, rank](runtime::Process& self) {
+          const int wep = s.worker_ep[static_cast<std::size_t>(rank)];
+          s.network->bind(wep, self);
+          auto& wm = s.wmetrics[static_cast<std::size_t>(rank)];
+          common::Rng rng = s.worker_rng(rank);
+          CurveRecorder curve(s, rank);
+          const SyncProbes sync = SyncProbes::make(s);
+          auto& oracle = s.oracle();
+          const double poll = oracle.config().period_s;
+          const std::int64_t iters = s.iterations_per_worker();
+          const bool fn = s.wl.functional();
+
+          std::int64_t seen_epoch = oracle.epoch();
+          std::int64_t rounds_in_epoch = 0;
+
+          for (std::int64_t it = 0; it < iters; ++it) {
+            if (s.crash_pending(rank, self.now())) {
+              s.take_crash(self, rank);
+              elastic_rejoin(s, self, rank);
+            }
+            const double epoch = s.epoch_of(it);
+            const float lr = s.lr_at(epoch);
+
+            const std::int64_t e = oracle.epoch();
+            if (e != seen_epoch) {
+              seen_epoch = e;
+              rounds_in_epoch = 0;
+            }
+            const bool in_view = oracle.in_view(rank);
+            // Evicted while live: run solo rounds, asking back in; the
+            // readmission lands at the next epoch boundary.
+            if (!in_view) oracle.request_join(rank);
+
+            // Unique ring neighbors within the view.
+            std::vector<int> nbrs;
+            if (in_view) {
+              const std::vector<int>& members = oracle.view().members;
+              const int k = static_cast<int>(members.size());
+              if (k > 1) {
+                int idx = 0;
+                for (int i = 0; i < k; ++i) {
+                  if (members[static_cast<std::size_t>(i)] == rank) idx = i;
+                }
+                nbrs.push_back(
+                    members[static_cast<std::size_t>((idx + 1) % k)]);
+                const int prev =
+                    members[static_cast<std::size_t>((idx + k - 1) % k)];
+                if (prev != nbrs.front()) nbrs.push_back(prev);
+              }
+            }
+            const int tag = net::epoch_tag_base(kTagElasticDpsgd, e) +
+                            static_cast<int>(rounds_in_epoch % 2);
+
+            if (!nbrs.empty()) {
+              PhaseTimer t(self, wm, Phase::comm);
+              s.mprobes.flushed_packets->inc(net::flush_stale_epochs(
+                  self, *s.network, wep, kTagElasticDpsgd, e));
+              // One parameter snapshot shared by every neighbor send (the
+              // copies bump the payload refcount); Packet.c carries the
+              // epoch so a neighbor in another view discards it.
+              Packet proto = param_packet(s, rank, tag);
+              proto.c = e;
+              for (int nb : nbrs) {
+                Packet pkt = proto;
+                s.network->send(self, wep,
+                                s.worker_ep[static_cast<std::size_t>(nb)],
+                                std::move(pkt));
+              }
+            }
+
+            double loss = 0.0;
+            {
+              PhaseTimer t(self, wm, Phase::compute);
+              // Replica private for the whole interval (neighbor blends
+              // happen below on this thread), so numerics can offload.
+              const double fwd =
+                  s.fault_stretch(self, rank, s.wl.forward_time(rng));
+              if (fn) {
+                self.advance_compute(fwd, [&s, &loss, rank] {
+                  loss = s.wl.compute_gradients(rank);
+                });
+              } else {
+                self.advance(fwd);
+              }
+              self.advance(
+                  s.fault_stretch(self, rank, s.wl.backward_time(rng)));
+            }
+
+            if (!nbrs.empty()) {
+              const double t0 = self.now();
+              std::vector<Packet> received;
+              bool aborted = false;
+              while (received.size() < nbrs.size()) {
+                if (oracle.epoch() != e) {
+                  aborted = true;
+                  break;
+                }
+                std::optional<Packet> pkt =
+                    s.network->recv_until(self, wep, tag, self.now() + poll);
+                if (!pkt.has_value()) continue;
+                if (pkt->c != e) continue;  // stale aliased-epoch packet
+                received.push_back(std::move(*pkt));
+              }
+              double est = 0.0;
+              if (aborted) {
+                s.mprobes.aborted_rounds->inc();
+              } else {
+                est = 2.0 * s.uncontended_time(
+                                received.front().wire_bytes, wep,
+                                s.worker_ep[static_cast<std::size_t>(
+                                    nbrs.front())]);
+              }
+              account_window(self, wm, t0, est, sync);
+              if (!aborted && fn) {
+                // Uniform average over {self} u neighbors via sequential
+                // convex blends (running mean, weight 1/(k+2)).
+                for (std::size_t k = 0; k < received.size(); ++k) {
+                  s.wl.blend_params(rank, received[k].tensors(),
+                                    1.0f / static_cast<float>(k + 2));
+                }
+              }
+            }
+
+            if (fn) s.wl.apply_gradients(rank, s.wl.gradients(rank), lr);
+
+            if (oracle.epoch() == e) ++rounds_in_epoch;
+            wm.count_iteration(s.wl.batch_size());
+            curve.maybe_record(self, it + 1, loss);
+          }
+          s.mark_finished(rank, self.now());
+        });
+  }
+}
+
 }  // namespace
 
-void launch_arsgd(Session& s) { launch_arsgd_impl(s); }
+void launch_arsgd(Session& s) {
+  if (ring_repair_active(s)) {
+    launch_arsgd_elastic(s);
+    return;
+  }
+  launch_arsgd_impl(s);
+}
 void launch_gosgd(Session& s) { launch_gosgd_impl(s); }
 void launch_adpsgd(Session& s) { launch_adpsgd_impl(s); }
-void launch_dpsgd(Session& s) { launch_dpsgd_impl(s); }
+void launch_dpsgd(Session& s) {
+  if (ring_repair_active(s)) {
+    launch_dpsgd_elastic(s);
+    return;
+  }
+  launch_dpsgd_impl(s);
+}
 
 }  // namespace dt::core

@@ -10,6 +10,7 @@
 
 #include "compress/dgc.hpp"
 #include "faults/faults.hpp"
+#include "membership/membership.hpp"
 #include "net/network.hpp"
 #include "nn/optimizer.hpp"
 #include "ps/sharding.hpp"
@@ -153,6 +154,15 @@ struct TrainConfig {
     }
   };
   ReliabilityConfig reliability;
+
+  // --- failure detector + membership views (see docs/faults.md,
+  // "Membership views") ---
+  /// Virtual-time heartbeat failure detector publishing deterministic,
+  /// epoch-numbered membership views. Auto-engaged when a ring algorithm
+  /// (AR-SGD / D-PSGD) runs sync_policy=drop with crashes configured (views
+  /// drive the ring repair); `membership.enabled` additionally turns it on
+  /// for measurement on any crash run.
+  membership::MembershipConfig membership;
 
   std::uint64_t seed = 42;
 

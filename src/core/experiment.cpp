@@ -189,6 +189,21 @@ void parse_reliability(const common::IniConfig& ini, TrainConfig& cfg) {
                 "reliability: local_step_budget must be >= 0");
 }
 
+/// Parses the `[membership]` section (heartbeat failure detector publishing
+/// epoch-numbered membership views; see docs/faults.md, "Membership views").
+void parse_membership(const common::IniConfig& ini, TrainConfig& cfg) {
+  auto& mem = cfg.membership;
+  mem.enabled = ini.get_bool("membership", "enabled", mem.enabled);
+  mem.period_s = ini.get_double("membership", "period", mem.period_s);
+  mem.timeout_s =
+      ini.get_double("membership", "suspect_timeout", mem.timeout_s);
+  mem.confirm_s = ini.get_double("membership", "confirm", mem.confirm_s);
+  common::check(mem.period_s > 0.0, "membership: period must be > 0");
+  common::check(mem.timeout_s >= mem.period_s,
+                "membership: suspect_timeout must be >= period");
+  common::check(mem.confirm_s >= 0.0, "membership: confirm must be >= 0");
+}
+
 }  // namespace
 
 const std::vector<IniSectionSchema>& experiment_ini_schema() {
@@ -219,6 +234,7 @@ const std::vector<IniSectionSchema>& experiment_ini_schema() {
       {"reliability",
        {"timeout", "backoff", "max_timeout", "max_retransmits",
         "replicate_ps", "local_step_budget"}},
+      {"membership", {"enabled", "period", "suspect_timeout", "confirm"}},
       {"output",
        {"trace", "metrics_jsonl", "timeseries_csv", "sample_period",
         "log_level", "profile", "profile_spans", "profile_trace"}},
@@ -382,6 +398,9 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
 
   // [reliability]
   parse_reliability(ini, cfg);
+
+  // [membership]
+  parse_membership(ini, cfg);
 
   // [output]
   cfg.trace_path = ini.get("output", "trace", "");

@@ -57,7 +57,7 @@
 //   crash_rank = -1           ; singular spelling of one crash
 //   crash_time = 0.0
 //   crash_downtime = 1.0
-//   sync_policy = stall       ; stall | drop (BSP round handling)
+//   sync_policy = stall       ; stall | drop (crashed-member round handling)
 //   recovery = pull           ; pull | checkpoint
 //   checkpoint_period = 0     ; vseconds between snapshots (checkpoint)
 //   ps_crashes =              ; shard:at, ... (fail-stop; needs replicate_ps)
@@ -74,6 +74,14 @@
 //   max_retransmits = 10      ; budget before a typed TimeoutError
 //   replicate_ps = false      ; primary-backup PS shards + failover
 //   local_step_budget = 0     ; ASP local steps while a primary is down
+//
+//   [membership]              ; failure detector + views (docs/faults.md)
+//   enabled = false           ; run the detector on any crash run (auto-on
+//                             ; for AR-SGD/D-PSGD drop with crashes)
+//   period = 0.05             ; heartbeat period (vseconds)
+//   suspect_timeout = 0.25    ; silence before a rank is suspected
+//   confirm = 0.1             ; extra silence before eviction (refutation
+//                             ; window for slow-but-alive ranks)
 //
 //   [output]
 //   trace = /tmp/run.trace.json

@@ -31,8 +31,19 @@ enum Tag : int {
   kTagRejoin = 12,      // DSSP worker -> controller shard: fire-and-forget
                         // "I rebooted" note; restarts the rank's push-rate
                         // window in the staleness policy. No reply.
+  kTagViewChange = 13,  // membership detector -> PS shard: a new view was
+                        // published (Packet.c = epoch). Synchronous PSes
+                        // re-check their admission condition; others ignore.
   kTagBarrier = 100,    // +0/+1 reserved
   kTagAllreduce = 200,  // +0/+1 per bucket pair; buckets use +2*b
+  // Elastic (view-aware) collectives tag regions. Each epoch gets a tag
+  // pair inside the region: tag = region + 2*(epoch % net::kEpochTagSpan)
+  // + phase, where phase is reduce-scatter/all-gather (AR-SGD) or the
+  // round parity (D-PSGD). Packets carry the *full* epoch in Packet.c so
+  // receivers can discard stale traffic even when epochs alias modulo the
+  // span (see net/collectives.hpp, flush_stale_epochs).
+  kTagElasticAllreduce = 300,
+  kTagElasticDpsgd = 400,
 };
 
 /// Packet field conventions (Packet.a/b/c/d/x):

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "core/protocol.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace dt::core {
@@ -16,8 +17,39 @@ Session::Session(TrainConfig config, Workload& workload)
   common::check(!wl.functional() || wl.num_workers() == cfg.num_workers,
                 "Session: workload built for a different worker count");
   build_fault_plan();
+  build_membership();
   build_cluster();
   validate_reliability();
+  validate_membership();
+}
+
+void Session::build_membership() {
+  const bool ring_drop =
+      (cfg.algo == Algo::arsgd || cfg.algo == Algo::dpsgd) &&
+      fault_plan.sync_policy() == faults::SyncPolicy::drop &&
+      fault_plan.has_crashes();
+  if (!cfg.membership.enabled && !ring_drop) return;
+  // explicit_join only where the view drives ring repair: a ring rejoiner
+  // must finish its state pull before it is placed back into a collective.
+  // Centralized algorithms readmit on resumed heartbeats alone.
+  oracle_ = std::make_unique<membership::MembershipOracle>(
+      cfg.membership, cfg.num_workers, /*explicit_join=*/ring_drop);
+}
+
+void Session::validate_membership() const {
+  const bool ring_drop =
+      (cfg.algo == Algo::arsgd || cfg.algo == Algo::dpsgd) &&
+      fault_plan.sync_policy() == faults::SyncPolicy::drop &&
+      fault_plan.has_crashes();
+  if (!ring_drop) return;
+  common::check(cfg.num_workers >= 3,
+                "Session: sync_policy=drop on a ring algorithm needs at "
+                "least 3 workers (a 2-ring cannot shrink)");
+  common::check(
+      !cfg.opt.wait_free_bp && !cfg.opt.dgc && cfg.opt.qsgd_bits == 0,
+      "Session: ring repair (sync_policy=drop with crashes) reduces one "
+      "dense bucket per round — incompatible with wait-free BP and "
+      "gradient compression (DGC/QSGD)");
 }
 
 void Session::validate_reliability() const {
@@ -82,12 +114,24 @@ bool Session::rank_down(int rank, double now) const {
   return now < down_until_[static_cast<std::size_t>(rank)];
 }
 
-void Session::mark_finished(int rank) {
+void Session::mark_finished(int rank, double now) {
   finished_[static_cast<std::size_t>(rank)] = 1;
+  if (oracle_) oracle_->leave(rank, now);
 }
 
 bool Session::rank_finished(int rank) const {
   return finished_[static_cast<std::size_t>(rank)] != 0;
+}
+
+bool Session::member_down(int rank, double now) const {
+  if (oracle_) return !oracle_->in_view(rank);
+  return rank_down(rank, now);
+}
+
+bool Session::member_departed(int rank, double now) const {
+  if (oracle_) return !oracle_->in_view(rank);
+  (void)now;
+  return rank_finished(rank);
 }
 
 void Session::mark_ps_down(runtime::Process& self, int shard) {
@@ -139,6 +183,9 @@ void Session::take_crash(runtime::Process& self, int rank) {
   if (trace_) {
     trace_->instant("worker" + std::to_string(rank), "crash", self.now());
   }
+  // Record the true death instant so the eventual eviction can measure
+  // detection latency (membership.detect_vsec).
+  if (oracle_) oracle_->note_down(rank, self.now());
   // The downtime is a busy advance, not a blocking wait: senders that
   // wake() this process meanwhile cannot shorten it (see runtime/sim.cpp).
   self.advance(c->downtime);
@@ -209,6 +256,12 @@ void Session::build_cluster() {
               .max_retransmits = cfg.reliability.max_retransmits});
     }
   }
+  if (oracle_ && is_centralized(cfg.algo)) {
+    // Control-plane mailbox the detector daemon sends kTagViewChange notes
+    // from: blocked synchronous PS loops wake and re-check admission.
+    membership_ep_ = network->add_endpoint(0, "membership");
+  }
+
   ps_down_.assign(static_cast<std::size_t>(plan.num_shards), 0);
   ps_failed_.assign(static_cast<std::size_t>(plan.num_shards), 0);
 
@@ -266,6 +319,55 @@ common::Rng Session::worker_rng(int rank) const {
   return common::Rng(cfg.seed).fork(0x5000 + static_cast<std::uint64_t>(rank));
 }
 
+void Session::launch_membership() {
+  if (!oracle_) return;
+  const double period = oracle_->config().period_s;
+  // Per-rank heartbeat daemons. The beat interval is stretched by the
+  // rank's slowdown faults, so stragglers look slow to the detector too
+  // (suspected, then refuted — never silently healthy); ranks inside a
+  // crash window or finished do not beat at all.
+  for (int r = 0; r < cfg.num_workers; ++r) {
+    engine.spawn(
+        "hb" + std::to_string(r),
+        [this, r, period](runtime::Process& self) {
+          for (;;) {
+            if (!rank_down(r, self.now()) && !rank_finished(r)) {
+              oracle_->beat(r, self.now());
+            }
+            self.advance(fault_plan.stretch(r, self.now(), period));
+          }
+        },
+        /*daemon=*/true);
+  }
+  // One detector daemon evaluates the evidence every (unstretched) period
+  // and, on centralized runs, wakes every PS loop with a kTagViewChange
+  // note when a new view was published.
+  engine.spawn(
+      "membership",
+      [this, period](runtime::Process& self) {
+        std::int64_t notified = oracle_->epoch();
+        for (;;) {
+          self.advance(period);
+          oracle_->evaluate(self.now());
+          const std::int64_t epoch = oracle_->epoch();
+          // Raw notes would confuse the reliable transport's sequencing;
+          // reliable PSes poll liveness on retransmit timeouts instead.
+          if (epoch != notified && membership_ep_ >= 0 && !reliable_mode()) {
+            for (int shard = 0; shard < num_shards(); ++shard) {
+              net::Packet note;
+              note.tag = kTagViewChange;
+              note.wire_bytes = net::kControlBytes;
+              note.c = epoch;
+              network->send(self, membership_ep_, ps_route(shard),
+                            std::move(note));
+            }
+          }
+          notified = epoch;
+        }
+      },
+      /*daemon=*/true);
+}
+
 void Session::launch() {
   switch (cfg.algo) {
     case Algo::bsp: launch_bsp(*this); return;
@@ -311,10 +413,24 @@ metrics::RunResult Session::run() {
       fprobes.local_steps = &registry.counter("faults.local_steps_total");
     }
   }
+  if (membership_engaged()) {
+    mprobes.view_changes = &registry.counter("membership.view_changes_total");
+    mprobes.suspicions = &registry.counter("membership.suspicions_total");
+    mprobes.false_suspicions =
+        &registry.counter("membership.false_suspicions_total");
+    mprobes.aborted_rounds =
+        &registry.counter("membership.aborted_rounds_total");
+    mprobes.flushed_packets =
+        &registry.counter("membership.flushed_packets_total");
+    mprobes.detect_vsec = &registry.histogram(
+        "membership.detect_vsec", {}, metrics::Histogram::time_bounds());
+    oracle_->set_probes(mprobes);
+  }
 
   if (!cfg.trace_path.empty()) {
     trace_ = std::make_unique<metrics::TraceLog>();
     network->set_trace(trace_.get());
+    if (oracle_) oracle_->set_trace(trace_.get());
     for (int r = 0; r < cfg.num_workers; ++r) {
       wmetrics[static_cast<std::size_t>(r)].set_trace(
           trace_.get(), "worker" + std::to_string(r));
@@ -356,6 +472,7 @@ metrics::RunResult Session::run() {
   engine.set_compute_threads(threads);
 
   launch();
+  launch_membership();
   const auto host_start = std::chrono::steady_clock::now();
   engine.run();
   const double host_wall =

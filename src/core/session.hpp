@@ -149,11 +149,37 @@ class Session {
   [[nodiscard]] bool rank_down(int rank, double now) const;
 
   /// Records that `rank`'s worker process has completed every iteration
-  /// and is about to exit. Drop-mode BSP treats finished workers as
-  /// departed members so a rejoined straggler can close its remaining
-  /// rounds alone instead of waiting on peers that already left.
-  void mark_finished(int rank);
+  /// and is about to exit (at virtual time `now`). Drop-mode BSP treats
+  /// finished workers as departed members so a rejoined straggler can
+  /// close its remaining rounds alone instead of waiting on peers that
+  /// already left. With membership engaged the rank also leave()s the
+  /// view, publishing a new epoch immediately.
+  void mark_finished(int rank, double now);
   [[nodiscard]] bool rank_finished(int rank) const;
+
+  // ---- membership views (see docs/faults.md, "Membership views") ---------
+  /// True when the failure detector runs for this session: explicitly via
+  /// cfg.membership.enabled, or auto-engaged because a ring algorithm
+  /// (AR-SGD / D-PSGD) runs sync_policy=drop with crashes scheduled —
+  /// there the view *drives* the ring repair.
+  [[nodiscard]] bool membership_engaged() const noexcept {
+    return oracle_ != nullptr;
+  }
+  /// The failure-detector oracle (membership_engaged() only).
+  [[nodiscard]] membership::MembershipOracle& oracle() { return *oracle_; }
+
+  /// View-aware liveness: with membership engaged, a rank is down when it
+  /// is not in the current view (detection latency applies — an eviction
+  /// lags the death by ~timeout+confirm); otherwise falls back to the
+  /// instantaneous rank_down().
+  [[nodiscard]] bool member_down(int rank, double now) const;
+  /// View-aware departure: with membership engaged, not-in-view (covers
+  /// both evicted and left members); otherwise rank_finished().
+  [[nodiscard]] bool member_departed(int rank, double now) const;
+
+  /// Membership observability instruments (registered only when the
+  /// detector is engaged, keeping other runs' metric dumps byte-identical).
+  membership::MembershipProbes mprobes;
 
   // ---- PS-shard fail-stop + failover (replicate_ps runs) -----------------
   /// Called by the dying primary itself at its actual death instant, so
@@ -188,8 +214,11 @@ class Session {
  private:
   void build_cluster();
   void build_fault_plan();
+  void build_membership();
   void validate_reliability() const;
+  void validate_membership() const;
   void launch();  // dispatch to per-algorithm launcher
+  void launch_membership();  // heartbeat + detector daemons (engaged only)
   std::vector<int> crash_taken_;    // per rank: crashes taken so far (index
                                     // into fault_plan.crashes_of(rank))
   std::vector<double> down_until_;  // per rank; rejoin time once taken
@@ -197,6 +226,9 @@ class Session {
   std::vector<char> ps_down_;       // per shard; primary fail-stopped
   std::vector<char> ps_failed_;     // per shard; route flipped to backup
   bool ran_ = false;
+  std::unique_ptr<membership::MembershipOracle> oracle_;
+  int membership_ep_ = -1;  // detector's control-plane endpoint
+                            // (kTagViewChange source; centralized only)
   std::unique_ptr<metrics::TraceLog> trace_;
   std::unique_ptr<metrics::TimeSeriesSampler> sampler_;
   std::unique_ptr<profile::SpanLog> spans_;

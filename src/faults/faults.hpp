@@ -47,9 +47,13 @@ namespace dt::faults {
 ///  * stall: the barrier waits for the crashed rank to rejoin (the paper's
 ///    fail-stop worst case for BSP/AR-SGD).
 ///  * drop: the aggregation proceeds with the surviving members and
-///    rescales by the actual contributor count (membership-timeout
-///    recovery). AR-SGD cannot re-form its ring deterministically
-///    mid-flight and always stalls (documented in docs/faults.md).
+///    rescales by the actual contributor count. Centralized algorithms
+///    read liveness from the membership view; the ring algorithms
+///    (AR-SGD / D-PSGD) abort the in-flight round on a view change and
+///    deterministically re-form the ring over the surviving members,
+///    readmitting rejoiners at the next epoch boundary (docs/faults.md,
+///    "Membership views"). Ring drop requires >= 3 workers — a 2-ring
+///    cannot shrink.
 enum class SyncPolicy { stall, drop };
 
 /// How a rejoining worker restores its replica.

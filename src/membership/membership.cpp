@@ -1,0 +1,129 @@
+#include "membership/membership.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dt::membership {
+
+bool View::contains(int rank) const noexcept {
+  return std::binary_search(members.begin(), members.end(), rank);
+}
+
+MembershipOracle::MembershipOracle(MembershipConfig config, int num_ranks,
+                                   bool explicit_join)
+    : cfg_(config), explicit_join_(explicit_join) {
+  common::check(num_ranks >= 1, "membership: need at least one rank");
+  common::check(cfg_.period_s > 0.0, "membership: period must be > 0");
+  common::check(cfg_.timeout_s >= cfg_.period_s,
+                "membership: timeout must be >= period (every live rank "
+                "beats at least once per timeout)");
+  common::check(cfg_.confirm_s >= 0.0, "membership: confirm must be >= 0");
+  ranks_.resize(static_cast<std::size_t>(num_ranks));
+  // View 0: everyone is a member until the evidence says otherwise.
+  view_.epoch = 0;
+  view_.members.resize(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    view_.members[static_cast<std::size_t>(r)] = r;
+  }
+}
+
+void MembershipOracle::beat(int rank, double now) {
+  ranks_.at(static_cast<std::size_t>(rank)).last_beat = now;
+}
+
+void MembershipOracle::note_down(int rank, double now) {
+  ranks_.at(static_cast<std::size_t>(rank)).died_at = now;
+}
+
+void MembershipOracle::leave(int rank, double now) {
+  RankState& st = ranks_.at(static_cast<std::size_t>(rank));
+  if (st.left) return;
+  st.left = true;
+  st.suspected_at = -1.0;
+  instant("leave", rank, now);
+  publish(now);
+}
+
+void MembershipOracle::request_join(int rank) {
+  ranks_.at(static_cast<std::size_t>(rank)).join_ready = true;
+}
+
+bool MembershipOracle::evaluate(double now) {
+  bool changed = false;
+  for (int r = 0; r < static_cast<int>(ranks_.size()); ++r) {
+    RankState& st = ranks_[static_cast<std::size_t>(r)];
+    if (st.left) continue;
+    const double silent = now - st.last_beat;
+    if (!st.evicted) {
+      if (st.suspected_at >= 0.0 && silent < cfg_.timeout_s) {
+        // A beat arrived since the suspicion: refuted, not a failure.
+        st.suspected_at = -1.0;
+        if (probes_.false_suspicions != nullptr) {
+          probes_.false_suspicions->inc();
+        }
+        instant("refute", r, now);
+      }
+      if (st.suspected_at < 0.0 && silent >= cfg_.timeout_s) {
+        st.suspected_at = now;
+        if (probes_.suspicions != nullptr) probes_.suspicions->inc();
+        instant("suspect", r, now);
+      }
+      if (st.suspected_at >= 0.0 && silent >= cfg_.timeout_s + cfg_.confirm_s) {
+        st.evicted = true;
+        st.evicted_at = now;
+        st.suspected_at = -1.0;
+        changed = true;
+        instant("evict", r, now);
+        if (probes_.detect_vsec != nullptr) {
+          // Detection latency: eviction instant minus the actual death.
+          // Without a recorded death (e.g. a never-beating rank) fall back
+          // to the silence span, the oracle's own best estimate.
+          const double died = st.died_at >= 0.0 ? st.died_at : now - silent;
+          probes_.detect_vsec->observe(now - died);
+        }
+      }
+    } else {
+      // Readmission: beats resumed after the eviction (and, for ring
+      // algorithms, the rejoiner finished its state pull).
+      const bool beating =
+          st.last_beat > st.evicted_at && silent < cfg_.timeout_s;
+      if (beating && (!explicit_join_ || st.join_ready)) {
+        st.evicted = false;
+        st.join_ready = false;
+        st.died_at = -1.0;
+        changed = true;
+        instant("readmit", r, now);
+      }
+    }
+  }
+  if (changed) publish(now);
+  return changed;
+}
+
+void MembershipOracle::publish(double now) {
+  ++view_.epoch;
+  view_.members.clear();
+  for (int r = 0; r < static_cast<int>(ranks_.size()); ++r) {
+    const RankState& st = ranks_[static_cast<std::size_t>(r)];
+    if (!st.evicted && !st.left) view_.members.push_back(r);
+  }
+  if (probes_.view_changes != nullptr) probes_.view_changes->inc();
+  if (trace_ != nullptr) {
+    trace_->instant("membership",
+                    "view " + std::to_string(view_.epoch) + " (" +
+                        std::to_string(view_.members.size()) + " members)",
+                    now);
+  }
+}
+
+void MembershipOracle::instant(const char* what, int rank, double now) {
+  if (trace_ != nullptr) {
+    trace_->instant("membership",
+                    std::string(what) + " worker" + std::to_string(rank),
+                    now);
+  }
+}
+
+}  // namespace dt::membership

@@ -1,0 +1,148 @@
+// Deterministic failure detector + epoch-numbered membership views.
+//
+// A MembershipOracle turns virtual-time heartbeat evidence into a single
+// sequence of epoch-numbered views (sorted live-rank sets). Every per-rank
+// heartbeat daemon records beats into the oracle and one detector daemon
+// evaluates the evidence on a fixed period, so all survivors read the
+// *identical* view from the same state — the byte-identical A/B contract
+// holds at any compute_threads setting because every transition happens at
+// a deterministic virtual time on the serialized simulation threads.
+//
+// Failure detection is suspect -> confirm with refutation:
+//
+//  * a rank whose last beat is older than `timeout_s` is *suspected*
+//    (membership.suspicions_total, a `suspect` trace instant);
+//  * a beat arriving while suspected *refutes* the suspicion
+//    (membership.false_suspicions_total) — stragglers and transient
+//    slowdown windows stretch the heartbeat period, so a slow rank is
+//    suspected and refuted instead of evicted;
+//  * a suspected rank still silent after `timeout_s + confirm_s` is
+//    *evicted*: it leaves the view and a new epoch is published. All
+//    evictions and readmissions confirmable at one detector wake land in
+//    ONE publication, so two deaths inside a heartbeat period collapse
+//    into a single view epoch.
+//
+// Readmission: an evicted rank whose beats resume is readmitted at the
+// next detector wake — an epoch boundary. Ring algorithms gate this with
+// request_join() (the rejoiner first pulls state from its new left
+// neighbor, then asks in), so a half-recovered rank is never placed back
+// into a collective. Finished workers leave() the view, which is how
+// drop-mode rings shrink deterministically at end of run.
+//
+// Heartbeats are an idealized out-of-band control plane: beats are
+// recorded directly into the oracle, not sent as network packets, and
+// their delivery latency is assumed folded into `timeout_s`
+// (docs/faults.md, "Membership views").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/registry.hpp"
+#include "metrics/trace.hpp"
+
+namespace dt::membership {
+
+/// `[membership]` INI knobs (core/experiment.hpp for the key reference).
+struct MembershipConfig {
+  /// Run the detector even when no algorithm needs it (measurement-only).
+  /// The Session auto-engages membership for ring algorithms running
+  /// sync_policy=drop with crashes, where views are required for repair.
+  bool enabled = false;
+  /// Virtual seconds between heartbeats; also the detector wake period
+  /// and the poll granularity of view-watching recv loops.
+  double period_s = 0.05;
+  /// Silence (virtual seconds since the last beat) after which a rank is
+  /// suspected.
+  double timeout_s = 0.25;
+  /// Additional silence after suspicion before the eviction is confirmed;
+  /// a beat inside this window refutes the suspicion.
+  double confirm_s = 0.1;
+};
+
+/// One epoch-numbered membership view: the sorted set of live ranks.
+struct View {
+  std::int64_t epoch = 0;
+  std::vector<int> members;  // sorted ranks
+
+  [[nodiscard]] bool contains(int rank) const noexcept;
+};
+
+/// Observability instruments (registered by the Session only when
+/// membership is engaged, keeping other runs' metric dumps byte-identical).
+struct MembershipProbes {
+  metrics::Counter* view_changes = nullptr;      // membership.view_changes_total
+  metrics::Counter* suspicions = nullptr;        // membership.suspicions_total
+  metrics::Counter* false_suspicions = nullptr;  // membership.false_suspicions_total
+  metrics::Counter* aborted_rounds = nullptr;    // membership.aborted_rounds_total
+  metrics::Counter* flushed_packets = nullptr;   // membership.flushed_packets_total
+  metrics::Histogram* detect_vsec = nullptr;     // membership.detect_vsec
+};
+
+class MembershipOracle {
+ public:
+  /// `explicit_join`: readmission additionally requires request_join()
+  /// (ring algorithms — the rejoiner must finish its state pull first).
+  /// Without it, resumed beats alone readmit (centralized algorithms).
+  MembershipOracle(MembershipConfig config, int num_ranks,
+                   bool explicit_join);
+
+  [[nodiscard]] const MembershipConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] const View& view() const noexcept { return view_; }
+  [[nodiscard]] std::int64_t epoch() const noexcept { return view_.epoch; }
+  [[nodiscard]] bool in_view(int rank) const noexcept {
+    return view_.contains(rank);
+  }
+
+  /// Heartbeat from `rank` at virtual time `now` (heartbeat daemons; down
+  /// or finished ranks do not beat).
+  void beat(int rank, double now);
+
+  /// Records the actual death instant (Session::take_crash), so the
+  /// eventual eviction can measure detection latency into detect_vsec.
+  void note_down(int rank, double now);
+
+  /// `rank` finished all its iterations: leaves the view immediately (one
+  /// publication), so drop-mode rings shrink instead of deadlocking on a
+  /// departed peer.
+  void leave(int rank, double now);
+
+  /// Ring rejoiner's "state pull done, readmit me" (explicit_join mode).
+  /// Idempotent; cleared when the readmission is published.
+  void request_join(int rank);
+
+  /// One detector wake at virtual time `now`: suspect/refute/evict/readmit
+  /// from the recorded beats, batching every confirmable transition into at
+  /// most one publication. Returns true when a new view was published.
+  bool evaluate(double now);
+
+  void set_probes(const MembershipProbes& probes) noexcept {
+    probes_ = probes;
+  }
+  void set_trace(metrics::TraceLog* trace) noexcept { trace_ = trace; }
+
+ private:
+  void publish(double now);
+  void instant(const char* what, int rank, double now);
+
+  struct RankState {
+    double last_beat = 0.0;
+    double suspected_at = -1.0;  // < 0: not suspected
+    double died_at = -1.0;       // actual death instant (note_down)
+    double evicted_at = -1.0;
+    bool evicted = false;
+    bool left = false;
+    bool join_ready = false;
+  };
+
+  MembershipConfig cfg_;
+  bool explicit_join_ = false;
+  std::vector<RankState> ranks_;
+  View view_;
+  MembershipProbes probes_;
+  metrics::TraceLog* trace_ = nullptr;
+};
+
+}  // namespace dt::membership

@@ -109,6 +109,117 @@ void ring_allreduce(runtime::Process& self, const Communicator& comm,
   }
 }
 
+ElasticStatus ring_allreduce_elastic(runtime::Process& self,
+                                     const Communicator& comm,
+                                     std::span<float> data,
+                                     std::uint64_t total_wire_bytes,
+                                     int tag_region, std::int64_t epoch,
+                                     double poll_s,
+                                     const std::function<bool()>& abort) {
+  common::check(comm.net != nullptr && comm.size() > 0,
+                "ring_allreduce_elastic: bad communicator");
+  common::check(poll_s > 0.0, "ring_allreduce_elastic: poll must be > 0");
+  const int n = comm.size();
+  if (n == 1) return {true};
+  Network& net = *comm.net;
+  const int me = comm.my_rank;
+  const int right = (me + 1) % n;
+
+  const int rs_tag = epoch_tag_base(tag_region, epoch);
+  const int ag_tag = rs_tag + 1;
+
+  // Deadline-poll receive: wait in poll_s slices, checking the abort
+  // condition between slices, and discard stale aliased-epoch packets.
+  // Within one epoch each rank runs at most one attempt, so the FIFO
+  // channel preserves chunk order among same-epoch packets.
+  const auto recv_epoch = [&](int tag) -> std::optional<Packet> {
+    for (;;) {
+      if (abort && abort()) return std::nullopt;
+      std::optional<Packet> in =
+          net.recv_until(self, comm.my_endpoint(), tag, self.now() + poll_s);
+      if (!in.has_value()) continue;
+      if (in->c != epoch) continue;  // stale traffic aliasing the tag pair
+      return in;
+    }
+  };
+
+  // Reduce-Scatter (chunk schedule identical to ring_allreduce).
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = (me - step + n) % n;
+    const int recv_chunk = (me - step - 1 + n) % n;
+
+    Packet out;
+    out.tag = rs_tag;
+    out.wire_bytes = chunk_wire_bytes(total_wire_bytes, n, send_chunk);
+    out.a = send_chunk;
+    out.c = epoch;
+    if (!data.empty()) {
+      const ChunkRange r = chunk_range(data.size(), n, send_chunk);
+      out.emplace_payload().sparse_values.emplace_back(data.begin() + r.begin,
+                                                       data.begin() + r.end);
+    }
+    net.send(self, comm.my_endpoint(),
+             comm.endpoints[static_cast<std::size_t>(right)], std::move(out));
+
+    std::optional<Packet> in = recv_epoch(rs_tag);
+    if (!in.has_value()) return {false};
+    common::check(in->a == recv_chunk,
+                  "ring_allreduce_elastic: chunk order violated");
+    if (!data.empty()) {
+      const ChunkRange r = chunk_range(data.size(), n, recv_chunk);
+      const auto& vals = in->sparse_values(0);
+      common::check(vals.size() == r.size(),
+                    "ring_allreduce_elastic: chunk size");
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        data[r.begin + i] += vals[i];
+      }
+    }
+  }
+
+  // All-Gather.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = (me + 1 - step + n) % n;
+    const int recv_chunk = (me - step + n) % n;
+
+    Packet out;
+    out.tag = ag_tag;
+    out.wire_bytes = chunk_wire_bytes(total_wire_bytes, n, send_chunk);
+    out.a = send_chunk;
+    out.c = epoch;
+    if (!data.empty()) {
+      const ChunkRange r = chunk_range(data.size(), n, send_chunk);
+      out.emplace_payload().sparse_values.emplace_back(data.begin() + r.begin,
+                                                       data.begin() + r.end);
+    }
+    net.send(self, comm.my_endpoint(),
+             comm.endpoints[static_cast<std::size_t>(right)], std::move(out));
+
+    std::optional<Packet> in = recv_epoch(ag_tag);
+    if (!in.has_value()) return {false};
+    common::check(in->a == recv_chunk,
+                  "ring_allreduce_elastic: gather order violated");
+    if (!data.empty()) {
+      const ChunkRange r = chunk_range(data.size(), n, recv_chunk);
+      const auto& vals = in->sparse_values(0);
+      common::check(vals.size() == r.size(),
+                    "ring_allreduce_elastic: chunk size");
+      std::copy(vals.begin(), vals.end(), data.begin() + r.begin);
+    }
+  }
+  return {true};
+}
+
+int flush_stale_epochs(runtime::Process& self, Network& net, int endpoint,
+                       int tag_region, std::int64_t epoch) {
+  const int keep = epoch_tag_base(tag_region, epoch);
+  int flushed = 0;
+  for (int tag = tag_region; tag < tag_region + 2 * kEpochTagSpan; ++tag) {
+    if (tag == keep || tag == keep + 1) continue;
+    while (net.try_recv(self, endpoint, tag).has_value()) ++flushed;
+  }
+  return flushed;
+}
+
 void barrier(runtime::Process& self, const Communicator& comm, int tag_base) {
   common::check(comm.net != nullptr && comm.size() > 0, "barrier: bad comm");
   const int n = comm.size();

@@ -1,14 +1,17 @@
-// Golden A/B tests against the pre-rewrite engine: the fixtures in
-// tests/golden/ were captured from the seed build (linear-scan scheduler,
-// by-value packet payloads) for a fault-free and a fault-injected BSP run.
-// The current engine must reproduce them BYTE FOR BYTE — metrics JSONL,
-// final-parameter hash, and virtual duration — which pins the heap
-// scheduler's (ready_time, ready_seq) dispatch order and the zero-copy
-// payload numerics to the old engine's behaviour.
+// Golden A/B tests: the fixtures in tests/golden/ pin byte-for-byte
+// reproduction — metrics JSONL, final-parameter hash, and virtual
+// duration — across engine rewrites. The BSP pair was captured from the
+// seed build (linear-scan scheduler, by-value packet payloads); arsgd_seed
+// pins the fault-free AR-SGD ring so the elastic-membership machinery can
+// never perturb a healthy run.
+//
+// Regenerating (deliberate behaviour changes only):
+//   DT_GOLDEN_CAPTURE=1 ./test_golden   # rewrites tests/golden/ in place
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -47,10 +50,11 @@ std::uint64_t param_hash(Workload& wl, int workers) {
   return h;
 }
 
-/// Reruns the fixture configuration (BSP, 4 workers, functional workload,
+/// Reruns the fixture configuration (4 workers, functional workload,
 /// seeds 23/7 — exactly what captured tests/golden/) and compares against
-/// the named fixture pair.
-void expect_matches_golden(bool with_faults, const std::string& stem) {
+/// the named fixture pair; with DT_GOLDEN_CAPTURE set, rewrites it.
+void expect_matches_golden(Algo algo, bool with_faults,
+                           const std::string& stem) {
   FunctionalWorkloadSpec spec;
   spec.train_samples = 256;
   spec.test_samples = 64;
@@ -64,7 +68,7 @@ void expect_matches_golden(bool with_faults, const std::string& stem) {
 
   const std::string jsonl = "/tmp/dtrainlib_golden_" + stem + ".jsonl";
   TrainConfig cfg;
-  cfg.algo = Algo::bsp;
+  cfg.algo = algo;
   cfg.num_workers = 4;
   cfg.epochs = 2.0;
   cfg.lr = nn::LrSchedule::paper(4, cfg.epochs, 0.02);
@@ -83,27 +87,41 @@ void expect_matches_golden(bool with_faults, const std::string& stem) {
   auto result = run_training(cfg, wl);
 
   const std::string dir = DT_GOLDEN_DIR;
-  EXPECT_EQ(slurp(jsonl), slurp(dir + "/" + stem + ".jsonl"))
-      << "metrics JSONL deviates from the seed engine";
   std::ostringstream meta;
   meta << "param_hash=" << param_hash(wl, 4) << "\n";
   std::ostringstream vd;
   vd.precision(17);
   vd << result.virtual_duration;
   meta << "virtual_duration=" << vd.str() << "\n";
+
+  if (std::getenv("DT_GOLDEN_CAPTURE") != nullptr) {
+    std::ofstream(dir + "/" + stem + ".jsonl", std::ios::binary)
+        << slurp(jsonl);
+    std::ofstream(dir + "/" + stem + ".meta", std::ios::binary) << meta.str();
+    std::remove(jsonl.c_str());
+    return;
+  }
+  EXPECT_EQ(slurp(jsonl), slurp(dir + "/" + stem + ".jsonl"))
+      << "metrics JSONL deviates from the fixture";
   EXPECT_EQ(meta.str(), slurp(dir + "/" + stem + ".meta"))
-      << "final params or virtual duration deviate from the seed engine";
+      << "final params or virtual duration deviate from the fixture";
   std::remove(jsonl.c_str());
 }
 
 TEST(Golden, BspRunIsByteIdenticalToSeedEngine) {
-  expect_matches_golden(false, "bsp_seed");
+  expect_matches_golden(Algo::bsp, false, "bsp_seed");
 }
 
 TEST(Golden, BspFaultInjectedRunIsByteIdenticalToSeedEngine) {
   // Straggler + crash/recovery: exercises wake(), recv_until deadlines,
   // and drain on the heap path with the exact seed-engine tie-breaks.
-  expect_matches_golden(true, "bsp_faults_seed");
+  expect_matches_golden(Algo::bsp, true, "bsp_faults_seed");
+}
+
+TEST(Golden, ArsgdRunIsByteIdenticalToFixture) {
+  // Fault-free ring allreduce: pins the legacy (non-elastic) AR-SGD path
+  // so membership/ring-repair changes can never shift a healthy run.
+  expect_matches_golden(Algo::arsgd, false, "arsgd_seed");
 }
 
 }  // namespace
