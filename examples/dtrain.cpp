@@ -40,7 +40,7 @@ namespace {
 
 constexpr const char* kTemplate = R"ini(# dtrain experiment configuration
 [experiment]
-algorithm = adpsgd        ; bsp asp ssp dssp easgd arsgd gosgd adpsgd dpsgd
+algorithm = adpsgd        ; bsp asp ssp dssp easgd arsgd gosgd adpsgd dpsgd fsdp
 mode      = functional    ; functional (accuracy) | throughput
 workers   = 8
 epochs    = 15            ; functional mode
@@ -59,6 +59,8 @@ wait_free_bp = true
 dgc = false
 qsgd_bits = 0             ; 0 = off; 2..8 = QSGD quantization
 shard_policy = round_robin ; or greedy
+zero_stage = 1            ; fsdp: 1 = optimizer sharded, 2 = + gradients,
+                          ; 3 = + parameters (layer-wise gather/release)
 
 [hyperparameters]
 ssp_staleness = 10
@@ -124,6 +126,10 @@ period = 0.05             ; heartbeat period (vseconds)
 suspect_timeout = 0.25    ; silence before a rank is suspected
 confirm = 0.1             ; extra silence before eviction (refutation
                           ; window protects slow-but-alive ranks)
+
+[memory]                  ; per-rank memory ledger (docs/memory-model.md)
+gauges = false            ; export mem.current/peak gauges + trace counters
+                          ; for any algorithm (fsdp always engages them)
 
 [output]
 trace =                   ; optional Chrome-tracing JSON path
@@ -401,6 +407,10 @@ int main(int argc, char** argv) {
         {"network traffic (GB)",
          common::fmt(static_cast<double>(result.wire_bytes) / 1e9, 3)});
     report.add_row({"messages", std::to_string(result.wire_messages)});
+    report.add_row(
+        {"peak memory / rank (GB)",
+         common::fmt(static_cast<double>(result.mem_peak_rank_bytes) / 1e9,
+                     3)});
     for (int p = 0; p < metrics::kNumPhases; ++p) {
       const auto phase = static_cast<metrics::Phase>(p);
       report.add_row({std::string("mean ") + metrics::phase_name(phase) +

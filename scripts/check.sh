@@ -29,6 +29,14 @@
 #                                    # clean/lossy links around a
 #                                    # crash-with-rejoin), under
 #                                    # AddressSanitizer
+#   scripts/check.sh fsdp            # FSDP/ZeRO smoke: the ctest label
+#                                    # `fsdp` (tests/test_fsdp — stage
+#                                    # equivalence, memory-peak ordering,
+#                                    # traffic pins, crash + rejoin,
+#                                    # 1-vs-8-thread byte identity) plus
+#                                    # test_memory and the committed
+#                                    # memory/throughput frontier campaign,
+#                                    # under AddressSanitizer
 #
 # Sanitized builds go to build-<sanitizer>/ so they never pollute the plain
 # build tree.
@@ -81,6 +89,25 @@ if [[ "$SANITIZER" == "membership" ]]; then
   "$DIR/examples/dtrain" --validate examples/configs/ring_repair.ini
   (cd "$TMP" && "$OLDPWD/$DIR/examples/dtrain" --campaign \
     "$OLDPWD/examples/configs/ring_repair.ini")
+  exit 0
+fi
+
+if [[ "$SANITIZER" == "fsdp" ]]; then
+  # FSDP/ZeRO smoke: the labeled sharded-data-parallel suite plus the
+  # memory-ledger unit suite, then the committed memory-vs-throughput
+  # frontier campaign end to end (BSP / sharded PS / stages 1-3 at 8 and
+  # 16 workers, mem_peak as the aggregate metric), all under
+  # AddressSanitizer (shares build-address/ with `address`).
+  DIR=build-address
+  cmake -B "$DIR" -S . -DDT_SANITIZE=address
+  cmake --build "$DIR" -j "$(nproc)" --target test_fsdp test_memory dtrain
+  ctest --test-dir "$DIR" --output-on-failure -j "$(nproc)" -L fsdp
+  ctest --test-dir "$DIR" --output-on-failure -j "$(nproc)" -R 'Memory'
+  TMP="$(mktemp -d)"
+  trap 'rm -rf "$TMP"' EXIT
+  "$DIR/examples/dtrain" --validate examples/configs/fsdp_frontier.ini
+  (cd "$TMP" && "$OLDPWD/$DIR/examples/dtrain" --campaign \
+    "$OLDPWD/examples/configs/fsdp_frontier.ini")
   exit 0
 fi
 

@@ -36,6 +36,9 @@ double metric_of(const RunRecord& rec, const std::string& metric) {
   if (metric == "throughput") return rec.throughput;
   if (metric == "duration") return rec.virtual_duration;
   if (metric == "time_to_target") return rec.time_to_target;
+  if (metric == "mem_peak") {
+    return static_cast<double>(rec.mem_peak_rank_bytes);
+  }
   common::fail("campaign: unknown metric '" + metric + "'");
 }
 
@@ -279,7 +282,9 @@ void write_outputs(const std::string& dir, const std::string& title,
           "virtual_duration", "time_to_target", "throughput", "wire_bytes",
           "wire_messages",
           "total_samples", "total_iterations", "cp_compute", "cp_local_agg",
-          "cp_comm", "cp_ps", "cp_wait", "param_hash"}) {
+          "cp_comm", "cp_ps", "cp_wait", "mem_peak_rank_bytes",
+          "mem_params_bytes", "mem_grads_bytes", "mem_optimizer_bytes",
+          "mem_gather_bytes", "param_hash"}) {
       header.emplace_back(col);
     }
     runs_table.set_header(std::move(header));
@@ -303,6 +308,11 @@ void write_outputs(const std::string& dir, const std::string& title,
       row.push_back(json_number(rec.cp_comm));
       row.push_back(json_number(rec.cp_ps));
       row.push_back(json_number(rec.cp_wait));
+      row.push_back(std::to_string(rec.mem_peak_rank_bytes));
+      row.push_back(std::to_string(rec.mem_params_bytes));
+      row.push_back(std::to_string(rec.mem_grads_bytes));
+      row.push_back(std::to_string(rec.mem_optimizer_bytes));
+      row.push_back(std::to_string(rec.mem_gather_bytes));
       row.push_back(rec.param_hash);
       runs_table.add_row(std::move(row));
     }

@@ -131,6 +131,11 @@ std::string RunRecord::serialize() const {
      << ",\"cp_comm\":" << json_number(cp_comm)
      << ",\"cp_ps\":" << json_number(cp_ps)
      << ",\"cp_wait\":" << json_number(cp_wait)
+     << ",\"mem_peak_rank_bytes\":" << json_number(mem_peak_rank_bytes)
+     << ",\"mem_params_bytes\":" << json_number(mem_params_bytes)
+     << ",\"mem_grads_bytes\":" << json_number(mem_grads_bytes)
+     << ",\"mem_optimizer_bytes\":" << json_number(mem_optimizer_bytes)
+     << ",\"mem_gather_bytes\":" << json_number(mem_gather_bytes)
      << ",\"param_hash\":\"" << json_escape(param_hash) << "\"}";
   const std::string line = os.str();
   return line + "\n{\"fnv64\":\"" + fnv1a_hex(line) + "\"}\n";
@@ -205,6 +210,16 @@ std::optional<RunRecord> RunRecord::parse(const std::string& text) {
         rec.cp_ps = to_double(cur.parse_number_raw());
       } else if (key == "cp_wait") {
         rec.cp_wait = to_double(cur.parse_number_raw());
+      } else if (key == "mem_peak_rank_bytes") {
+        rec.mem_peak_rank_bytes = to_int<std::uint64_t>(cur.parse_number_raw());
+      } else if (key == "mem_params_bytes") {
+        rec.mem_params_bytes = to_int<std::uint64_t>(cur.parse_number_raw());
+      } else if (key == "mem_grads_bytes") {
+        rec.mem_grads_bytes = to_int<std::uint64_t>(cur.parse_number_raw());
+      } else if (key == "mem_optimizer_bytes") {
+        rec.mem_optimizer_bytes = to_int<std::uint64_t>(cur.parse_number_raw());
+      } else if (key == "mem_gather_bytes") {
+        rec.mem_gather_bytes = to_int<std::uint64_t>(cur.parse_number_raw());
       } else {
         return std::nullopt;  // unknown field: not our format
       }

@@ -50,6 +50,14 @@ struct RunRecord {
   double cp_comm = 0.0;
   double cp_ps = 0.0;
   double cp_wait = 0.0;
+  /// Per-rank memory-ledger peaks (bytes; docs/memory-model.md): the worst
+  /// rank's peak resident total and its per-category peaks. Always filled
+  /// (the ledger runs for every algorithm; FSDP adds transient charges).
+  std::uint64_t mem_peak_rank_bytes = 0;
+  std::uint64_t mem_params_bytes = 0;
+  std::uint64_t mem_grads_bytes = 0;
+  std::uint64_t mem_optimizer_bytes = 0;
+  std::uint64_t mem_gather_bytes = 0;
   /// FNV-1a over the final parameters of every worker replica (16 hex
   /// chars); empty for cost-only runs, which carry no parameters.
   std::string param_hash;

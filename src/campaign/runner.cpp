@@ -80,6 +80,11 @@ RunRecord execute_run(const RunSpec& run, int compute_threads) {
     rec.cp_ps = p.critical.get(profile::CostClass::ps);
     rec.cp_wait = p.critical.get(profile::CostClass::wait);
   }
+  rec.mem_peak_rank_bytes = result.mem_peak_rank_bytes;
+  rec.mem_params_bytes = result.mem_peak_params_bytes;
+  rec.mem_grads_bytes = result.mem_peak_grads_bytes;
+  rec.mem_optimizer_bytes = result.mem_peak_optimizer_bytes;
+  rec.mem_gather_bytes = result.mem_peak_gather_bytes;
   rec.param_hash = workload_param_hash(wl);
   return rec;
 }

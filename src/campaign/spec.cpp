@@ -154,9 +154,10 @@ CampaignSpec CampaignSpec::from_ini(const common::IniConfig& ini) {
   spec.metric = ini.get("campaign", "metric", spec.metric);
   common::check(spec.metric == "auto" || spec.metric == "accuracy" ||
                     spec.metric == "throughput" || spec.metric == "duration" ||
-                    spec.metric == "time_to_target",
+                    spec.metric == "time_to_target" ||
+                    spec.metric == "mem_peak",
                 "campaign: metric must be auto, accuracy, throughput, "
-                "duration or time_to_target");
+                "duration, time_to_target or mem_peak");
   spec.chart_axis = ini.get("campaign", "chart_axis", spec.chart_axis);
 
   // Axes: `axis.<target>` keys in section order (lexicographic). Bundle

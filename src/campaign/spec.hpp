@@ -18,6 +18,7 @@
 //   cache_dir = campaign-cache
 //   output_dir = table3-out   ; runs.{jsonl,csv} + aggregate.{csv,jsonl,md}
 //   metric = auto             ; auto | accuracy | throughput | duration
+//                             ; | time_to_target | mem_peak
 //   chart_axis = workers      ; optional ASCII chart over a numeric axis
 //   axis.workers = 4, 8, 16, 24          ; bare keys resolve via the
 //   axis.cluster.nic_gbps = 10, 56       ; experiment schema; qualified
@@ -45,7 +46,8 @@ namespace dt::campaign {
 // v2: RunRecord grew critical-path fields (cp_*).
 // v3: RunRecord grew time_to_target; SSP staleness gate moved from "less
 //     than s" to the paper's "at most s" (syncs every s+2 iterations).
-inline constexpr const char* kCacheEpoch = "dt-campaign-v3";
+// v4: RunRecord grew per-rank memory-ledger peaks (mem_*); FSDP/ZeRO added.
+inline constexpr const char* kCacheEpoch = "dt-campaign-v4";
 
 /// One `[section] key = value` assignment applied on top of the base.
 struct Override {
@@ -98,7 +100,8 @@ struct CampaignSpec {
   /// Aggregate/output directory; empty disables file outputs.
   std::string output_dir;
   /// Cell metric: auto (accuracy when functional, else throughput),
-  /// accuracy, throughput, or duration.
+  /// accuracy, throughput, duration, time_to_target, or mem_peak (the
+  /// worst rank's peak resident bytes).
   std::string metric = "auto";
   /// Optional numeric axis to chart mean metric against.
   std::string chart_axis;

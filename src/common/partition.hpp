@@ -1,0 +1,48 @@
+// Near-equal contiguous range partitioning, shared by the ring collectives
+// (per-rank chunks of a flat buffer) and the flat parameter sharding used
+// by FSDP and sub-slot PS plans (ps/sharding.hpp, FlatShardingPlan).
+//
+// The split is the canonical "base + extra" scheme: the first `n % parts`
+// ranges get one extra element, so sizes differ by at most one and the
+// ranges tile [0, n) exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace dt::common {
+
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin == end; }
+};
+
+/// Near-equal contiguous split of `n` elements into `parts`; returns the
+/// half-open range of part `index` (0 <= index < parts).
+[[nodiscard]] inline ChunkRange chunk_range(std::size_t n, int parts,
+                                            int index) noexcept {
+  const std::size_t base = n / static_cast<std::size_t>(parts);
+  const std::size_t extra = n % static_cast<std::size_t>(parts);
+  const auto idx = static_cast<std::size_t>(index);
+  const std::size_t begin = idx * base + std::min(idx, extra);
+  const std::size_t len = base + (idx < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+/// Wire bytes of chunk `index`: its chunk_range share of the total, so the
+/// per-chunk bills sum to exactly `total` when it is >= parts (a uniform
+/// total/n would undercount by up to n-1 bytes per ring lap whenever parts
+/// does not divide the total). Never bills zero: cost-only packets must
+/// still occupy the wire.
+[[nodiscard]] inline std::uint64_t chunk_wire_bytes(std::uint64_t total,
+                                                    int parts,
+                                                    int index) noexcept {
+  const ChunkRange r =
+      chunk_range(static_cast<std::size_t>(total), parts, index);
+  return std::max<std::uint64_t>(1, r.size());
+}
+
+}  // namespace dt::common

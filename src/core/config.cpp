@@ -15,6 +15,7 @@ const char* algo_name(Algo a) noexcept {
     case Algo::gosgd: return "GoSGD";
     case Algo::adpsgd: return "AD-PSGD";
     case Algo::dpsgd: return "D-PSGD";
+    case Algo::fsdp: return "FSDP";
   }
   return "?";
 }
@@ -25,7 +26,8 @@ bool is_centralized(Algo a) noexcept {
 }
 
 bool is_synchronous(Algo a) noexcept {
-  return a == Algo::bsp || a == Algo::arsgd || a == Algo::dpsgd;
+  return a == Algo::bsp || a == Algo::arsgd || a == Algo::dpsgd ||
+         a == Algo::fsdp;
 }
 
 bool sends_gradients(Algo a) noexcept {

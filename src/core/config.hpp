@@ -32,6 +32,9 @@ enum class Algo {
   dpsgd,    // decentralized, synchronous ring neighbor averaging
             // (Lian et al. 2017 — reviewed by the paper, not selected;
             // provided as an extension)
+  fsdp,     // decentralized, synchronous sharded data parallelism
+            // (ZeRO stages 1-3 / FSDP family, Rajbhandari et al. 2020 —
+            // extension beyond the paper; see docs/memory-model.md)
 };
 
 [[nodiscard]] const char* algo_name(Algo a) noexcept;
@@ -75,6 +78,19 @@ struct OptimizationConfig {
   /// BSP local aggregation: gradients of co-located workers are combined on
   /// one machine-leader before touching the network (paper Section III-A).
   bool local_aggregation = true;
+  /// ZeRO stage for `algo = fsdp` (ignored elsewhere): 1 shards optimizer
+  /// state, 2 adds gradient reduce-scatter, 3 adds parameter sharding with
+  /// layer-by-layer all-gather (docs/memory-model.md).
+  int zero_stage = 1;
+};
+
+/// Per-rank memory accounting (docs/memory-model.md). The ledger always
+/// fills RunResult's mem_* fields; `enabled` additionally exports live
+/// gauges into the metric registry and trace counters into the Perfetto
+/// trace. FSDP runs export them regardless (the protocol's whole point is
+/// its memory profile).
+struct MemoryConfig {
+  bool enabled = false;
 };
 
 struct TrainConfig {
@@ -163,6 +179,15 @@ struct TrainConfig {
   /// drive the ring repair); `membership.enabled` additionally turns it on
   /// for measurement on any crash run.
   membership::MembershipConfig membership;
+
+  // --- memory accounting (see docs/memory-model.md) ---
+  MemoryConfig memory;
+  /// True when memory gauges/trace counters are exported for this run.
+  /// Gated like every optional probe: fault-free non-FSDP runs keep their
+  /// byte-identical metric dumps unless [memory] enabled is set.
+  [[nodiscard]] bool memory_engaged() const noexcept {
+    return memory.enabled || algo == Algo::fsdp;
+  }
 
   std::uint64_t seed = 42;
 

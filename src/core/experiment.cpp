@@ -214,7 +214,7 @@ const std::vector<IniSectionSchema>& experiment_ini_schema() {
       {"cluster", {"workers_per_machine", "nic_gbps", "latency_us"}},
       {"optimizations",
        {"ps_shards_per_machine", "wait_free_bp", "dgc", "qsgd_bits",
-        "local_aggregation", "shard_policy"}},
+        "local_aggregation", "shard_policy", "zero_stage"}},
       {"hyperparameters",
        {"ssp_staleness", "dssp_s_min", "dssp_s_max", "dssp_window",
         "easgd_tau", "easgd_alpha", "gosgd_p", "lr_per_worker", "momentum",
@@ -235,6 +235,7 @@ const std::vector<IniSectionSchema>& experiment_ini_schema() {
        {"timeout", "backoff", "max_timeout", "max_retransmits",
         "replicate_ps", "local_step_budget"}},
       {"membership", {"enabled", "period", "suspect_timeout", "confirm"}},
+      {"memory", {"gauges"}},
       {"output",
        {"trace", "metrics_jsonl", "timeseries_csv", "sample_period",
         "log_level", "profile", "profile_spans", "profile_trace"}},
@@ -297,6 +298,7 @@ Algo algo_from_name(const std::string& name) {
   if (n == "gosgd" || n == "gossip") return Algo::gosgd;
   if (n == "adpsgd") return Algo::adpsgd;
   if (n == "dpsgd") return Algo::dpsgd;
+  if (n == "fsdp" || n == "zero") return Algo::fsdp;
   common::fail("unknown algorithm: " + name);
 }
 
@@ -344,6 +346,10 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
                 "optimizations: shard_policy must be round_robin or greedy");
   cfg.opt.shard_policy = policy == "greedy" ? ps::ShardPolicy::greedy_balance
                                             : ps::ShardPolicy::round_robin;
+  cfg.opt.zero_stage =
+      static_cast<int>(ini.get_int("optimizations", "zero_stage", 1));
+  common::check(cfg.opt.zero_stage >= 1 && cfg.opt.zero_stage <= 3,
+                "optimizations: zero_stage must be 1, 2 or 3");
 
   // [hyperparameters]
   cfg.ssp_staleness =
@@ -401,6 +407,10 @@ ExperimentSpec ExperimentSpec::from_ini(const common::IniConfig& ini) {
 
   // [membership]
   parse_membership(ini, cfg);
+
+  // [memory] — per-rank memory-ledger gauge/trace export for any algorithm
+  // (FSDP engages the ledger implicitly; see TrainConfig::memory_engaged).
+  cfg.memory.enabled = ini.get_bool("memory", "gauges", false);
 
   // [output]
   cfg.trace_path = ini.get("output", "trace", "");

@@ -4,7 +4,8 @@
 // Example configuration:
 //
 //   [experiment]
-//   algorithm = adpsgd        ; bsp asp ssp dssp easgd arsgd gosgd adpsgd dpsgd
+//   algorithm = adpsgd        ; bsp asp ssp dssp easgd arsgd gosgd adpsgd
+//                             ; dpsgd fsdp
 //   mode      = functional    ; functional (accuracy) | throughput
 //   workers   = 8
 //   epochs    = 15            ; functional mode
@@ -20,6 +21,7 @@
 //   wait_free_bp = true
 //   dgc = false
 //   qsgd_bits = 0
+//   zero_stage = 1            ; fsdp: 1 opt | 2 +grads | 3 +params sharded
 //
 //   [hyperparameters]
 //   ssp_staleness = 10
@@ -82,6 +84,10 @@
 //   suspect_timeout = 0.25    ; silence before a rank is suspected
 //   confirm = 0.1             ; extra silence before eviction (refutation
 //                             ; window for slow-but-alive ranks)
+//
+//   [memory]                  ; per-rank ledger (docs/memory-model.md)
+//   gauges = false            ; export mem.* gauges + trace counters for any
+//                             ; algorithm (fsdp always engages them)
 //
 //   [output]
 //   trace = /tmp/run.trace.json

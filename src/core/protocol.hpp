@@ -44,6 +44,17 @@ enum Tag : int {
   // span (see net/collectives.hpp, flush_stale_epochs).
   kTagElasticAllreduce = 300,
   kTagElasticDpsgd = 400,
+  // FSDP/ZeRO tag region. Each phase gets a +0/+1 pair indexed by the
+  // iteration parity (a rank can be at most one iteration ahead of any
+  // peer — closing round i needs every rank's round-i contribution — so
+  // parity fully disambiguates adjacent rounds).
+  kTagFsdpGrad = 500,    // worker -> owner: flat gradient piece(s)
+  kTagFsdpParam = 502,   // owner -> worker: updated flat parameter range
+  kTagFsdpGather = 504,  // owner -> worker: stage-3 per-slot param pieces.
+                         // Tag = base + 4*slot + 2*phase + parity (phase:
+                         // 0 = pre-forward gather, 1 = backward re-gather),
+                         // so a slow rank's pre-forward recv never dequeues
+                         // a fast peer's later-slot or backward traffic.
 };
 
 /// Packet field conventions (Packet.a/b/c/d/x):

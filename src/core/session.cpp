@@ -21,6 +21,7 @@ Session::Session(TrainConfig config, Workload& workload)
   build_cluster();
   validate_reliability();
   validate_membership();
+  validate_fsdp();
 }
 
 void Session::build_membership() {
@@ -50,6 +51,23 @@ void Session::validate_membership() const {
       "Session: ring repair (sync_policy=drop with crashes) reduces one "
       "dense bucket per round — incompatible with wait-free BP and "
       "gradient compression (DGC/QSGD)");
+}
+
+void Session::validate_fsdp() const {
+  common::check(cfg.opt.zero_stage >= 1 && cfg.opt.zero_stage <= 3,
+                "Session: zero_stage must be 1, 2, or 3");
+  if (cfg.algo != Algo::fsdp) return;
+  common::check(
+      !cfg.opt.wait_free_bp && !cfg.opt.dgc && cfg.opt.qsgd_bits == 0,
+      "Session: FSDP's reduce-scatter is dense and round-synchronous — "
+      "incompatible with wait-free BP and gradient compression (DGC/QSGD)");
+  common::check(!(fault_plan.has_crashes() &&
+                  fault_plan.sync_policy() == faults::SyncPolicy::drop),
+                "Session: FSDP crashes support sync_policy=stall only (a "
+                "dropped rank would orphan its parameter shard)");
+  common::check(!cfg.reliability.engaged(cfg.faults),
+                "Session: reliability (message faults / replicate_ps) is "
+                "supported for the centralized algorithms only");
 }
 
 void Session::validate_reliability() const {
@@ -224,6 +242,15 @@ void Session::build_cluster() {
   plan = ps::ShardingPlan::build(slot_bytes, total_shards,
                                  cfg.opt.shard_policy);
 
+  if (cfg.algo == Algo::fsdp) {
+    std::vector<std::int64_t> slot_numel;
+    for (std::size_t i = 0; i < wl.num_slots(); ++i) {
+      slot_numel.push_back(wl.slot_numel(i));
+    }
+    fsdp_plan =
+        ps::FlatShardingPlan::build(slot_numel, slot_bytes, cfg.num_workers);
+  }
+
   if (is_centralized(cfg.algo)) {
     for (int shard = 0; shard < plan.num_shards; ++shard) {
       const int machine = shard % num_machines;  // round-robin placement
@@ -379,8 +406,55 @@ void Session::launch() {
     case Algo::gosgd: launch_gosgd(*this); return;
     case Algo::adpsgd: launch_adpsgd(*this); return;
     case Algo::dpsgd: launch_dpsgd(*this); return;
+    case Algo::fsdp: launch_fsdp(*this); return;
   }
   common::fail("Session: unknown algorithm");
+}
+
+void Session::init_memory() {
+  mem_ledger.reset(cfg.num_workers);
+  if (cfg.memory_engaged()) {
+    // Live per-rank gauges (and trace counters when tracing): registered
+    // only when engaged, so other runs' metric dumps stay byte-identical.
+    std::vector<metrics::Gauge*> gauges;
+    gauges.reserve(static_cast<std::size_t>(cfg.num_workers));
+    for (int r = 0; r < cfg.num_workers; ++r) {
+      gauges.push_back(&registry.gauge(
+          "mem.current_bytes", {{"worker", std::to_string(r)}}));
+    }
+    mem_ledger.set_hook([this, gauges = std::move(gauges)](
+                            int rank, double now, std::uint64_t current) {
+      gauges[static_cast<std::size_t>(rank)]->set(
+          static_cast<double>(current));
+      if (trace_) {
+        trace_->counter("memory", "mem worker" + std::to_string(rank), now,
+                        static_cast<double>(current));
+      }
+    });
+  }
+
+  // Coarse static footprints (docs/memory-model.md): every non-FSDP rank
+  // is charged the DDP-style triple — full parameters, a full gradient
+  // buffer, and full optimizer (momentum) state. FSDP shards the triple by
+  // stage; its transient gather/reduction buffers are charged dynamically
+  // by launch_fsdp's fibers.
+  using memory::Category;
+  const std::uint64_t m = wl.total_wire_bytes();
+  for (int r = 0; r < cfg.num_workers; ++r) {
+    std::uint64_t p = m;
+    std::uint64_t g = m;
+    std::uint64_t o = m;
+    if (cfg.algo == Algo::fsdp) {
+      const std::uint64_t owned =
+          fsdp_plan.shard_bytes[static_cast<std::size_t>(r)];
+      o = owned;                                // stage 1: optimizer shard
+      if (cfg.opt.zero_stage >= 2) g = owned;   // stage 2: gradient shard
+      if (cfg.opt.zero_stage >= 3) p = owned;   // stage 3: parameter shard
+    }
+    mem_ledger.charge_static(r, Category::params, p);
+    mem_ledger.charge_static(r, Category::grads, g);
+    mem_ledger.charge_static(r, Category::optimizer, o);
+  }
 }
 
 metrics::RunResult Session::run() {
@@ -471,6 +545,7 @@ metrics::RunResult Session::run() {
   const int threads = runtime::ThreadPool::resolve_threads(cfg.compute_threads);
   engine.set_compute_threads(threads);
 
+  init_memory();
   launch();
   launch_membership();
   const auto host_start = std::chrono::steady_clock::now();
@@ -499,6 +574,23 @@ metrics::RunResult Session::run() {
   result.wire_bytes = network->stats().bytes;
   result.wire_messages = network->stats().messages;
   result.inter_machine_bytes = network->stats().inter_machine_bytes;
+
+  using memory::Category;
+  result.mem_peak_rank_bytes = mem_ledger.peak_rank_bytes();
+  result.mem_peak_params_bytes =
+      mem_ledger.peak_category_bytes(Category::params);
+  result.mem_peak_grads_bytes =
+      mem_ledger.peak_category_bytes(Category::grads);
+  result.mem_peak_optimizer_bytes =
+      mem_ledger.peak_category_bytes(Category::optimizer);
+  result.mem_peak_gather_bytes =
+      mem_ledger.peak_category_bytes(Category::gather);
+  if (cfg.memory_engaged()) {
+    for (int r = 0; r < cfg.num_workers; ++r) {
+      registry.gauge("mem.peak_bytes", {{"worker", std::to_string(r)}})
+          .set(static_cast<double>(mem_ledger.rank(r).peak_total));
+    }
+  }
 
   if (wl.functional()) {
     result.final_accuracy = wl.evaluate_params(wl.average_worker_params());

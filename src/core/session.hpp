@@ -10,6 +10,7 @@
 
 #include "core/config.hpp"
 #include "core/workload.hpp"
+#include "memory/ledger.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/sampler.hpp"
 #include "net/collectives.hpp"
@@ -44,6 +45,17 @@ class Session {
   std::vector<int> ps_ep;           // shard -> endpoint
   ps::ShardingPlan plan;
   std::vector<std::unique_ptr<ps::ShardState>> shards;
+
+  /// Flat element-range shard plan over the worker ranks (algo = fsdp
+  /// only; empty otherwise). Rank r owns fsdp_plan.shard_ranges[r].
+  ps::FlatShardingPlan fsdp_plan;
+
+  /// Per-rank memory ledger (docs/memory-model.md). Static footprints are
+  /// charged before launch for every algorithm; FSDP additionally drives
+  /// transient gather/unshard allocations from its fiber loop. Always
+  /// filled into RunResult::mem_*; gauges/trace counters are exported only
+  /// when cfg.memory_engaged().
+  memory::Ledger mem_ledger;
 
   /// Reliable exactly-once transport (see docs/network-model.md,
   /// "Reliability model"). Non-null only when cfg.reliability.engaged() —
@@ -217,6 +229,8 @@ class Session {
   void build_membership();
   void validate_reliability() const;
   void validate_membership() const;
+  void validate_fsdp() const;
+  void init_memory();  // static footprints + gated gauge export
   void launch();  // dispatch to per-algorithm launcher
   void launch_membership();  // heartbeat + detector daemons (engaged only)
   std::vector<int> crash_taken_;    // per rank: crashes taken so far (index
@@ -235,7 +249,8 @@ class Session {
 };
 
 // Per-algorithm launchers (defined in algo_centralized.cpp /
-// algo_decentralized.cpp). Each spawns all processes for its protocol.
+// algo_decentralized.cpp / algo_fsdp.cpp). Each spawns all processes for
+// its protocol.
 void launch_bsp(Session& s);
 void launch_asp(Session& s);
 void launch_ssp(Session& s);
@@ -245,6 +260,7 @@ void launch_arsgd(Session& s);
 void launch_gosgd(Session& s);
 void launch_adpsgd(Session& s);
 void launch_dpsgd(Session& s);
+void launch_fsdp(Session& s);
 
 /// One-call entry point: build a session, run it, return the result.
 metrics::RunResult run_training(const TrainConfig& cfg, Workload& workload);

@@ -25,6 +25,10 @@ const std::vector<AlgoTraits>& all_algo_traits() {
       {Algo::gosgd, false, false, "-", "O(MN * p)"},
       {Algo::adpsgd, false, false, "O(1/sqrt(K))", "O(MN)"},
       {Algo::dpsgd, false, true, "O(1/sqrt(NK))", "O(2MN)"},
+      // FSDP/ZeRO: stages 1-2 move reduce-scatter + param all-gather
+      // (2M(N-1)/N per rank, AR-SGD volume); stage 3 re-gathers sharded
+      // params before forward and backward (3M(N-1)/N per rank).
+      {Algo::fsdp, false, true, "O(1/sqrt(NK))", "O(2M(N-1)), st.3 O(3M(N-1))"},
   };
   return traits;
 }
@@ -80,6 +84,14 @@ double expected_bytes_per_round(const TrainConfig& cfg,
       // Each worker sends its parameters to both ring neighbors.
       const double neighbors = std::min(2.0, n - 1.0);
       return m * n * neighbors;
+    }
+    case Algo::fsdp: {
+      // Stages 1-2: gradient reduce-scatter + post-update parameter
+      // all-gather, each moving M*(N-1)/N per rank -> 2M(N-1) in total per
+      // round. Stage 3 keeps params sharded, so each round pays forward
+      // all-gather + backward re-gather + reduce-scatter -> 3M(N-1).
+      const double phases = cfg.opt.zero_stage >= 3 ? 3.0 : 2.0;
+      return phases * m * (n - 1.0);
     }
   }
   common::fail("expected_bytes_per_round: unknown algorithm");

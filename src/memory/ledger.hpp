@@ -1,0 +1,98 @@
+// Per-rank memory accounting in virtual time (docs/memory-model.md).
+//
+// The ledger models *resident bytes per worker rank*, split into four
+// categories: parameters, gradients, optimizer state (momentum), and
+// transient gather/unshard buffers. Algorithms charge static footprints
+// once at setup (`charge_static`) and bracket short-lived buffers with
+// `alloc`/`release` from their fiber loops; the ledger tracks current and
+// peak totals per rank plus a per-category peak breakdown. All bookkeeping
+// is driven by the deterministic virtual clock, so peaks (and the times
+// they occurred) are byte-identical across hosts and compute_threads
+// settings.
+//
+// The ledger is observational: it never feeds back into simulated time or
+// numerics. Host-side storage of the simulator itself (tensor replicas,
+// mailboxes) is out of scope — the ledger answers "what would a rank of
+// the modeled cluster keep resident", not "what does this process use".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dt::memory {
+
+enum class Category : int {
+  params = 0,     // model parameters resident on the rank
+  grads = 1,      // gradient buffers (full or sharded)
+  optimizer = 2,  // optimizer state (momentum velocity)
+  gather = 3,     // transient gather/unshard + reduction buffers
+};
+inline constexpr int kNumCategories = 4;
+
+[[nodiscard]] const char* category_name(Category c) noexcept;
+
+/// One rank's gauges: current/peak per category and in total.
+struct RankUsage {
+  std::uint64_t current[kNumCategories] = {0, 0, 0, 0};
+  std::uint64_t peak_by_category[kNumCategories] = {0, 0, 0, 0};
+  std::uint64_t current_total = 0;
+  std::uint64_t peak_total = 0;
+  double peak_time = 0.0;  // virtual time at which peak_total was first hit
+
+  [[nodiscard]] std::uint64_t current_of(Category c) const noexcept {
+    return current[static_cast<int>(c)];
+  }
+  [[nodiscard]] std::uint64_t peak_of(Category c) const noexcept {
+    return peak_by_category[static_cast<int>(c)];
+  }
+};
+
+/// Deterministic per-rank alloc/free ledger. Not thread-safe by design:
+/// all mutation happens on the simulation thread (fibers are cooperative).
+class Ledger {
+ public:
+  Ledger() = default;
+
+  /// (Re)initializes the ledger for `num_ranks` workers, zeroing gauges.
+  void reset(int num_ranks);
+
+  [[nodiscard]] int num_ranks() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+
+  /// Charges `bytes` to (rank, category) at virtual time `now`.
+  void alloc(int rank, Category c, std::uint64_t bytes, double now);
+
+  /// Releases `bytes` from (rank, category); fails on underflow (a
+  /// release without a matching alloc is an algorithm bug).
+  void release(int rank, Category c, std::uint64_t bytes, double now);
+
+  /// Static footprint helper: alloc at t=0 that is never released (the
+  /// buffer lives for the whole run).
+  void charge_static(int rank, Category c, std::uint64_t bytes) {
+    alloc(rank, c, bytes, 0.0);
+  }
+
+  [[nodiscard]] const RankUsage& rank(int r) const;
+
+  // ---- cross-rank reductions (campaign / RunResult columns) -----------
+  /// Max over ranks of the rank's peak total.
+  [[nodiscard]] std::uint64_t peak_rank_bytes() const noexcept;
+  /// Max over ranks of the rank's per-category peak.
+  [[nodiscard]] std::uint64_t peak_category_bytes(Category c) const noexcept;
+
+  /// Observer invoked after every alloc/release with the rank's new
+  /// current total (Session uses it to keep metric gauges and trace
+  /// counters live). Not invoked by reset().
+  using Hook = std::function<void(int rank, double now,
+                                  std::uint64_t current_total)>;
+  void set_hook(Hook hook) { hook_ = std::move(hook); }
+
+ private:
+  std::vector<RankUsage> ranks_;
+  Hook hook_;
+};
+
+}  // namespace dt::memory

@@ -168,6 +168,15 @@ struct RunResult {
   std::uint64_t wire_messages = 0;
   std::uint64_t inter_machine_bytes = 0;  // traffic that crossed a NIC
 
+  // Per-rank memory accounting (docs/memory-model.md): the worst rank's
+  // peak resident bytes, total and per ledger category. Filled for every
+  // run (the ledger itself is always on; only its gauges are gated).
+  std::uint64_t mem_peak_rank_bytes = 0;
+  std::uint64_t mem_peak_params_bytes = 0;
+  std::uint64_t mem_peak_grads_bytes = 0;
+  std::uint64_t mem_peak_optimizer_bytes = 0;
+  std::uint64_t mem_peak_gather_bytes = 0;
+
   /// End-of-run values of every registry instrument (protocol probes,
   /// PS/network counters, staleness histograms, ...). See
   /// docs/observability.md for the catalogue.

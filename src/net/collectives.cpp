@@ -3,38 +3,15 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/partition.hpp"
 
 namespace dt::net {
 
-namespace {
-
-struct ChunkRange {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
-};
-
-/// Near-equal contiguous split of `n` elements into `parts`.
-ChunkRange chunk_range(std::size_t n, int parts, int index) {
-  const std::size_t base = n / static_cast<std::size_t>(parts);
-  const std::size_t extra = n % static_cast<std::size_t>(parts);
-  const auto idx = static_cast<std::size_t>(index);
-  const std::size_t begin = idx * base + std::min(idx, extra);
-  const std::size_t len = base + (idx < extra ? 1 : 0);
-  return {begin, begin + len};
-}
-
-/// Wire bytes of chunk `index`: its chunk_range share of the total, so the
-/// per-chunk bills sum to exactly total_wire_bytes when it is >= parts
-/// (a uniform total/n would undercount by up to n-1 bytes per ring lap
-/// whenever parts does not divide the total).
-std::uint64_t chunk_wire_bytes(std::uint64_t total, int parts, int index) {
-  const ChunkRange r =
-      chunk_range(static_cast<std::size_t>(total), parts, index);
-  return std::max<std::uint64_t>(1, r.size());
-}
-
-}  // namespace
+// The chunk split lives in common/partition.hpp so FSDP and the sub-slot
+// PS sharding plan carve ranges bit-identically to the ring collectives.
+using common::chunk_range;
+using common::chunk_wire_bytes;
+using ChunkRange = common::ChunkRange;
 
 void ring_allreduce(runtime::Process& self, const Communicator& comm,
                     std::span<float> data, std::uint64_t total_wire_bytes,

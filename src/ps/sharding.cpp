@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/partition.hpp"
 
 namespace dt::ps {
 
@@ -58,6 +59,61 @@ double ShardingPlan::imbalance() const {
   const std::uint64_t mx =
       *std::max_element(shard_bytes.begin(), shard_bytes.end());
   return static_cast<double>(mx) / static_cast<double>(total);
+}
+
+FlatShardingPlan FlatShardingPlan::build(
+    const std::vector<std::int64_t>& slot_numel,
+    const std::vector<std::uint64_t>& slot_bytes, int num_shards) {
+  common::check(num_shards >= 1, "FlatShardingPlan: need at least one shard");
+  common::check(!slot_numel.empty(), "FlatShardingPlan: no slots");
+  common::check(slot_numel.size() == slot_bytes.size(),
+                "FlatShardingPlan: slot_numel/slot_bytes size mismatch");
+
+  FlatShardingPlan plan;
+  plan.num_shards = num_shards;
+  plan.shard_ranges.assign(static_cast<std::size_t>(num_shards), {});
+  plan.shard_elems.assign(static_cast<std::size_t>(num_shards), 0);
+  plan.shard_bytes.assign(static_cast<std::size_t>(num_shards), 0);
+
+  // Flat prefix offsets of each slot.
+  std::vector<std::size_t> offset(slot_numel.size() + 1, 0);
+  for (std::size_t k = 0; k < slot_numel.size(); ++k) {
+    common::check(slot_numel[k] > 0, "FlatShardingPlan: empty slot");
+    offset[k + 1] = offset[k] + static_cast<std::size_t>(slot_numel[k]);
+  }
+  plan.total_elems = offset.back();
+
+  for (int shard = 0; shard < num_shards; ++shard) {
+    const common::ChunkRange r =
+        common::chunk_range(plan.total_elems, num_shards, shard);
+    plan.shard_elems[static_cast<std::size_t>(shard)] = r.size();
+    // Walk the slots the flat range [r.begin, r.end) overlaps.
+    for (std::size_t k = 0; k < slot_numel.size() && offset[k] < r.end; ++k) {
+      if (offset[k + 1] <= r.begin) continue;
+      SlotRange piece;
+      piece.slot = k;
+      piece.begin = std::max(r.begin, offset[k]) - offset[k];
+      piece.end = std::min(r.end, offset[k + 1]) - offset[k];
+      plan.shard_bytes[static_cast<std::size_t>(shard)] += range_wire_bytes(
+          slot_bytes[k], static_cast<std::size_t>(slot_numel[k]), piece.begin,
+          piece.end);
+      plan.shard_ranges[static_cast<std::size_t>(shard)].push_back(piece);
+    }
+  }
+  return plan;
+}
+
+std::uint64_t FlatShardingPlan::range_wire_bytes(std::uint64_t wire,
+                                                 std::size_t numel,
+                                                 std::size_t begin,
+                                                 std::size_t end) {
+  common::check(numel > 0 && begin <= end && end <= numel,
+                "FlatShardingPlan::range_wire_bytes: bad range");
+  const auto prefix = [&](std::size_t e) {
+    return wire * static_cast<std::uint64_t>(e) /
+           static_cast<std::uint64_t>(numel);
+  };
+  return prefix(end) - prefix(begin);
 }
 
 }  // namespace dt::ps

@@ -36,4 +36,44 @@ struct ShardingPlan {
   [[nodiscard]] double imbalance() const;
 };
 
+/// A contiguous piece of one slot, in elements (half-open [begin, end)).
+struct SlotRange {
+  std::size_t slot = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t numel() const noexcept { return end - begin; }
+};
+
+/// Flat element-range sharding (ZeRO/FSDP family): the model's parameters
+/// are viewed as one flat vector — slots concatenated in order — and split
+/// into `num_shards` near-equal contiguous ranges with common::chunk_range;
+/// each shard's range is mapped back to the ordered per-slot pieces it
+/// covers. Unlike the layer-granularity ShardingPlan above, shards stay
+/// non-empty whenever the flat element count >= num_shards: 32 shards over
+/// VGG-16's 16 slots all get work, where the slot-level plan would clamp
+/// to 16 (the scalability gap noted in docs/memory-model.md).
+struct FlatShardingPlan {
+  int num_shards = 1;
+  std::vector<std::vector<SlotRange>> shard_ranges;  // shard -> ordered pieces
+  std::vector<std::uint64_t> shard_elems;            // elements per shard
+  std::vector<std::uint64_t> shard_bytes;            // wire bytes per shard
+  std::uint64_t total_elems = 0;
+
+  /// `slot_wire_bytes[k]` is the modeled wire size of slot k (functional
+  /// workloads scale small-model slots up to the profile's bytes, so it is
+  /// not always 4 * numel); per-piece bytes use the telescoping rule of
+  /// range_wire_bytes so full coverage of a slot bills exactly its size.
+  static FlatShardingPlan build(const std::vector<std::int64_t>& slot_numel,
+                                const std::vector<std::uint64_t>& slot_bytes,
+                                int num_shards);
+
+  /// Wire bytes attributed to elements [begin, end) of a slot with
+  /// `numel` elements and `wire` total bytes: prefix differences, so
+  /// adjacent pieces of one slot always sum to exactly `wire`.
+  [[nodiscard]] static std::uint64_t range_wire_bytes(std::uint64_t wire,
+                                                      std::size_t numel,
+                                                      std::size_t begin,
+                                                      std::size_t end);
+};
+
 }  // namespace dt::ps

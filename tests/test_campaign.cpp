@@ -220,6 +220,11 @@ TEST(CampaignCache, RoundTripsRecordsAndDetectsCorruption) {
   rec.wire_messages = 4242;
   rec.total_samples = 2048;
   rec.total_iterations = 128;
+  rec.mem_peak_rank_bytes = 1660944384;
+  rec.mem_params_bytes = 553648128;
+  rec.mem_grads_bytes = 553648128;
+  rec.mem_optimizer_bytes = 69206016;
+  rec.mem_gather_bytes = 69206016;
   rec.param_hash = "0123456789abcdef";
   cache.store(rec);
 
@@ -231,6 +236,8 @@ TEST(CampaignCache, RoundTripsRecordsAndDetectsCorruption) {
   EXPECT_EQ(loaded->final_accuracy, 0.8125);
   EXPECT_EQ(loaded->throughput, 1.5e3);
   EXPECT_EQ(loaded->param_hash, "0123456789abcdef");
+  EXPECT_EQ(loaded->mem_peak_rank_bytes, 1660944384u);
+  EXPECT_EQ(loaded->mem_gather_bytes, 69206016u);
   // Loaded records re-serialize to the stored bytes exactly.
   auto copy = *loaded;
   copy.from_cache = false;
@@ -333,6 +340,59 @@ TEST(CampaignRunner, WarmCacheResumesWithIdenticalResults) {
   for (std::size_t i = 0; i < cold.records.size(); ++i) {
     EXPECT_EQ(cold.records[i].serialize(), forced.records[i].serialize());
   }
+}
+
+TEST(CampaignCache, EpochBumpInvalidatesOldRecordsInsteadOfMisreadingThem) {
+  // kCacheEpoch is hashed into every fingerprint, and each record embeds
+  // its own fingerprint, re-checked against the lookup key. Simulate a
+  // cache directory left over from the previous epoch: records stored
+  // under v3-era fingerprints. A v4 campaign pointed at that directory
+  // must execute everything (old lines invalidated), never serve a stale
+  // record as if it matched (misread).
+  CampaignSpec spec = tiny_functional_spec();
+  spec.cache_dir = scratch("epoch_bump");
+
+  // Reconstruct what the previous epoch would have used as cache keys:
+  // same fingerprint recipe, older epoch tag.
+  const auto old_fingerprint = [](const common::IniConfig& resolved) {
+    return fnv1a_hex(std::string("dt-campaign-v3") + '\x1d' +
+                     resolved.canonical_dump());
+  };
+
+  const RunCache cache(spec.cache_dir);
+  const std::vector<RunSpec> runs = spec.expand();
+  for (const RunSpec& run : runs) {
+    const std::string old_fp = old_fingerprint(run.resolved);
+    EXPECT_NE(old_fp, run.fingerprint)
+        << "epoch tag must perturb the fingerprint";
+    // A well-formed, integrity-intact record as the old build wrote it.
+    RunRecord stale;
+    stale.fingerprint = old_fp;
+    stale.algorithm = "BSP";
+    stale.final_accuracy = 0.999;  // poison: must never surface
+    cache.store(stale);
+    // Neither the old key nor the new one may return the stale record:
+    // the old key is simply never looked up by a v4 campaign, and the new
+    // path does not exist yet.
+    EXPECT_FALSE(cache.load(run.fingerprint).has_value());
+  }
+
+  const CampaignResult result = run_campaign(spec);
+  EXPECT_EQ(result.cache_hits, 0);
+  EXPECT_EQ(result.executed, static_cast<int>(result.records.size()));
+  for (const RunRecord& rec : result.records) {
+    EXPECT_NE(rec.final_accuracy, 0.999);
+    EXPECT_FALSE(rec.from_cache);
+  }
+
+  // And even a stale record renamed onto the new path (e.g. a bad manual
+  // cache migration) is rejected by the embedded-fingerprint check.
+  const RunSpec& first = runs.front();
+  std::filesystem::copy_file(
+      cache.path_of(old_fingerprint(first.resolved)),
+      cache.path_of(first.fingerprint),
+      std::filesystem::copy_options::overwrite_existing);
+  EXPECT_FALSE(cache.load(first.fingerprint).has_value());
 }
 
 TEST(CampaignRunner, EditedAxisRerunsOnlyAffectedCells) {

@@ -1,0 +1,284 @@
+// FSDP/ZeRO sharded data parallelism tests (src/core/algo_fsdp.cpp):
+// convergence, the memory-vs-stage ordering on VGG-16, per-round traffic
+// against the traits formula, gather-buffer release timing, crash+resume
+// under [failures], config validation, and the compute-offload A/B
+// byte-identity contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/trainer.hpp"
+#include "cost/profiles.hpp"
+#include "ps/sharding.hpp"
+
+namespace dt::core {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::uint64_t param_hash(Workload& wl, int workers) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (int w = 0; w < workers; ++w) {
+    for (const auto& t : wl.params(w)) {
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        std::uint32_t bits;
+        const float v = t[static_cast<std::size_t>(i)];
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int b = 0; b < 4; ++b) {
+          h ^= (bits >> (8 * b)) & 0xFFu;
+          h *= 1099511628211ull;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+FunctionalWorkloadSpec tiny_spec() {
+  FunctionalWorkloadSpec spec;
+  spec.train_samples = 256;
+  spec.test_samples = 64;
+  spec.input_dim = 12;
+  spec.hidden_dim = 16;
+  spec.num_classes = 4;
+  spec.batch = 8;
+  spec.num_workers = 4;
+  spec.seed = 23;
+  return spec;
+}
+
+TrainConfig functional_cfg(int stage) {
+  TrainConfig cfg;
+  cfg.algo = Algo::fsdp;
+  cfg.num_workers = 4;
+  cfg.epochs = 2.0;
+  cfg.lr = nn::LrSchedule::paper(4, cfg.epochs, 0.02);
+  cfg.cluster.workers_per_machine = 2;
+  cfg.opt.zero_stage = stage;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TrainConfig vgg_cfg(int stage, int workers) {
+  TrainConfig cfg;
+  cfg.algo = Algo::fsdp;
+  cfg.num_workers = workers;
+  cfg.iterations = 4;
+  cfg.cluster.workers_per_machine = 2;
+  cfg.opt.zero_stage = stage;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Fsdp, AllStagesConvergeIdentically) {
+  // The three stages shard different state but implement the same math:
+  // rank-order gradient sum, 1/N scale, momentum step. Final replicas must
+  // be bitwise identical across stages (stage 3's final all-gather plays
+  // the unshard-for-checkpoint role).
+  std::uint64_t hashes[3] = {};
+  double acc[3] = {};
+  for (int stage = 1; stage <= 3; ++stage) {
+    Workload wl = make_functional_workload(tiny_spec());
+    auto result = run_training(functional_cfg(stage), wl);
+    hashes[stage - 1] = param_hash(wl, 4);
+    acc[stage - 1] = result.final_accuracy;
+    EXPECT_GT(result.final_accuracy, 0.3) << "stage " << stage;
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[1], hashes[2]);
+  EXPECT_EQ(acc[0], acc[1]);
+  EXPECT_EQ(acc[1], acc[2]);
+}
+
+TEST(Fsdp, WorkerReplicasEndIdentical) {
+  // Every rank must end with the same full model (the point of the final
+  // all-gather): hashing each replica alone gives the same value.
+  Workload wl = make_functional_workload(tiny_spec());
+  run_training(functional_cfg(3), wl);
+  std::uint64_t h0 = 0;
+  for (int w = 0; w < 4; ++w) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto& t : wl.params(w)) {
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        std::uint32_t bits;
+        const float v = t[static_cast<std::size_t>(i)];
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int b = 0; b < 4; ++b) {
+          h ^= (bits >> (8 * b)) & 0xFFu;
+          h *= 1099511628211ull;
+        }
+      }
+    }
+    if (w == 0) {
+      h0 = h;
+    } else {
+      EXPECT_EQ(h, h0) << "replica " << w << " diverged";
+    }
+  }
+}
+
+TEST(Fsdp, PeakMemoryStrictlyDecreasesWithStage) {
+  // The ISSUE's headline invariant on VGG-16 at 8 workers: per-rank peak
+  // resident bytes strictly decrease BSP -> stage 1 -> stage 2 -> stage 3.
+  TrainConfig bsp = vgg_cfg(1, 8);
+  bsp.algo = Algo::bsp;
+  Workload wl_bsp = make_cost_workload(cost::vgg16_profile(), 32);
+  const std::uint64_t peak_bsp =
+      run_training(bsp, wl_bsp).mem_peak_rank_bytes;
+
+  std::uint64_t peak[4] = {peak_bsp, 0, 0, 0};
+  for (int stage = 1; stage <= 3; ++stage) {
+    Workload wl = make_cost_workload(cost::vgg16_profile(), 32);
+    peak[stage] = run_training(vgg_cfg(stage, 8), wl).mem_peak_rank_bytes;
+  }
+  EXPECT_LT(peak[1], peak[0]) << "stage 1 must beat BSP";
+  EXPECT_LT(peak[2], peak[1]) << "stage 2 must beat stage 1";
+  EXPECT_LT(peak[3], peak[2]) << "stage 3 must beat stage 2";
+}
+
+TEST(Fsdp, StaticAndGatherAccountingMatchesThePlan) {
+  // Cross-check the ledger against analytically computed footprints.
+  const int n = 8;
+  Workload wl = make_cost_workload(cost::vgg16_profile(), 32);
+  const std::uint64_t m = wl.total_wire_bytes();
+  std::vector<std::int64_t> numel;
+  std::vector<std::uint64_t> bytes;
+  for (std::size_t k = 0; k < wl.num_slots(); ++k) {
+    numel.push_back(wl.slot_numel(k));
+    bytes.push_back(wl.slot_wire_bytes(k));
+  }
+  const ps::FlatShardingPlan plan = ps::FlatShardingPlan::build(numel, bytes, n);
+
+  // Stage 1, rank 0: params + grads resident in full, optimizer sharded,
+  // and the only gather charge is the owner-side reduction buffer.
+  auto result = run_training(vgg_cfg(1, n), wl);
+  const std::uint64_t owned0 = plan.shard_bytes[0];
+  EXPECT_EQ(result.mem_peak_params_bytes, m);
+  EXPECT_EQ(result.mem_peak_grads_bytes, m);
+  // Worst-rank optimizer shard: the largest shard over all ranks.
+  std::uint64_t max_owned = 0;
+  for (std::uint64_t b : plan.shard_bytes) max_owned = std::max(max_owned, b);
+  EXPECT_EQ(result.mem_peak_optimizer_bytes, max_owned);
+  EXPECT_EQ(result.mem_peak_gather_bytes, max_owned);
+  EXPECT_GT(owned0, 0u);
+
+  // Stage 3: params never fully resident — the params category holds only
+  // the static shard; transient unsharded layers land in `gather`.
+  Workload wl3 = make_cost_workload(cost::vgg16_profile(), 32);
+  auto r3 = run_training(vgg_cfg(3, n), wl3);
+  EXPECT_EQ(r3.mem_peak_params_bytes, max_owned);
+  EXPECT_LT(r3.mem_peak_rank_bytes, result.mem_peak_rank_bytes);
+  EXPECT_GT(r3.mem_peak_gather_bytes, max_owned);
+}
+
+TEST(Fsdp, TrafficMatchesTraitsFormula) {
+  // Stages 1-2: 2M(N-1) bytes per round per worker (reduce-scatter +
+  // all-gather). Stage 3: 3M(N-1) per round, plus one extra M(N-1)
+  // all-gather after the final round (unshard-for-checkpoint).
+  const int n = 4;
+  const std::int64_t iters = 4;
+  for (int stage : {1, 2, 3}) {
+    Workload wl = make_cost_workload(cost::vgg16_profile(), 32);
+    TrainConfig cfg = vgg_cfg(stage, n);
+    const double per_round = expected_bytes_per_round(cfg, wl.total_wire_bytes());
+    auto result = run_training(cfg, wl);
+    double expected = per_round * static_cast<double>(iters);
+    if (stage >= 3) {
+      expected += static_cast<double>(wl.total_wire_bytes()) * (n - 1);
+    }
+    EXPECT_NEAR(static_cast<double>(result.wire_bytes), expected,
+                0.01 * expected)
+        << "stage " << stage;
+  }
+}
+
+TEST(Fsdp, CrashStallsAndResumesToTheSameModel) {
+  // A crashed rank freezes the round (stall semantics: peers cannot close
+  // the reduce-scatter without its contribution) and resumes in place; the
+  // final model must be bitwise identical to the fault-free run.
+  Workload clean_wl = make_functional_workload(tiny_spec());
+  run_training(functional_cfg(2), clean_wl);
+  const std::uint64_t clean_hash = param_hash(clean_wl, 4);
+
+  TrainConfig cfg = functional_cfg(2);
+  faults::Crash crash;
+  crash.rank = 2;
+  crash.at = 0.5;
+  crash.downtime = 0.4;
+  cfg.faults.crashes.push_back(crash);
+  Workload wl = make_functional_workload(tiny_spec());
+  auto result = run_training(cfg, wl);
+  EXPECT_EQ(param_hash(wl, 4), clean_hash);
+  EXPECT_EQ(result.metrics.total("faults.crashes_total"), 1.0);
+}
+
+TEST(Fsdp, RejectsIncompatibleConfigs) {
+  Workload wl = make_cost_workload(cost::vgg16_profile(), 32);
+  {
+    TrainConfig cfg = vgg_cfg(1, 4);
+    cfg.opt.zero_stage = 4;
+    EXPECT_THROW(run_training(cfg, wl), common::Error);
+  }
+  {
+    TrainConfig cfg = vgg_cfg(1, 4);
+    cfg.opt.dgc = true;
+    EXPECT_THROW(run_training(cfg, wl), common::Error);
+  }
+  {
+    TrainConfig cfg = vgg_cfg(1, 4);
+    cfg.opt.wait_free_bp = true;
+    EXPECT_THROW(run_training(cfg, wl), common::Error);
+  }
+  {
+    // Crashes are stall-only: a dropped rank would orphan its shard.
+    TrainConfig cfg = vgg_cfg(1, 4);
+    faults::Crash crash;
+    crash.rank = 1;
+    crash.at = 0.1;
+    crash.downtime = 0.2;
+    cfg.faults.crashes.push_back(crash);
+    cfg.faults.sync_policy = faults::SyncPolicy::drop;
+    EXPECT_THROW(run_training(cfg, wl), common::Error);
+  }
+}
+
+TEST(Fsdp, ParallelOffloadMatchesSequential) {
+  // The A/B contract (docs/performance.md): compute_threads=8 must be
+  // byte-identical to compute_threads=1 — same metrics JSONL, same params.
+  auto run_with_threads = [](int stage, int threads, std::uint64_t* hash) {
+    const std::string jsonl = "/tmp/dt_fsdp_ab_s" + std::to_string(stage) +
+                              "_t" + std::to_string(threads) + ".jsonl";
+    TrainConfig cfg = functional_cfg(stage);
+    cfg.compute_threads = threads;
+    cfg.metrics_jsonl = jsonl;
+    Workload wl = make_functional_workload(tiny_spec());
+    run_training(cfg, wl);
+    *hash = param_hash(wl, 4);
+    const std::string out = slurp(jsonl);
+    std::remove(jsonl.c_str());
+    return out;
+  };
+  for (int stage : {1, 3}) {
+    std::uint64_t h1 = 0, h8 = 0;
+    const std::string a = run_with_threads(stage, 1, &h1);
+    const std::string b = run_with_threads(stage, 8, &h8);
+    EXPECT_EQ(a, b) << "stage " << stage;
+    EXPECT_EQ(h1, h8) << "stage " << stage;
+    EXPECT_FALSE(a.empty());
+  }
+}
+
+}  // namespace
+}  // namespace dt::core

@@ -124,5 +124,48 @@ TEST(Golden, ArsgdRunIsByteIdenticalToFixture) {
   expect_matches_golden(Algo::arsgd, false, "arsgd_seed");
 }
 
+TEST(Golden, FsdpStages1And2MatchBspBitwise) {
+  // FSDP stages 1/2 claim to be a resharded BSP: same gradient sum, same
+  // 1/N scale, same momentum kernel — only *where* the update runs moves.
+  // Pin that claim with an in-process A/B: a BSP run whose PS arrival
+  // order is forced to rank order (large distinct stragglers dominate the
+  // 2% compute jitter; no local aggregation, single PS shard) must produce
+  // the exact parameter bits of FSDP, whose owners always sum in rank
+  // order. Elementwise momentum is partition-invariant, so the shard
+  // boundaries cannot perturb the result.
+  auto run_hash = [](Algo algo, int stage) {
+    FunctionalWorkloadSpec spec;
+    spec.train_samples = 256;
+    spec.test_samples = 64;
+    spec.input_dim = 12;
+    spec.hidden_dim = 16;
+    spec.num_classes = 4;
+    spec.batch = 8;
+    spec.num_workers = 4;
+    spec.seed = 23;
+    Workload wl = make_functional_workload(spec);
+
+    TrainConfig cfg;
+    cfg.algo = algo;
+    cfg.num_workers = 4;
+    cfg.epochs = 2.0;
+    cfg.lr = nn::LrSchedule::paper(4, cfg.epochs, 0.02);
+    cfg.cluster.workers_per_machine = 2;
+    cfg.opt.ps_shards_per_machine = 1;
+    cfg.opt.local_aggregation = false;
+    cfg.opt.zero_stage = stage;
+    cfg.seed = 7;
+    cfg.faults.slow_ranks.push_back({1, 1.5});
+    cfg.faults.slow_ranks.push_back({2, 2.0});
+    cfg.faults.slow_ranks.push_back({3, 2.5});
+    run_training(cfg, wl);
+    return param_hash(wl, 4);
+  };
+
+  const std::uint64_t bsp = run_hash(Algo::bsp, 1);
+  EXPECT_EQ(run_hash(Algo::fsdp, 1), bsp) << "stage 1 deviates from BSP";
+  EXPECT_EQ(run_hash(Algo::fsdp, 2), bsp) << "stage 2 deviates from BSP";
+}
+
 }  // namespace
 }  // namespace dt::core

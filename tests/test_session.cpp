@@ -42,9 +42,10 @@ TEST(Config, ClusterSpecConversion) {
 }
 
 TEST(Traits, TableCoversEveryAlgorithm) {
-  EXPECT_EQ(all_algo_traits().size(), 9u);
+  EXPECT_EQ(all_algo_traits().size(), 10u);
   for (Algo a : {Algo::bsp, Algo::asp, Algo::ssp, Algo::dssp, Algo::easgd,
-                 Algo::arsgd, Algo::gosgd, Algo::adpsgd, Algo::dpsgd}) {
+                 Algo::arsgd, Algo::gosgd, Algo::adpsgd, Algo::dpsgd,
+                 Algo::fsdp}) {
     const AlgoTraits& t = traits_of(a);
     EXPECT_EQ(t.algo, a);
     EXPECT_EQ(t.centralized, is_centralized(a));

@@ -2,6 +2,7 @@
 // balancing, the VGG-16 skew) and shard-side state operations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <set>
 
@@ -247,6 +248,93 @@ TEST(ShardState, ElasticExchangeMovesBothTowardEachOther) {
     EXPECT_NEAR(updated[j] + st.param(0)[j], worker[j] + center_before[j],
                 1e-5);
   }
+}
+
+// ---- flat element-range sharding (FSDP / ZeRO) ----------------------------
+
+TEST(FlatSharding, MoreShardsThanSlotsAllGetNonEmptyWork) {
+  // The layer-wise ShardingPlan clamps shards to num_slots; the flat plan
+  // must not: 32 shards over a 16-slot model all receive a non-empty,
+  // near-equal element range (the property that lets FSDP scale past the
+  // layer count, unlike layer-granular PS sharding).
+  const auto profile = cost::vgg16_profile();
+  ASSERT_EQ(profile.layers.size(), 16u);
+  std::vector<std::int64_t> numel;
+  std::vector<std::uint64_t> bytes;
+  for (const auto& l : profile.layers) {
+    numel.push_back(l.params);
+    bytes.push_back(l.bytes());
+  }
+  const FlatShardingPlan plan = FlatShardingPlan::build(numel, bytes, 32);
+  ASSERT_EQ(plan.num_shards, 32);
+  std::uint64_t min_elems = plan.shard_elems[0], max_elems = 0;
+  for (int sh = 0; sh < 32; ++sh) {
+    const auto s = static_cast<std::size_t>(sh);
+    EXPECT_FALSE(plan.shard_ranges[s].empty()) << "shard " << sh;
+    EXPECT_GT(plan.shard_elems[s], 0u) << "shard " << sh;
+    EXPECT_GT(plan.shard_bytes[s], 0u) << "shard " << sh;
+    min_elems = std::min(min_elems, plan.shard_elems[s]);
+    max_elems = std::max(max_elems, plan.shard_elems[s]);
+  }
+  // chunk_range: sizes differ by at most one element.
+  EXPECT_LE(max_elems - min_elems, 1u);
+}
+
+TEST(FlatSharding, RangesTileEverySlotExactly) {
+  const auto profile = cost::vgg16_profile();
+  std::vector<std::int64_t> numel;
+  std::vector<std::uint64_t> bytes;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_elems = 0;
+  for (const auto& l : profile.layers) {
+    numel.push_back(l.params);
+    bytes.push_back(l.bytes());
+    total_bytes += l.bytes();
+    total_elems += static_cast<std::uint64_t>(l.params);
+  }
+  for (int shards : {1, 3, 8, 32}) {
+    const FlatShardingPlan plan =
+        FlatShardingPlan::build(numel, bytes, shards);
+    EXPECT_EQ(plan.total_elems, total_elems);
+    // Per slot: pieces across shards are disjoint, ordered, and cover
+    // [0, numel) exactly; shard bytes sum to the model's wire bytes.
+    std::vector<std::size_t> covered(numel.size(), 0);
+    std::uint64_t sum_bytes = 0, sum_elems = 0;
+    for (int sh = 0; sh < plan.num_shards; ++sh) {
+      const auto s = static_cast<std::size_t>(sh);
+      for (const SlotRange& piece : plan.shard_ranges[s]) {
+        EXPECT_EQ(piece.begin, covered[piece.slot]) << "gap or overlap";
+        EXPECT_LT(piece.begin, piece.end);
+        covered[piece.slot] = piece.end;
+      }
+      sum_bytes += plan.shard_bytes[s];
+      sum_elems += plan.shard_elems[s];
+    }
+    for (std::size_t k = 0; k < numel.size(); ++k) {
+      EXPECT_EQ(covered[k], static_cast<std::size_t>(numel[k]))
+          << "slot " << k << " not fully tiled";
+    }
+    EXPECT_EQ(sum_bytes, total_bytes);
+    EXPECT_EQ(sum_elems, total_elems);
+  }
+}
+
+TEST(FlatSharding, RangeWireBytesTelescopes) {
+  // Pieces of one slot must sum exactly to the slot's wire bytes even when
+  // wire != 4*numel (functional mode scales wire bytes) — the prefix-diff
+  // formula telescopes where independent rounding would drift.
+  const std::uint64_t wire = 1000;  // deliberately not divisible
+  const std::size_t numel = 7;
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < numel; ++i) {
+    sum += FlatShardingPlan::range_wire_bytes(wire, numel, i, i + 1);
+  }
+  EXPECT_EQ(sum, wire);
+  EXPECT_EQ(FlatShardingPlan::range_wire_bytes(wire, numel, 0, numel), wire);
+  EXPECT_EQ(FlatShardingPlan::range_wire_bytes(wire, numel, 3, 3), 0u);
+  EXPECT_THROW(
+      (void)FlatShardingPlan::range_wire_bytes(wire, numel, 5, 3),
+      common::Error);
 }
 
 TEST(ShardState, CostOnlyModeRejectsFunctionalOps) {
